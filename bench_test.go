@@ -1,0 +1,169 @@
+// Top-level benchmarks: one per table and figure of the paper's
+// evaluation (§IV). Each benchmark regenerates its experiment and reports
+// the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. The wider sweeps behind the figures
+// live in internal/bench and cmd/xplbench.
+package xplacer_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"xplacer/internal/bench"
+	"xplacer/internal/machine"
+)
+
+// reportSpeedups attaches each row's factor as a custom metric.
+func reportSpeedups(b *testing.B, rows []bench.Speedup, filter func(bench.Speedup) bool) {
+	for _, r := range rows {
+		if filter != nil && !filter(r) {
+			continue
+		}
+		name := strings.NewReplacer(" ", "", "+", "", "=", "").Replace(
+			r.Platform + "_" + r.Label + "_" + r.Variant + "_speedup")
+		b.ReportMetric(r.Factor(), name)
+	}
+}
+
+// BenchmarkFig4LuleshDiagnostic regenerates the Fig. 4 diagnostic output.
+func BenchmarkFig4LuleshDiagnostic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig4(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5LuleshAccessMaps regenerates the Fig. 5 domain-object maps.
+func BenchmarkFig5LuleshAccessMaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6LuleshSpeedup regenerates a reduced Fig. 6 sweep and
+// reports the remedies' speedups on Intel+Pascal and IBM+Volta.
+func BenchmarkFig6LuleshSpeedup(b *testing.B) {
+	opt := bench.Fig6Options{
+		Sizes:     []int{8},
+		Timesteps: 12,
+		Platforms: []*machine.Platform{machine.IntelPascal(), machine.IBMVolta()},
+	}
+	var rows []bench.Speedup
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpeedups(b, rows, nil)
+}
+
+// BenchmarkFig7SmithWatermanBoundary regenerates the Fig. 7 maps.
+func BenchmarkFig7SmithWatermanBoundary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig7(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8SmithWatermanIteration regenerates the Fig. 8 maps.
+func BenchmarkFig8SmithWatermanIteration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig8(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9SmithWaterman regenerates a reduced Fig. 9 sweep: the
+// rotated layout vs the baseline, in memory and over-subscribed (4 KiB
+// pages keep the over-subscription meaningful at these reduced sizes).
+func BenchmarkFig9SmithWaterman(b *testing.B) {
+	pascal, ibm := machine.IntelPascal().Clone(), machine.IBMVolta().Clone()
+	pascal.PageSize, ibm.PageSize = 4096, 4096
+	opt := bench.Fig9Options{
+		Sizes:     []int{64, 96, 100},
+		Platforms: []*machine.Platform{pascal, ibm},
+	}
+	var rows []bench.Speedup
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig9(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpeedups(b, rows, nil)
+}
+
+// BenchmarkFig10PathfinderMaps regenerates the Fig. 10 maps.
+func BenchmarkFig10PathfinderMaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig10(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Pathfinder regenerates a reduced Fig. 11 sweep: the
+// transfer-overlap optimization on both interconnects.
+func BenchmarkFig11Pathfinder(b *testing.B) {
+	opt := bench.Fig11Options{
+		Cols:      4096,
+		Rows:      []int{600},
+		Pyramid:   20,
+		Platforms: []*machine.Platform{machine.IntelPascal(), machine.IBMVolta()},
+	}
+	var rows []bench.Speedup
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig11(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSpeedups(b, rows, nil)
+}
+
+// BenchmarkTable2RodiniaFindings regenerates the Table II analysis of all
+// six Rodinia benchmarks.
+func BenchmarkTable2RodiniaFindings(b *testing.B) {
+	var rows []bench.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := 0
+	for _, r := range rows {
+		total += len(r.Findings)
+	}
+	b.ReportMetric(float64(total), "findings")
+}
+
+// BenchmarkTable3Overhead measures the instrumentation overhead on one
+// representative workload and the per-access microbenchmark ratio.
+func BenchmarkTable3Overhead(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table3(bench.DefaultTable3Workloads()[:1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = rows[0].Overhead()
+	}
+	b.ReportMetric(overhead, "wallclock_overhead_x")
+	_, _, ratio := bench.PerAccessOverhead()
+	b.ReportMetric(ratio, "per_access_overhead_x")
+}

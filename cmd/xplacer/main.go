@@ -1,0 +1,173 @@
+// Command xplacer runs one of the benchmark applications under XPlacer
+// instrumentation on a simulated heterogeneous platform and prints the
+// diagnostics — the paper's §III-D workflow in one step.
+//
+// Usage:
+//
+//	xplacer -app lulesh     [-platform Intel+Pascal] [-size 8] [-steps 16] [-variant baseline] [-diag-every 1] [-csv]
+//	xplacer -app sw         [-size 100] [-rotated] [-diag-every 0]
+//	xplacer -app pathfinder [-cols 1024] [-rows 101] [-pyramid 20] [-overlap]
+//	xplacer -app backprop|gaussian|lud|nn|cfd [-size N] [-optimize]
+//
+// The final diagnostic (summaries, access maps for -maps, anti-pattern
+// findings with remedies) is printed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xplacer/internal/advisor"
+	"xplacer/internal/apps/lulesh"
+	"xplacer/internal/apps/rodinia"
+	"xplacer/internal/apps/sw"
+	"xplacer/internal/core"
+	"xplacer/internal/diag"
+	"xplacer/internal/machine"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "lulesh", "application: lulesh, sw, pathfinder, backprop, gaussian, lud, nn, cfd")
+		platName  = flag.String("platform", "Intel+Pascal", "platform: Intel+Pascal, Intel+Volta, IBM+Volta")
+		size      = flag.Int("size", 8, "problem size (app-specific)")
+		steps     = flag.Int("steps", 16, "lulesh timesteps")
+		variant   = flag.String("variant", "baseline", "lulesh variant: baseline, readmostly, preferred, accessedby, dupdomain")
+		rotated   = flag.Bool("rotated", false, "sw: rotated matrix layout")
+		overlap   = flag.Bool("overlap", false, "pathfinder: overlap transfers with compute")
+		optimize  = flag.Bool("optimize", false, "backprop/gaussian: apply the diagnosed fixes")
+		cols      = flag.Int("cols", 1024, "pathfinder columns")
+		rows      = flag.Int("rows", 101, "pathfinder rows")
+		pyramid   = flag.Int("pyramid", 20, "pathfinder pyramid height")
+		diagEvery = flag.Int("diag-every", 0, "emit a diagnostic every N iterations (0: end only)")
+		csv       = flag.Bool("csv", false, "emit the final report as CSV")
+		jsonOut   = flag.Bool("json", false, "emit the final report as JSON")
+		maps      = flag.String("maps", "", "also print access maps for this allocation label")
+		advise    = flag.Bool("advise", false, "derive placement recommendations from the final report")
+		profile   = flag.Bool("profile", false, "print the per-kernel profile (faults, migrations, stalls)")
+		seed      = flag.Int64("seed", 1, "input seed")
+	)
+	flag.Parse()
+
+	plat, err := machine.ByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := core.NewSession(plat)
+	if err != nil {
+		fatal(err)
+	}
+	if *profile {
+		s.Ctx.SetProfiling(true)
+	}
+
+	switch *app {
+	case "lulesh":
+		v, err := lulesh.VariantByName(*variant)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := lulesh.Run(s, lulesh.Config{
+			Size: *size, Timesteps: *steps, Variant: v,
+			DiagEvery: *diagEvery, DiagOut: os.Stdout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("final origin energy: %g\n", res.FinalOriginEnergy)
+	case "sw":
+		res, err := sw.Run(s, sw.Config{
+			N: *size, M: *size, Seed: *seed, Rotated: *rotated,
+			DiagEvery: *diagEvery, DiagOut: os.Stdout, Traceback: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("best score: %d at (%d,%d), path length %d\n", res.Score, res.EndI, res.EndJ, res.PathLen)
+	case "pathfinder":
+		res, err := rodinia.RunPathfinder(s, rodinia.PathfinderConfig{
+			Cols: *cols, Rows: *rows, Pyramid: *pyramid, Seed: *seed,
+			Overlap: *overlap, DiagEvery: *diagEvery, DiagOut: os.Stdout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("min path: %d in %d iterations\n", res.MinPath, res.Iterations)
+	case "backprop":
+		res, err := rodinia.RunBackprop(s, rodinia.BackpropConfig{In: *size, Hidden: 16, Seed: *seed, Optimize: *optimize})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hidden sum: %g\n", res.HiddenSum)
+	case "gaussian":
+		res, err := rodinia.RunGaussian(s, rodinia.GaussianConfig{N: *size, Optimize: *optimize})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("x[0] = %g\n", res.X[0])
+	case "lud":
+		res, err := rodinia.RunLUD(s, rodinia.LUDConfig{N: *size, Seed: *seed, DiagEvery: *diagEvery, DiagOut: os.Stdout})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("LU[0] = %g, reconstruction error %g\n", res.LU[0], rodinia.LUDVerify(res.LU, *size, *seed))
+	case "nn":
+		res, err := rodinia.RunNN(s, rodinia.NNConfig{Records: *size, K: 5, QueryLat: 30, QueryLng: 90, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nearest distances: %v\n", res.Distances)
+	case "cfd":
+		res, err := rodinia.RunCFD(s, rodinia.CFDConfig{Cells: *size, Neighbors: 4, Iterations: 4, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("density sum: %g\n", res.DensitySum)
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	// Access maps before the final (resetting) diagnostic.
+	if *maps != "" {
+		printed := false
+		for _, a := range s.Ctx.Space().Live() {
+			if a.Label == *maps {
+				if e := diag.EntryOf(s.Tracer, a); e != nil {
+					for _, c := range []diag.MapCategory{diag.CPUWrites, diag.GPUWrites, diag.CPUReads, diag.GPUReads} {
+						fmt.Println(diag.AccessMap(e, c, 64))
+					}
+					printed = true
+				}
+			}
+		}
+		if !printed {
+			fmt.Fprintf(os.Stderr, "xplacer: no traced allocation labeled %q\n", *maps)
+		}
+	}
+
+	rep := s.Diagnostic(nil, "end of run")
+	switch {
+	case *jsonOut:
+		if err := rep.JSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *csv:
+		rep.CSV(os.Stdout)
+	default:
+		rep.Text(os.Stdout)
+	}
+	if *advise {
+		recs := advisor.Recommend(rep, advisor.DefaultOptions(plat))
+		advisor.Render(os.Stdout, recs)
+	}
+	if *profile {
+		s.Ctx.WriteKernelProfile(os.Stdout, *csv)
+	}
+	fmt.Printf("simulated time on %s: %v\n", plat.Name, s.SimTime())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xplacer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command xplbench regenerates the paper's evaluation tables and figures
+// (§IV) on the simulated platforms.
+//
+// Usage:
+//
+//	xplbench [-exp all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|table3] [-quick]
+//
+// Speedup figures report simulated time; Table III reports wall-clock
+// overhead plus a per-access microbenchmark. -quick shrinks the sweeps for
+// a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xplacer/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, table3, ablation")
+	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	csv := flag.Bool("csv", false, "emit speedup figures (fig6/fig9/fig11) as CSV")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==================== %s ====================\n", strings.ToUpper(name))
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "xplbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig4", func() error { return bench.Fig4(os.Stdout) })
+	run("fig5", func() error { return bench.Fig5(os.Stdout) })
+	run("fig6", func() error {
+		opt := bench.DefaultFig6Options()
+		if *quick {
+			opt = bench.QuickFig6Options()
+		}
+		rows, err := bench.Fig6(opt)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			bench.SpeedupsCSV(os.Stdout, rows)
+			return nil
+		}
+		bench.RenderFig6(os.Stdout, rows)
+		return nil
+	})
+	run("fig7", func() error { return bench.Fig7(os.Stdout) })
+	run("fig8", func() error { return bench.Fig8(os.Stdout) })
+	run("fig9", func() error {
+		opt := bench.DefaultFig9Options()
+		if *quick {
+			opt = bench.QuickFig9Options()
+		}
+		rows, err := bench.Fig9(opt)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			bench.SpeedupsCSV(os.Stdout, rows)
+			return nil
+		}
+		bench.RenderFig9(os.Stdout, rows)
+		return nil
+	})
+	run("fig10", func() error { return bench.Fig10(os.Stdout) })
+	run("fig11", func() error {
+		opt := bench.DefaultFig11Options()
+		if *quick {
+			opt = bench.QuickFig11Options()
+		}
+		rows, err := bench.Fig11(opt)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			bench.SpeedupsCSV(os.Stdout, rows)
+			return nil
+		}
+		bench.RenderFig11(os.Stdout, rows)
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := bench.Table2()
+		if err != nil {
+			return err
+		}
+		bench.RenderTable2(os.Stdout, rows)
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := bench.Table3(bench.DefaultTable3Workloads())
+		if err != nil {
+			return err
+		}
+		bench.RenderTable3(os.Stdout, rows)
+		return nil
+	})
+	run("ablation", func() error {
+		return bench.RenderAblations(os.Stdout, *quick)
+	})
+}

@@ -1,0 +1,105 @@
+// Command xplinstr is XPlacer's source instrumentation tool for Go files —
+// the role the ROSE+plugin invocation plays in the paper's workflow
+// (§III-D step 3). It rewrites heap accesses into xplrt trace calls and
+// expands //xpl:replace and //xpl:diagnostic pragmas.
+//
+// Usage:
+//
+//	xplinstr [-o out.go | -w | -outdir dir] [-runtime importpath] [-support file.go]... input.go [more.go ...]
+//
+// With one input file, -o writes the result to a file (default stdout) and
+// -w rewrites in place. With several input files they are instrumented
+// together as one package (cross-file types resolve); use -outdir or -w.
+//
+// The instrumented files import the runtime package (default
+// "xplacer/xplrt"); compile them with the rest of the program and run it
+// to obtain the diagnostics (§III-D steps 4-5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xplacer/internal/instr"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint(*m) }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file for a single input (default: stdout)")
+	outDir := flag.String("outdir", "", "output directory for multiple inputs")
+	inPlace := flag.Bool("w", false, "rewrite the input file(s) in place")
+	runtimePkg := flag.String("runtime", "", `runtime import path (default "xplacer/xplrt")`)
+	var support multiFlag
+	flag.Var(&support, "support", "additional same-package source file for type checking only (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xplinstr [-o out.go | -w | -outdir dir] [-runtime path] [-support file.go]... input.go [more.go ...]")
+		os.Exit(2)
+	}
+	opt := instr.Options{RuntimePackage: *runtimePkg}
+	for _, s := range support {
+		b, err := os.ReadFile(s)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Support = append(opt.Support, instr.NamedSource{Name: s, Src: b})
+	}
+
+	var inputs []instr.NamedSource
+	for _, name := range flag.Args() {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		inputs = append(inputs, instr.NamedSource{Name: name, Src: b})
+	}
+
+	results, err := instr.Package(inputs, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *inPlace:
+		for name, src := range results {
+			if err := os.WriteFile(name, src, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	case *outDir != "":
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for name, src := range results {
+			if err := os.WriteFile(filepath.Join(*outDir, filepath.Base(name)), src, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	case *out != "" && len(inputs) == 1:
+		if err := os.WriteFile(*out, results[inputs[0].Name], 0o644); err != nil {
+			fatal(err)
+		}
+	case len(inputs) == 1:
+		if _, err := os.Stdout.Write(results[inputs[0].Name]); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("multiple inputs need -w or -outdir"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xplinstr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package xplacer is a Go reproduction of "XPlacer: Automatic Analysis of
+// Data Access Patterns on Heterogeneous CPU/GPU Systems" (Pirkelbauer,
+// Lin, Vanderbruggen, Liao — IPDPS 2020).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The top-level benchmarks in bench_test.go regenerate every
+// table and figure of the paper's evaluation; cmd/xplbench does the same
+// from the command line.
+package xplacer

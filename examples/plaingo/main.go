@@ -1,0 +1,82 @@
+// Plain-Go instrumentation: trace a real Go program's heap accesses with
+// the xplrt runtime (what cmd/xplinstr inserts automatically), print the
+// XPlacer diagnostic, and derive placement advice.
+//
+// The program mimics an offload structure: a coordinator goroutine-role
+// ("CPU") prepares a work table and buffers, a worker phase ("GPU")
+// consumes them. The same anti-patterns the paper finds in CUDA code
+// surface here.
+//
+//	go run ./examples/plaingo
+//
+// To instrument a file like this automatically instead of writing the
+// Trace calls by hand:
+//
+//	go run ./cmd/xplinstr -o traced.go yourfile.go
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"xplacer/internal/advisor"
+	"xplacer/internal/machine"
+	"xplacer/xplrt"
+)
+
+// workTable mirrors the LULESH domain object: a small struct of pointers
+// that both roles touch.
+type workTable struct {
+	input  []float64
+	output []float64
+	scale  *float64
+}
+
+func main() {
+	// Traced allocations (xplinstr would leave your `make` calls alone and
+	// you would call xplrt.Register; the helpers do both at once).
+	wt := xplrt.New[workTable]("wt")
+	wt.input = xplrt.Slice[float64](1024, "input")
+	wt.output = xplrt.Slice[float64](1024, "output")
+	wt.scale = xplrt.New[float64]("scale")
+
+	// CPU role: initialize everything. (These are the accesses xplinstr
+	// would wrap: *xplrt.TraceW(&wt.input[i]) = ...)
+	for i := range wt.input {
+		*xplrt.TraceW(&wt.input[i]) = float64(i)
+	}
+	*xplrt.TraceW(wt.scale) = 0.5
+
+	// Worker ("GPU") role: read the table and inputs, write outputs.
+	xplrt.SetDevice(xplrt.GPU)
+	for i := range wt.input {
+		in := *xplrt.TraceR(&wt.input[i])
+		s := *xplrt.TraceR(wt.scale)
+		*xplrt.TraceW(&wt.output[i]) = in * s
+	}
+	xplrt.SetDevice(xplrt.CPU)
+
+	// CPU role again: consume a few outputs and nudge the scale — the
+	// alternating-access pattern.
+	sum := 0.0
+	for i := 0; i < 8; i++ {
+		sum += *xplrt.TraceR(&wt.output[i])
+	}
+	*xplrt.TraceRW(wt.scale) *= 1.1
+	fmt.Printf("sum of the first outputs: %.1f\n\n", sum)
+
+	// The //xpl:diagnostic pragma expands to exactly this call: verbatim
+	// args first, then the expanded pointer descriptions.
+	xplrt.TracePrint(os.Stdout, xplrt.ExpandAll(xplrt.Arg(wt, "wt"))...)
+
+	// Re-run traced (TracePrint reset the interval) to feed the advisor a
+	// steady-state picture of the alternating allocation.
+	xplrt.SetDevice(xplrt.GPU)
+	_ = *xplrt.TraceR(wt.scale)
+	_ = *xplrt.TraceR(&wt.input[1])
+	xplrt.SetDevice(xplrt.CPU)
+	*xplrt.TraceW(wt.scale) = 0.4
+	report := xplrt.Report()
+	recs := advisor.Recommend(report, advisor.DefaultOptions(machine.IntelPascal()))
+	advisor.Render(os.Stdout, recs)
+}

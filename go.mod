@@ -1,0 +1,3 @@
+module xplacer
+
+go 1.22

@@ -1,0 +1,192 @@
+// Package advisor turns XPlacer diagnoses into concrete data-placement
+// actions — the cudaMemAdvise calls of the paper's "Possible remedies"
+// (§III-A) and the strategies evaluated in §IV-A. Where the paper leaves
+// choosing a remedy to "skilled programmers", the advisor encodes the
+// paper's own decision rules:
+//
+//   - memory written by one processor and (re-)read by the other, with few
+//     writes, wants cudaMemAdviseSetReadMostly (the LULESH domain-object
+//     fix that yielded 2.75-3.1x);
+//   - memory with alternating accesses dominated by one writer wants
+//     SetPreferredLocation on the writer plus SetAccessedBy for the
+//     reader, avoiding the page ping-pong without duplication;
+//   - on hardware-coherent (NVLink/Power9) machines ReadMostly is NOT
+//     recommended — the paper measured it at 0.8x there.
+//
+// Recommendations can be applied to a live context (Apply) or re-applied
+// to a fresh run by allocation label (ApplyByLabel), enabling the
+// measure -> advise -> re-run workflow of §III-D.
+package advisor
+
+import (
+	"fmt"
+	"io"
+
+	"xplacer/internal/cuda"
+	"xplacer/internal/diag"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/um"
+)
+
+// Action is one advised cudaMemAdvise call.
+type Action struct {
+	Advice um.Advice
+	Device machine.Device
+}
+
+// Recommendation is the advised placement for one allocation.
+type Recommendation struct {
+	// Alloc is the allocation label; AllocID links to the allocation.
+	Alloc   string
+	AllocID int
+	// Actions are the advise calls to issue, in order.
+	Actions []Action
+	// Rationale explains the decision in the paper's terms.
+	Rationale string
+}
+
+func (r Recommendation) String() string {
+	s := r.Alloc + ":"
+	for _, a := range r.Actions {
+		s += fmt.Sprintf(" %s(%s)", a.Advice, a.Device)
+	}
+	return s + " — " + r.Rationale
+}
+
+// Options tunes the decision rules.
+type Options struct {
+	// WriteShareThresholdPct is the per-device write share (of touched
+	// words) below which an allocation still counts as "mostly read";
+	// the paper's SetReadMostly guidance is "mostly ... read from and only
+	// occasionally written". Default 10.
+	WriteShareThresholdPct int
+	// HardwareCoherent disables ReadMostly recommendations (the paper
+	// measured ReadMostly at 0.8x on the NVLink machine).
+	HardwareCoherent bool
+}
+
+// DefaultOptions returns the standard thresholds for a platform.
+func DefaultOptions(p *machine.Platform) Options {
+	return Options{WriteShareThresholdPct: 10, HardwareCoherent: p.HardwareCoherent}
+}
+
+// Recommend derives placement recommendations from a diagnostic report.
+// Only managed allocations with alternating accesses get recommendations;
+// everything else either needs no help or needs a code change (see the
+// findings' remedies).
+func Recommend(rep diag.Report, opt Options) []Recommendation {
+	if opt.WriteShareThresholdPct == 0 {
+		opt.WriteShareThresholdPct = 10
+	}
+	var out []Recommendation
+	for _, s := range rep.Allocs {
+		if s.Kind != memsim.Managed || s.Alternating == 0 || s.Freed {
+			continue
+		}
+		r := recommendOne(s, opt)
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// recommendOne applies the decision rules to one summary.
+func recommendOne(s diag.AllocSummary, opt Options) *Recommendation {
+	if s.TouchedWords == 0 {
+		return nil
+	}
+	writeShare := func(writes int) int {
+		return writes * 100 / s.TouchedWords
+	}
+	cpuW, gpuW := writeShare(s.WriteC), writeShare(s.WriteG)
+
+	// Mostly read on both sides, occasionally written: ReadMostly (unless
+	// the platform makes that a pessimization).
+	if cpuW <= opt.WriteShareThresholdPct && gpuW <= opt.WriteShareThresholdPct {
+		if opt.HardwareCoherent {
+			return &Recommendation{
+				Alloc:   s.Label,
+				AllocID: findAllocID(s),
+				Actions: []Action{
+					{Advice: um.AdviseSetAccessedBy, Device: machine.GPU},
+					{Advice: um.AdviseSetAccessedBy, Device: machine.CPU},
+				},
+				Rationale: "alternating accesses with few writes; on a hardware-coherent link ReadMostly costs more than it saves (paper: 0.8x), so keep both mappings instead",
+			}
+		}
+		return &Recommendation{
+			Alloc:     s.Label,
+			AllocID:   findAllocID(s),
+			Actions:   []Action{{Advice: um.AdviseSetReadMostly, Device: machine.CPU}},
+			Rationale: fmt.Sprintf("accessed by both processors, mostly read (CPU writes %d%%, GPU writes %d%% of touched words): read-duplicate instead of ping-ponging", cpuW, gpuW),
+		}
+	}
+
+	// One side dominates the writes: pin the page there and map the other
+	// side so it reads remotely instead of migrating.
+	writer, reader := machine.CPU, machine.GPU
+	if gpuW > cpuW {
+		writer, reader = machine.GPU, machine.CPU
+	}
+	return &Recommendation{
+		Alloc:   s.Label,
+		AllocID: findAllocID(s),
+		Actions: []Action{
+			{Advice: um.AdviseSetPreferredLocation, Device: writer},
+			{Advice: um.AdviseSetAccessedBy, Device: reader},
+		},
+		Rationale: fmt.Sprintf("alternating accesses dominated by %s writes: pin there, map the %s to avoid fault-driven migration", writer, reader),
+	}
+}
+
+// findAllocID is a placeholder for summaries that do not carry the id
+// (diag.AllocSummary has no AllocID field; label-based application covers
+// the common path).
+func findAllocID(diag.AllocSummary) int { return -1 }
+
+// Apply issues the advised calls on a live context by allocation label.
+// It returns the number of allocations advised.
+func Apply(ctx *cuda.Context, recs []Recommendation) (int, error) {
+	return applyByLabel(ctx, recs)
+}
+
+// ApplyByLabel issues the advised calls on a (possibly fresh) context,
+// matching allocations by label: the measure -> advise -> re-run loop.
+func ApplyByLabel(ctx *cuda.Context, recs []Recommendation) (int, error) {
+	return applyByLabel(ctx, recs)
+}
+
+func applyByLabel(ctx *cuda.Context, recs []Recommendation) (int, error) {
+	byLabel := map[string]*memsim.Alloc{}
+	for _, a := range ctx.Space().Live() {
+		byLabel[a.Label] = a
+	}
+	n := 0
+	for _, r := range recs {
+		a, ok := byLabel[r.Alloc]
+		if !ok {
+			continue
+		}
+		for _, act := range r.Actions {
+			if err := ctx.Advise(a, act.Advice, act.Device); err != nil {
+				return n, fmt.Errorf("advisor: %s: %w", r.Alloc, err)
+			}
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Render writes the recommendations as a human-readable plan.
+func Render(w io.Writer, recs []Recommendation) {
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "no placement recommendations (no alternating managed allocations)")
+		return
+	}
+	fmt.Fprintf(w, "%d placement recommendation(s):\n", len(recs))
+	for _, r := range recs {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+}

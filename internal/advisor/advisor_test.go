@@ -1,0 +1,217 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"xplacer/internal/core"
+	"xplacer/internal/cuda"
+	"xplacer/internal/diag"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/um"
+)
+
+// sharedWorkload is a small app with the LULESH sharing structure: a
+// pointer table of 30 slots written at setup and rarely updated by the
+// CPU, read whole by every kernel, plus a GPU-exclusive data array.
+func sharedWorkload(s *core.Session, timesteps int, resetAfterFirst bool) error {
+	ctx := s.Ctx
+	table, err := ctx.MallocManaged(512, "table")
+	if err != nil {
+		return err
+	}
+	data, err := ctx.MallocManaged(1<<14, "data")
+	if err != nil {
+		return err
+	}
+	tv := memsim.Uint64s(table)
+	dv := memsim.Float64s(data)
+	host := ctx.Host()
+	for slot := int64(0); slot < 30; slot++ {
+		tv.Store(host, slot, uint64(data.Base)+uint64(slot))
+	}
+	for step := 0; step < timesteps; step++ {
+		// The CPU occasionally updates one table slot...
+		tv.Store(host, 1, uint64(step))
+		// ...and the GPU reads the whole table and crunches the data.
+		ctx.LaunchSync("crunch", func(e *cuda.Exec) {
+			for slot := int64(0); slot < 30; slot++ {
+				_ = tv.Load(e, slot)
+			}
+			for i := int64(0); i < dv.Len(); i++ {
+				dv.Store(e, i, float64(i)+float64(step))
+			}
+		})
+		if resetAfterFirst && step == 0 && s.Tracer != nil {
+			// Discard the initialization interval so the analysis sees the
+			// steady state, like the paper's per-timestep diagnostics.
+			s.Tracer.Table().Reset()
+		}
+	}
+	return nil
+}
+
+func analyze(t *testing.T, plat *machine.Platform) (diag.Report, *core.Session) {
+	t.Helper()
+	s := core.MustSession(plat)
+	if err := sharedWorkload(s, 6, true); err != nil {
+		t.Fatal(err)
+	}
+	return s.Diagnostic(nil, "steady state"), s
+}
+
+func TestRecommendReadMostlyOnPCIe(t *testing.T) {
+	plat := machine.IntelPascal()
+	rep, _ := analyze(t, plat)
+	recs := Recommend(rep, DefaultOptions(plat))
+	if len(recs) != 1 {
+		t.Fatalf("recommendations = %v, want exactly one (the table)", recs)
+	}
+	r := recs[0]
+	if r.Alloc != "table" {
+		t.Errorf("advised %q, want table", r.Alloc)
+	}
+	if len(r.Actions) != 1 || r.Actions[0].Advice != um.AdviseSetReadMostly {
+		t.Errorf("actions = %v, want SetReadMostly", r.Actions)
+	}
+}
+
+func TestRecommendAvoidsReadMostlyOnCoherentLink(t *testing.T) {
+	plat := machine.IBMVolta()
+	rep, _ := analyze(t, plat)
+	recs := Recommend(rep, DefaultOptions(plat))
+	if len(recs) != 1 {
+		t.Fatalf("recommendations = %v", recs)
+	}
+	for _, a := range recs[0].Actions {
+		if a.Advice == um.AdviseSetReadMostly {
+			t.Errorf("ReadMostly recommended on the NVLink machine (paper: 0.8x there)")
+		}
+	}
+}
+
+func TestRecommendPreferredLocationForWriterDominated(t *testing.T) {
+	// An allocation the GPU writes every step and the CPU reads.
+	plat := machine.IntelPascal()
+	s := core.MustSession(plat)
+	ctx := s.Ctx
+	red, err := ctx.MallocManaged(64, "reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := memsim.Float64s(red)
+	host := ctx.Host()
+	for step := 0; step < 4; step++ {
+		ctx.LaunchSync("reduce", func(e *cuda.Exec) {
+			rv.Store(e, 0, float64(step))
+		})
+		_ = rv.Load(host, 0)
+	}
+	rep := s.Diagnostic(nil, "end")
+	recs := Recommend(rep, DefaultOptions(plat))
+	if len(recs) != 1 {
+		t.Fatalf("recs = %v", recs)
+	}
+	acts := recs[0].Actions
+	if len(acts) != 2 || acts[0].Advice != um.AdviseSetPreferredLocation || acts[0].Device != machine.GPU {
+		t.Errorf("actions = %v, want PreferredLocation(GPU)+AccessedBy(CPU)", acts)
+	}
+	if acts[1].Advice != um.AdviseSetAccessedBy || acts[1].Device != machine.CPU {
+		t.Errorf("second action = %v", acts[1])
+	}
+}
+
+func TestExclusiveAllocationsGetNoRecommendation(t *testing.T) {
+	plat := machine.IntelPascal()
+	rep, _ := analyze(t, plat)
+	recs := Recommend(rep, DefaultOptions(plat))
+	for _, r := range recs {
+		if r.Alloc == "data" {
+			t.Error("GPU-exclusive allocation advised")
+		}
+	}
+}
+
+func TestMeasureAdviseRerunLoop(t *testing.T) {
+	// The §III-D workflow: run instrumented, derive advice, re-run with
+	// the advice applied — the advised run must be faster.
+	plat := machine.IntelPascal()
+	rep, s1 := analyze(t, plat)
+	baseline := s1.SimTime()
+	recs := Recommend(rep, DefaultOptions(plat))
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+
+	// Fresh uninstrumented run: allocate, apply the advice by label, then
+	// execute the same steps.
+	s2, err := core.NewPlainSession(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := s2.Ctx
+	table, _ := ctx.MallocManaged(512, "table")
+	data, _ := ctx.MallocManaged(1<<14, "data")
+	if n, err := ApplyByLabel(ctx, recs); err != nil || n != 1 {
+		t.Fatalf("apply: n=%d err=%v", n, err)
+	}
+	tv := memsim.Uint64s(table)
+	dv := memsim.Float64s(data)
+	host := ctx.Host()
+	for slot := int64(0); slot < 30; slot++ {
+		tv.Store(host, slot, uint64(data.Base)+uint64(slot))
+	}
+	for step := 0; step < 6; step++ {
+		tv.Store(host, 1, uint64(step))
+		ctx.LaunchSync("crunch", func(e *cuda.Exec) {
+			for slot := int64(0); slot < 30; slot++ {
+				_ = tv.Load(e, slot)
+			}
+			for i := int64(0); i < dv.Len(); i++ {
+				dv.Store(e, i, float64(i)+float64(step))
+			}
+		})
+	}
+	advised := s2.SimTime()
+	if float64(baseline)/float64(advised) < 1.3 {
+		t.Errorf("advice did not help: baseline %v, advised %v", baseline, advised)
+	}
+}
+
+func TestApplyByLabelSkipsUnknown(t *testing.T) {
+	s := core.MustSession(machine.IntelPascal())
+	recs := []Recommendation{{Alloc: "ghost", Actions: []Action{{Advice: um.AdviseSetReadMostly}}}}
+	n, err := ApplyByLabel(s.Ctx, recs)
+	if err != nil || n != 0 {
+		t.Errorf("n=%d err=%v", n, err)
+	}
+}
+
+func TestApplyErrorsOnNonManaged(t *testing.T) {
+	s := core.MustSession(machine.IntelPascal())
+	if _, err := s.Ctx.Malloc(64, "dev"); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Recommendation{{Alloc: "dev", Actions: []Action{{Advice: um.AdviseSetReadMostly}}}}
+	if _, err := Apply(s.Ctx, recs); err == nil {
+		t.Error("advice on device memory should fail")
+	}
+}
+
+func TestRender(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, nil)
+	if !strings.Contains(sb.String(), "no placement recommendations") {
+		t.Error("empty render wrong")
+	}
+	sb.Reset()
+	Render(&sb, []Recommendation{{
+		Alloc:     "dom",
+		Actions:   []Action{{Advice: um.AdviseSetReadMostly, Device: machine.CPU}},
+		Rationale: "because",
+	}})
+	if !strings.Contains(sb.String(), "dom: SetReadMostly(CPU) — because") {
+		t.Errorf("render = %q", sb.String())
+	}
+}

@@ -1,0 +1,52 @@
+package advisor_test
+
+import (
+	"fmt"
+	"os"
+
+	"xplacer/internal/advisor"
+	"xplacer/internal/core"
+	"xplacer/internal/cuda"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+)
+
+// Example shows the measure -> advise loop: a pointer table the CPU
+// updates occasionally while GPU kernels read it whole is the LULESH
+// anti-pattern; the advisor recommends read-duplication for it on a PCIe
+// machine.
+func Example() {
+	plat := machine.IntelPascal()
+	s := core.MustSession(plat)
+	ctx := s.Ctx
+
+	table, _ := ctx.MallocManaged(512, "table")
+	tv := memsim.Uint64s(table)
+	host := ctx.Host()
+	for slot := int64(0); slot < 30; slot++ {
+		tv.Store(host, slot, uint64(slot))
+	}
+	for step := 0; step < 4; step++ {
+		tv.Store(host, 1, uint64(step)) // occasional CPU update
+		ctx.LaunchSync("kernel", func(e *cuda.Exec) {
+			for slot := int64(0); slot < 30; slot++ {
+				_ = tv.Load(e, slot)
+			}
+		})
+		if step == 0 && s.Tracer != nil {
+			s.Tracer.Table().Reset() // analyze the steady state
+		}
+	}
+
+	rep := s.Diagnostic(nil, "steady state")
+	recs := advisor.Recommend(rep, advisor.DefaultOptions(plat))
+	advisor.Render(os.Stdout, recs)
+
+	// Applying the plan to a live context takes one call:
+	n, err := advisor.ApplyByLabel(ctx, recs)
+	fmt.Printf("applied to %d allocation(s), err=%v\n", n, err)
+	// Output:
+	// 1 placement recommendation(s):
+	//   table: SetReadMostly(CPU) — accessed by both processors, mostly read (CPU writes 3%, GPU writes 0% of touched words): read-duplicate instead of ping-ponging
+	// applied to 1 allocation(s), err=<nil>
+}

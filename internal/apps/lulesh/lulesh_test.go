@@ -1,0 +1,240 @@
+package lulesh
+
+import (
+	"strings"
+	"testing"
+
+	"xplacer/internal/core"
+	"xplacer/internal/detect"
+	"xplacer/internal/machine"
+)
+
+func run(t *testing.T, plat *machine.Platform, cfg Config, instrument bool) (Result, *core.Session) {
+	t.Helper()
+	s, err := core.NewSessionConfig(plat, core.Config{Instrument: instrument})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, s
+}
+
+func TestDeterministicAcrossVariants(t *testing.T) {
+	// The placement strategy must not change the numerics: all five
+	// variants produce bit-identical origin energy.
+	var want float64
+	for i, v := range Variants() {
+		r, _ := run(t, machine.IntelPascal(), Config{Size: 4, Timesteps: 8, Variant: v}, false)
+		if i == 0 {
+			want = r.FinalOriginEnergy
+			if want == 0 {
+				t.Fatal("origin energy is zero; the Sedov deposit vanished")
+			}
+			continue
+		}
+		if r.FinalOriginEnergy != want {
+			t.Errorf("%v: energy %g != baseline %g", v, r.FinalOriginEnergy, want)
+		}
+	}
+}
+
+func TestDeterministicAcrossPlatforms(t *testing.T) {
+	var want float64
+	for i, p := range machine.Platforms() {
+		r, _ := run(t, p, Config{Size: 4, Timesteps: 6, Variant: Baseline}, false)
+		if i == 0 {
+			want = r.FinalOriginEnergy
+			continue
+		}
+		if r.FinalOriginEnergy != want {
+			t.Errorf("%s: energy %g != %g", p.Name, r.FinalOriginEnergy, want)
+		}
+	}
+}
+
+func TestInstrumentationDoesNotChangeResults(t *testing.T) {
+	plain, _ := run(t, machine.IntelPascal(), Config{Size: 4, Timesteps: 6}, false)
+	traced, _ := run(t, machine.IntelPascal(), Config{Size: 4, Timesteps: 6}, true)
+	if plain.FinalOriginEnergy != traced.FinalOriginEnergy {
+		t.Error("tracer changed the computation")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := core.MustSession(machine.IntelPascal())
+	if _, err := Run(s, Config{Size: 1, Timesteps: 4}); err == nil {
+		t.Error("size 1 accepted")
+	}
+	if _, err := Run(s, Config{Size: 4, Timesteps: 0}); err == nil {
+		t.Error("zero timesteps accepted")
+	}
+}
+
+func TestAllocationCount(t *testing.T) {
+	// §III-D: "in total 50 allocations in unified space" reachable from
+	// the domain object. Our domain + arrays land in the same ballpark.
+	_, s := run(t, machine.IntelPascal(), Config{Size: 4, Timesteps: 1}, true)
+	live := s.Ctx.Space().Live()
+	if len(live) < 45 || len(live) > 55 {
+		t.Errorf("live allocations = %d, want ~50", len(live))
+	}
+}
+
+func TestFig4DomDiagnosticShape(t *testing.T) {
+	// After a mid-run timestep, the domain object shows CPU writes, both-
+	// device activity (alternating accesses), and low access density,
+	// while a GPU-only array like m_p shows GPU writes at 100% density
+	// with no alternating accesses (paper Fig. 4).
+	plat := machine.IntelPascal()
+	s := core.MustSession(plat)
+	if _, err := Run(s, Config{Size: 8, Timesteps: 2, Variant: Baseline, DiagEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reports := s.Reports()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	second := reports[1]
+
+	dom := second.Find("dom")
+	if dom == nil {
+		t.Fatal("no dom summary")
+	}
+	if dom.WriteC == 0 {
+		t.Error("dom: no CPU writes (temp-pointer updates missing)")
+	}
+	if dom.Alternating == 0 {
+		t.Error("dom: no alternating accesses")
+	}
+	if dom.DensityPct > 50 {
+		t.Errorf("dom density %d%%, want low (paper: 9%%)", dom.DensityPct)
+	}
+
+	mp := second.Find("(dom)->m_p")
+	if mp == nil {
+		t.Fatal("no m_p summary")
+	}
+	if mp.WriteG != 8*8*8*2 { // float64 elements = 2 shadow words each
+		t.Errorf("m_p GPU-written words = %d, want %d", mp.WriteG, 8*8*8*2)
+	}
+	if mp.WriteC != 0 {
+		t.Errorf("m_p has %d CPU writes in a steady-state timestep", mp.WriteC)
+	}
+	if mp.DensityPct != 100 {
+		t.Errorf("m_p density = %d%%, want 100%%", mp.DensityPct)
+	}
+	if mp.Alternating != 0 {
+		t.Errorf("m_p alternating = %d, want 0", mp.Alternating)
+	}
+
+	// The anti-pattern detector flags the domain object.
+	foundAlt := false
+	for _, f := range second.Findings {
+		if f.Kind == detect.AlternatingAccess && f.Alloc == "dom" {
+			foundAlt = true
+		}
+	}
+	if !foundAlt {
+		t.Error("no alternating-access finding on dom")
+	}
+}
+
+func TestTempAllocationsAppearFreed(t *testing.T) {
+	var b strings.Builder
+	s := core.MustSession(machine.IntelPascal())
+	if _, err := Run(s, Config{Size: 4, Timesteps: 1, DiagEvery: 1, DiagOut: &b}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "temp_hourglass") || !strings.Contains(out, "[freed]") {
+		t.Error("temporary buffers not shown as freed in the diagnostic")
+	}
+}
+
+func TestBaselinePingPongsOnIntel(t *testing.T) {
+	// The domain object's page must migrate back and forth every timestep
+	// in the baseline on a PCIe machine.
+	_, s := run(t, machine.IntelPascal(), Config{Size: 4, Timesteps: 8, Variant: Baseline}, false)
+	st := s.UMStats()
+	if st.MigrationsD2H < 8 {
+		t.Errorf("baseline D2H migrations = %d, want at least one per timestep", st.MigrationsD2H)
+	}
+}
+
+func TestRemediesEliminateDomainFaultsOnIntel(t *testing.T) {
+	domStats := func(v Variant) int64 {
+		s := core.MustSession(machine.IntelPascal())
+		s.Tracer = nil
+		s.Ctx.SetTracer(nil)
+		if _, err := Run(s, Config{Size: 4, Timesteps: 8, Variant: v}); err != nil {
+			t.Fatal(err)
+		}
+		// Find the dom allocation and its per-allocation stats.
+		for _, a := range s.Ctx.Space().Live() {
+			if a.Label == "dom" {
+				st := s.Ctx.Driver().AllocStats(a)
+				return st.Migrations()
+			}
+		}
+		t.Fatal("dom not found")
+		return 0
+	}
+	base := domStats(Baseline)
+	if base < 8 {
+		t.Fatalf("baseline dom migrations = %d, want many", base)
+	}
+	for _, v := range []Variant{PreferredLocation, AccessedBy, DupDomain} {
+		if m := domStats(v); m > base/4 {
+			t.Errorf("%v: dom migrations %d not clearly below baseline %d", v, m, base)
+		}
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	for _, v := range Variants() {
+		got, err := VariantByName(v.String())
+		if err != nil || got != v {
+			t.Errorf("roundtrip of %v failed: %v, %v", v, got, err)
+		}
+	}
+	if _, err := VariantByName("nope"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestCornerNode(t *testing.T) {
+	n := 3
+	if cornerNode(0, 0, n) != 0 {
+		t.Error("corner 0 of element 0 should be node 0")
+	}
+	if cornerNode(0, 7, n) != 1+(n+1)+(n+1)*(n+1) {
+		t.Errorf("corner 7 of element 0 = %d", cornerNode(0, 7, n))
+	}
+	// Last element's last corner is the last node.
+	last := n*n*n - 1
+	if cornerNode(last, 7, n) != (n+1)*(n+1)*(n+1)-1 {
+		t.Errorf("last corner = %d", cornerNode(last, 7, n))
+	}
+}
+
+// Fig. 6 shape assertions live in the benchmark harness tests
+// (xplacer/internal/bench); here we sanity-check the key contrast cheaply.
+func TestReadMostlySpeedsUpIntelNotIBM(t *testing.T) {
+	simTime := func(p *machine.Platform, v Variant) machine.Duration {
+		_, s := run(t, p, Config{Size: 6, Timesteps: 10, Variant: v}, false)
+		return s.SimTime()
+	}
+	intelBase := simTime(machine.IntelPascal(), Baseline)
+	intelRM := simTime(machine.IntelPascal(), ReadMostly)
+	if float64(intelBase)/float64(intelRM) < 1.5 {
+		t.Errorf("Intel ReadMostly speedup %.2f, want > 1.5", float64(intelBase)/float64(intelRM))
+	}
+	ibmBase := simTime(machine.IBMVolta(), Baseline)
+	ibmRM := simTime(machine.IBMVolta(), ReadMostly)
+	if ratio := float64(ibmBase) / float64(ibmRM); ratio > 1.0 {
+		t.Errorf("IBM ReadMostly speedup %.2f, want <= 1.0 (paper: 0.8)", ratio)
+	}
+}

@@ -1,0 +1,335 @@
+package lulesh
+
+import (
+	"math"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/raja"
+)
+
+// hostReadsDom models the RAJA host code reading Domain fields while
+// preparing a kernel group (pointer capture, loop bounds). Under DupDomain
+// it touches the CPU's private copy; otherwise it touches the shared
+// Domain object — the CPU half of the alternating-access anti-pattern.
+func (sm *sim) hostReadsDom(fields ...int) {
+	host := sm.ctx.Host()
+	for _, f := range fields {
+		sm.domHost.Load(host, int64(f))
+	}
+}
+
+// captureDom returns a kernel-scope capture that dereferences the listed
+// Domain fields — the RAJA lambdas capture the domain by reference and
+// every kernel reads the array pointers it uses once. This is the GPU half
+// of the anti-pattern.
+func (sm *sim) captureDom(fields ...int) func(acc memsim.Accessor) {
+	return func(acc memsim.Accessor) {
+		for _, f := range fields {
+			sm.dom.Load(acc, int64(f))
+		}
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+// Per-element arithmetic costs of the kernels (the lambda bodies do far
+// more math than their traced memory traffic; values approximate the real
+// LULESH flop weights).
+const (
+	wLight  = 20 * machine.Nanosecond
+	wNode   = 30 * machine.Nanosecond
+	wMedium = 50 * machine.Nanosecond
+	wKin    = 60 * machine.Nanosecond
+	wGrad   = 150 * machine.Nanosecond
+	wHeavy  = 250 * machine.Nanosecond
+	wStress = 300 * machine.Nanosecond
+)
+
+// timestep advances the Lagrange leapfrog by one step: the same kernel
+// structure as LULESH 2 (stress, hourglass with temporary storage,
+// acceleration/velocity/position, kinematics with temporary storage,
+// artificial viscosity, equation of state, volume update, time
+// constraints), with simplified but deterministic element math. Kernels
+// are expressed as RAJA-style foralls under the CUDA execution policy,
+// like the original application.
+func (sm *sim) timestep() error {
+	ctx := sm.ctx
+	host := ctx.Host()
+	ar := sm.areas
+	ne, nn := int64(sm.ne), int64(sm.nn)
+	dt := sm.dt
+	forall := func(name string, n int64, perElem machine.Duration, capture func(memsim.Accessor), body raja.Body) {
+		raja.ForAllCapture(ctx, raja.CUDA, name, n, perElem, capture, body)
+	}
+
+	// --- Group 1: stress integration -----------------------------------
+	sm.hostReadsDom(fP, fQ, fSigXX, fSigYY, fSigZZ)
+	forall("InitStressTermsForElems", ne, wLight,
+		sm.captureDom(fP, fQ, fSigXX, fSigYY, fSigZZ),
+		func(acc memsim.Accessor, i int64) {
+			s := -ar.p.Load(acc, i) - ar.q.Load(acc, i)
+			ar.sigxx.Store(acc, i, s)
+			ar.sigyy.Store(acc, i, s)
+			ar.sigzz.Store(acc, i, s)
+		})
+	// The RAJA host code touches Domain fields while setting up every
+	// kernel launch; before the heavyweight stress integration this is
+	// another CPU access to the shared Domain page.
+	sm.hostReadsDom(fNodelist, fX, fY, fZ, fElemMass)
+	forall("IntegrateStressForElems", ne, wStress,
+		sm.captureDom(fNodelist, fX, fY, fZ, fFX, fFY, fFZ, fSigXX, fSigYY, fSigZZ, fElemMass),
+		func(acc memsim.Accessor, i int64) {
+			// Gather the hexahedron's eight corner nodes and coordinates,
+			// like CollectDomainNodesToElemNodes in the original.
+			var corner [8]int64
+			var cx, cy, cz [8]float64
+			for c := 0; c < 8; c++ {
+				corner[c] = int64(ar.nodelist.Load(acc, i*8+int64(c)))
+				cx[c] = ar.x.Load(acc, corner[c])
+				cy[c] = ar.y.Load(acc, corner[c])
+				cz[c] = ar.z.Load(acc, corner[c])
+			}
+			// Characteristic face areas from the element diagonals.
+			area := (math.Abs(cx[7]-cx[0]) + math.Abs(cx[6]-cx[1])) / 2 *
+				((math.Abs(cy[7]-cy[0]) + math.Abs(cy[5]-cy[2])) / 2)
+			depth := (math.Abs(cz[7]-cz[0]) + math.Abs(cz[3]-cz[4])) / 2
+			_ = depth
+			m := ar.elemMass.Load(acc, i)
+			// Each corner node receives one eighth of the element's stress
+			// contribution (SumElemStressesToNodeForces).
+			fxv := ar.sigxx.Load(acc, i) * area * m / 8
+			fyv := ar.sigyy.Load(acc, i) * area * m / 8
+			fzv := ar.sigzz.Load(acc, i) * area * m / 8
+			for c := 0; c < 8; c++ {
+				n := corner[c]
+				ar.fx.Update(acc, n, func(v float64) float64 { return v + fxv })
+				ar.fy.Update(acc, n, func(v float64) float64 { return v + fyv })
+				ar.fz.Update(acc, n, func(v float64) float64 { return v + fzv })
+			}
+		})
+
+	// --- Group 2: hourglass control (first temporary buffer) -----------
+	// The CPU allocates unified memory, publishes it through the Domain
+	// object, launches the kernels, and frees it again — the pattern that
+	// page-faults on x86 (§II-C, §III-D).
+	tempHG, err := ctx.MallocManaged(ne*8, "temp_hourglass")
+	if err != nil {
+		return err
+	}
+	hg := memsim.Float64s(tempHG)
+	if sm.cfg.Variant != DupDomain {
+		sm.dom.Store(host, fTempHG, uint64(tempHG.Base))
+	}
+	forall("CalcHourglassControlForElems", ne, wLight,
+		sm.captureDom(fVolo, fV, fTempHG),
+		func(acc memsim.Accessor, i int64) {
+			ar.dxx.Store(acc, i, ar.volo.Load(acc, i)*ar.v.Load(acc, i))
+			hg.Store(acc, i, ar.volo.Load(acc, i)*(1-ar.v.Load(acc, i)))
+		})
+	sm.hostReadsDom(fXD, fYD, fZD, fFX, fFY, fFZ)
+	forall("CalcFBHourglassForceForElems", ne, wHeavy,
+		sm.captureDom(fTempHG, fNodelist, fXD, fYD, fZD, fFX, fFY, fFZ),
+		func(acc memsim.Accessor, i int64) {
+			c0 := int64(ar.nodelist.Load(acc, i*8))
+			damp := hg.Load(acc, i) * 1e-4
+			xd := ar.xd.Load(acc, c0)
+			yd := ar.yd.Load(acc, c0)
+			zd := ar.zd.Load(acc, c0)
+			ar.fx.Update(acc, c0, func(v float64) float64 { return v - damp*xd })
+			ar.fy.Update(acc, c0, func(v float64) float64 { return v - damp*yd })
+			ar.fz.Update(acc, c0, func(v float64) float64 { return v - damp*zd })
+		})
+	// The stale pointer stays in the Domain (as in the original code);
+	// only the allocation is released.
+	if err := ctx.Free(tempHG); err != nil {
+		return err
+	}
+
+	// --- Group 3: acceleration, boundary conditions, velocity, position -
+	sm.hostReadsDom(fFX, fFY, fFZ, fNodalMass, fXDD, fYDD, fZDD, fSymm)
+	forall("CalcAccelerationForNodes", nn, wNode,
+		sm.captureDom(fFX, fFY, fFZ, fNodalMass, fXDD, fYDD, fZDD),
+		func(acc memsim.Accessor, i int64) {
+			m := ar.nodalMass.Load(acc, i)
+			ar.xdd.Store(acc, i, ar.fx.Load(acc, i)/m)
+			ar.ydd.Store(acc, i, ar.fy.Load(acc, i)/m)
+			ar.zdd.Store(acc, i, ar.fz.Load(acc, i)/m)
+			// Forces are zeroed for the next step's accumulation.
+			ar.fx.Store(acc, i, 0)
+			ar.fy.Store(acc, i, 0)
+			ar.fz.Store(acc, i, 0)
+		})
+	forall("ApplyAccelerationBoundaryConditionsForNodes", ar.symm.Len(), 0,
+		sm.captureDom(fSymm, fXDD),
+		func(acc memsim.Accessor, b int64) {
+			node := int64(ar.symm.Load(acc, b))
+			ar.xdd.Store(acc, node, 0)
+		})
+	forall("CalcVelocityForNodes", nn, wNode,
+		sm.captureDom(fXD, fYD, fZD, fXDD, fYDD, fZDD),
+		func(acc memsim.Accessor, i int64) {
+			xdd, ydd, zdd := ar.xdd.Load(acc, i), ar.ydd.Load(acc, i), ar.zdd.Load(acc, i)
+			ar.xd.Update(acc, i, func(v float64) float64 { return v + xdd*dt })
+			ar.yd.Update(acc, i, func(v float64) float64 { return v + ydd*dt })
+			ar.zd.Update(acc, i, func(v float64) float64 { return v + zdd*dt })
+		})
+	forall("CalcPositionForNodes", nn, wNode,
+		sm.captureDom(fX, fY, fZ, fXD, fYD, fZD),
+		func(acc memsim.Accessor, i int64) {
+			xd, yd, zd := ar.xd.Load(acc, i), ar.yd.Load(acc, i), ar.zd.Load(acc, i)
+			ar.x.Update(acc, i, func(v float64) float64 { return v + xd*dt })
+			ar.y.Update(acc, i, func(v float64) float64 { return v + yd*dt })
+			ar.z.Update(acc, i, func(v float64) float64 { return v + zd*dt })
+		})
+
+	// --- Group 4: kinematics (second temporary buffer) ------------------
+	tempKin, err := ctx.MallocManaged(ne*8, "temp_kinematics")
+	if err != nil {
+		return err
+	}
+	kin := memsim.Float64s(tempKin)
+	if sm.cfg.Variant != DupDomain {
+		sm.dom.Store(host, fTempKin, uint64(tempKin.Base))
+	}
+	sm.hostReadsDom(fX, fVnew, fDelv, fArealg)
+	forall("CalcKinematicsForElems", ne, wKin,
+		sm.captureDom(fNodelist, fX, fV, fVnew, fDelv, fArealg, fTempKin),
+		func(acc memsim.Accessor, i int64) {
+			// Element volume from the eight corner positions (the shape of
+			// CalcElemVolume: triple products over the corner diagonals,
+			// reduced to the axis-aligned mesh we initialize).
+			var corner [8]int64
+			var cx [8]float64
+			for c := 0; c < 8; c++ {
+				corner[c] = int64(ar.nodelist.Load(acc, i*8+int64(c)))
+				cx[c] = ar.x.Load(acc, corner[c])
+			}
+			dx := (cx[1] - cx[0]) + (cx[3] - cx[2]) + (cx[5] - cx[4]) + (cx[7] - cx[6])
+			dx /= 4
+			delv := clamp(dx*1e-3, -1e-3, 1e-3)
+			vn := clamp(ar.v.Load(acc, i)*(1+delv*dt), 0.5, 1.5)
+			ar.vnew.Store(acc, i, vn)
+			ar.delv.Store(acc, i, delv)
+			ar.arealg.Store(acc, i, math.Abs(dx)+1e-12)
+			kin.Store(acc, i, delv)
+		})
+	forall("CalcLagrangeElements", ne, wHeavy,
+		sm.captureDom(fTempKin, fVdov, fDXX, fDYY, fDZZ),
+		func(acc memsim.Accessor, i int64) {
+			d := kin.Load(acc, i)
+			ar.vdov.Store(acc, i, d)
+			ar.dyy.Store(acc, i, d/3)
+			ar.dzz.Store(acc, i, d/3)
+		})
+	if err := ctx.Free(tempKin); err != nil {
+		return err
+	}
+
+	// --- Group 5: artificial viscosity ----------------------------------
+	sm.hostReadsDom(fDelvXi, fDelvEta, fDelvZeta, fQ, fQL, fQQ)
+	forall("CalcMonotonicQGradientsForElems", ne, wGrad,
+		sm.captureDom(fNodelist, fX, fXD, fVnew, fDelvXi, fDelvEta, fDelvZeta, fDelxXi, fDelxEta, fDelxZeta),
+		func(acc memsim.Accessor, i int64) {
+			c0 := int64(ar.nodelist.Load(acc, i*8))
+			g := ar.xd.Load(acc, c0) / (ar.vnew.Load(acc, i) + 1e-12)
+			ar.delvXi.Store(acc, i, g)
+			ar.delvEta.Store(acc, i, g/2)
+			ar.delvZeta.Store(acc, i, g/4)
+			ar.delxXi.Store(acc, i, ar.x.Load(acc, c0))
+			ar.delxEta.Store(acc, i, ar.x.Load(acc, c0)/2)
+			ar.delxZeta.Store(acc, i, ar.x.Load(acc, c0)/4)
+		})
+	forall("CalcMonotonicQRegionForElems", ne, wKin,
+		sm.captureDom(fDelvXi, fDelvEta, fDelvZeta, fQ, fQL, fQQ),
+		func(acc memsim.Accessor, i int64) {
+			g := ar.delvXi.Load(acc, i) + ar.delvEta.Load(acc, i) + ar.delvZeta.Load(acc, i)
+			ql := clamp(math.Abs(g)*1e-6, 0, 1e3)
+			ar.ql.Store(acc, i, ql)
+			ar.qq.Store(acc, i, ql*ql)
+			ar.q.Store(acc, i, ql+ql*ql)
+		})
+
+	// --- Group 6: equation of state (several sub-kernels, like the EOS
+	// loop in LULESH's EvalEOSForElems) ----------------------------------
+	sm.hostReadsDom(fE, fP, fQ, fCompression, fEOld, fPOld, fQOld, fWork)
+	forall("EvalEOS_CopyState", ne, wMedium,
+		sm.captureDom(fE, fP, fQ, fVnew, fCompression, fEOld, fPOld, fQOld, fWork),
+		func(acc memsim.Accessor, i int64) {
+			ar.eOld.Store(acc, i, ar.e.Load(acc, i))
+			ar.pOld.Store(acc, i, ar.p.Load(acc, i))
+			ar.qOld.Store(acc, i, ar.q.Load(acc, i))
+			ar.compression.Store(acc, i, 1/ar.vnew.Load(acc, i)-1)
+			ar.work.Store(acc, i, 0)
+		})
+	forall("CalcEnergyForElems_1", ne, wMedium,
+		sm.captureDom(fE, fEOld, fPOld, fQOld, fDelv, fWork),
+		func(acc memsim.Accessor, i int64) {
+			de := -0.5 * ar.delv.Load(acc, i) * (ar.pOld.Load(acc, i) + ar.qOld.Load(acc, i))
+			ar.e.Store(acc, i, ar.eOld.Load(acc, i)+de+ar.work.Load(acc, i))
+		})
+	forall("CalcEnergyForElems_2", ne, wMedium,
+		sm.captureDom(fE, fQL, fQQ),
+		func(acc memsim.Accessor, i int64) {
+			corr := clamp(ar.ql.Load(acc, i)+ar.qq.Load(acc, i), 0, 1e3) * 1e-9
+			ar.e.Update(acc, i, func(v float64) float64 {
+				if v < 0 {
+					return 0
+				}
+				return v * (1 - corr)
+			})
+		})
+	forall("CalcPressureForElems", ne, wMedium,
+		sm.captureDom(fP, fE, fCompression, fVnew),
+		func(acc memsim.Accessor, i int64) {
+			ar.p.Store(acc, i, clamp(2.0/3.0*ar.e.Load(acc, i)/ar.vnew.Load(acc, i), 0, 1e12))
+		})
+	forall("CalcSoundSpeedForElems", ne, wMedium,
+		sm.captureDom(fSS, fP, fE, fVnew),
+		func(acc memsim.Accessor, i int64) {
+			ar.ss.Store(acc, i, math.Sqrt(math.Abs(ar.p.Load(acc, i))*ar.vnew.Load(acc, i)+1e-12))
+		})
+
+	// --- Group 7: volume update ------------------------------------------
+	sm.hostReadsDom(fV, fVnew)
+	forall("UpdateVolumesForElems", ne, wLight,
+		sm.captureDom(fV, fVnew),
+		func(acc memsim.Accessor, i int64) {
+			ar.v.Store(acc, i, ar.vnew.Load(acc, i))
+		})
+
+	// --- Group 8: time constraints (RAJA-style min reductions the host
+	// reads back after the kernel) ----------------------------------------
+	sm.hostReadsDom(fSS, fVdov, fArealg, fDtRed)
+	raja.ForAllCapture(ctx, raja.CUDA, "CalcTimeConstraintsForElems", ne, wNode,
+		func(acc memsim.Accessor) {
+			sm.captureDom(fSS, fVdov, fArealg, fDtRed)(acc)
+			// The reductions reinitialize in kernel scope, so their slots
+			// never migrate back to the host between timesteps.
+			sm.redCourant.Set(acc, math.MaxFloat64)
+			sm.redHydro.Set(acc, math.MaxFloat64)
+		},
+		func(acc memsim.Accessor, i int64) {
+			sm.redCourant.Min(acc, ar.arealg.Load(acc, i)/(ar.ss.Load(acc, i)+1e-12))
+			if v := ar.vdov.Load(acc, i); v != 0 {
+				sm.redHydro.Min(acc, 0.1/math.Abs(v))
+			}
+		})
+	// The host fetches the reduction results with explicit copies, as the
+	// RAJA reduction objects do, so the readback costs the same in every
+	// placement variant.
+	courant := sm.redCourant.Get()
+	hydro := sm.redHydro.Get()
+	next := math.Min(courant, hydro) * 1e-9
+	sm.dt = clamp(next, 1e-9, 1e-6)
+	return nil
+}

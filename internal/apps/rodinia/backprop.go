@@ -1,0 +1,219 @@
+package rodinia
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xplacer/internal/core"
+	"xplacer/internal/cuda"
+	"xplacer/internal/memsim"
+)
+
+// Backprop trains one layer of a neural network on the GPU. The paper's
+// Table II reports two inefficiencies in the Rodinia original, both
+// reproduced here by the baseline:
+//
+//   - output_hidden_cuda is allocated but never used, and
+//   - input_cuda is copied host-to-device and back although the GPU never
+//     modifies it.
+//
+// The optimized variant (Optimize=true) removes both.
+type BackpropConfig struct {
+	// In is the input-layer width; Hidden the hidden-layer width.
+	In, Hidden int
+	// Optimize removes the unused allocation and the round-trip copy.
+	Optimize bool
+	// Seed makes weights and inputs reproducible.
+	Seed int64
+}
+
+// BackpropResult carries checkable outputs.
+type BackpropResult struct {
+	// HiddenSum is the sum of the hidden-layer activations before the
+	// squashing function (deterministic checksum).
+	HiddenSum float64
+	// WeightSum is the checksum of the adjusted weights.
+	WeightSum float64
+}
+
+func float32sToBytes(xs []float32) []byte {
+	b := make([]byte, len(xs)*4)
+	for i, x := range xs {
+		u := math.Float32bits(x)
+		b[i*4+0] = byte(u)
+		b[i*4+1] = byte(u >> 8)
+		b[i*4+2] = byte(u >> 16)
+		b[i*4+3] = byte(u >> 24)
+	}
+	return b
+}
+
+func bytesToFloat32s(b []byte) []float32 {
+	xs := make([]float32, len(b)/4)
+	for i := range xs {
+		u := uint32(b[i*4]) | uint32(b[i*4+1])<<8 | uint32(b[i*4+2])<<16 | uint32(b[i*4+3])<<24
+		xs[i] = math.Float32frombits(u)
+	}
+	return xs
+}
+
+// backpropInputs builds deterministic inputs/weights like the Rodinia
+// loader (values in [0,1)).
+func backpropInputs(in, hid int, seed int64) (input []float32, weights []float32, delta []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	input = make([]float32, in+1)
+	input[0] = 1 // bias unit
+	for i := 1; i <= in; i++ {
+		input[i] = rng.Float32()
+	}
+	weights = make([]float32, (in+1)*(hid+1))
+	for i := range weights {
+		weights[i] = rng.Float32()
+	}
+	delta = make([]float32, hid+1)
+	for i := range delta {
+		delta[i] = rng.Float32() * 0.1
+	}
+	return
+}
+
+// BackpropReference computes the expected hidden sums and adjusted weight
+// checksum in plain Go.
+func BackpropReference(cfg BackpropConfig) BackpropResult {
+	input, weights, delta := backpropInputs(cfg.In, cfg.Hidden, cfg.Seed)
+	var hiddenSum float64
+	for j := 1; j <= cfg.Hidden; j++ {
+		var s float64
+		for i := 0; i <= cfg.In; i++ {
+			s += float64(weights[i*(cfg.Hidden+1)+j]) * float64(input[i])
+		}
+		hiddenSum += s
+	}
+	var weightSum float64
+	const eta, momentum = 0.3, 0.3
+	for i := 0; i <= cfg.In; i++ {
+		for j := 1; j <= cfg.Hidden; j++ {
+			w := weights[i*(cfg.Hidden+1)+j] + eta*delta[j]*input[i]
+			weightSum += float64(w)
+		}
+	}
+	return BackpropResult{HiddenSum: hiddenSum, WeightSum: weightSum}
+}
+
+// RunBackprop executes the benchmark on the session's simulated machine.
+func RunBackprop(s *core.Session, cfg BackpropConfig) (BackpropResult, error) {
+	if cfg.In <= 0 || cfg.Hidden <= 0 {
+		return BackpropResult{}, fmt.Errorf("rodinia: bad backprop config %+v", cfg)
+	}
+	ctx := s.Ctx
+	in, hid := cfg.In, cfg.Hidden
+	input, weights, delta := backpropInputs(in, hid, cfg.Seed)
+
+	inputCuda, err := ctx.Malloc(int64(in+1)*4, "input_cuda")
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	weightsCuda, err := ctx.Malloc(int64((in+1)*(hid+1))*4, "input_hidden_cuda")
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	partialCuda, err := ctx.Malloc(int64(hid)*8, "hidden_partial_sum")
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	deltaCuda, err := ctx.Malloc(int64(hid+1)*4, "hidden_delta_cuda")
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	prevWeightsCuda, err := ctx.Malloc(int64((in+1)*(hid+1))*4, "input_prev_weights_cuda")
+	if err != nil {
+		return BackpropResult{}, err
+	}
+	if !cfg.Optimize {
+		// Table II: "An array output_hidden_cuda is allocated but never
+		// used."
+		if _, err := ctx.Malloc(int64(hid+1)*4, "output_hidden_cuda"); err != nil {
+			return BackpropResult{}, err
+		}
+	}
+
+	ctx.MemcpyH2D(inputCuda, 0, float32sToBytes(input))
+	ctx.MemcpyH2D(weightsCuda, 0, float32sToBytes(weights))
+	ctx.MemcpyH2D(deltaCuda, 0, float32sToBytes(delta))
+	ctx.MemcpyH2D(prevWeightsCuda, 0, make([]byte, (in+1)*(hid+1)*4))
+
+	iv := floatView{memsim.Int32s(inputCuda)}
+	wv := floatView{memsim.Int32s(weightsCuda)}
+	dv := floatView{memsim.Int32s(deltaCuda)}
+	pv := floatView{memsim.Int32s(prevWeightsCuda)}
+	partial := memsim.Float64s(partialCuda)
+
+	// layerforward: partial[j-1] = sum_i weights[i][j] * input[i].
+	ctx.LaunchSync("bpnn_layerforward", func(e *cuda.Exec) {
+		for j := 1; j <= hid; j++ {
+			var sum float64
+			for i := 0; i <= in; i++ {
+				sum += float64(wv.load(e, int64(i*(hid+1)+j))) * float64(iv.load(e, int64(i)))
+			}
+			partial.Store(e, int64(j-1), sum)
+		}
+	})
+
+	// The hidden sums come back for the CPU's squashing step.
+	sums := make([]byte, hid*8)
+	ctx.MemcpyD2H(sums, partialCuda, 0)
+	var hiddenSum float64
+	for j := 0; j < hid; j++ {
+		u := uint64(0)
+		for k := 7; k >= 0; k-- {
+			u = u<<8 | uint64(sums[j*8+k])
+		}
+		hiddenSum += math.Float64frombits(u)
+	}
+
+	if !cfg.Optimize {
+		// Table II: input_cuda "is copied from CPU to GPU and then back to
+		// CPU, although it is not modified by the GPU."
+		back := make([]byte, (in+1)*4)
+		ctx.MemcpyD2H(back, inputCuda, 0)
+	}
+
+	// adjust_weights: w += eta*delta[j]*input[i] + momentum*prev (prev = 0
+	// on the first epoch, matching the reference).
+	const eta, momentum = 0.3, 0.3
+	ctx.LaunchSync("bpnn_adjust_weights", func(e *cuda.Exec) {
+		for i := 0; i <= in; i++ {
+			for j := 1; j <= hid; j++ {
+				idx := int64(i*(hid+1) + j)
+				dw := eta*dv.load(e, int64(j))*iv.load(e, int64(i)) + momentum*pv.load(e, idx)
+				wv.store(e, idx, wv.load(e, idx)+dw)
+				pv.store(e, idx, dw)
+			}
+		}
+	})
+
+	// Adjusted weights come back to the host.
+	wOut := make([]byte, (in+1)*(hid+1)*4)
+	ctx.MemcpyD2H(wOut, weightsCuda, 0)
+	var weightSum float64
+	for i := 0; i <= in; i++ {
+		for j := 1; j <= hid; j++ {
+			weightSum += float64(bytesToFloat32s(wOut[(i*(hid+1)+j)*4 : (i*(hid+1)+j)*4+4])[0])
+		}
+	}
+	return BackpropResult{HiddenSum: hiddenSum, WeightSum: weightSum}, nil
+}
+
+// floatView adapts an Int32View to float32 payloads (CUDA float arrays).
+type floatView struct{ v memsim.Int32View }
+
+func (f floatView) load(e memsim.Accessor, i int64) float32 {
+	return math.Float32frombits(uint32(f.v.Load(e, i)))
+}
+
+func (f floatView) store(e memsim.Accessor, i int64, x float32) {
+	f.v.Store(e, i, int32(math.Float32bits(x)))
+}
+
+func (f floatView) len() int64 { return f.v.Len() }

@@ -1,0 +1,144 @@
+package rodinia
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xplacer/internal/core"
+	"xplacer/internal/cuda"
+	"xplacer/internal/memsim"
+)
+
+// CFD is a reduced Euler solver in the style of Rodinia's cfd benchmark:
+// per-cell conserved variables (density, momentum, energy) advanced by
+// flux exchanges with a fixed set of neighbor cells over several
+// pseudo-time iterations. The paper found "no possible improvements
+// identified" (Table II): every array is fully populated, fully consumed,
+// and genuinely needed on the GPU.
+type CFDConfig struct {
+	// Cells is the number of control volumes; Neighbors per cell.
+	Cells, Neighbors int
+	// Iterations is the number of pseudo-time steps.
+	Iterations int
+	// Seed makes the mesh reproducible.
+	Seed int64
+}
+
+// CFDResult carries a checksum of the final state.
+type CFDResult struct {
+	// DensitySum is the (discretely conserved) total density.
+	DensitySum float64
+}
+
+// vars per cell: density, momentum, energy.
+const cfdVars = 3
+
+func cfdMesh(cfg CFDConfig) (state []float32, neigh []int32, coeff []float32) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	state = make([]float32, cfg.Cells*cfdVars)
+	for c := 0; c < cfg.Cells; c++ {
+		state[c*cfdVars+0] = 1 + rng.Float32()   // density
+		state[c*cfdVars+1] = rng.Float32() - 0.5 // momentum
+		state[c*cfdVars+2] = 2 + rng.Float32()   // energy
+	}
+	neigh = make([]int32, cfg.Cells*cfg.Neighbors)
+	coeff = make([]float32, cfg.Cells*cfg.Neighbors)
+	for c := 0; c < cfg.Cells; c++ {
+		for k := 0; k < cfg.Neighbors; k++ {
+			neigh[c*cfg.Neighbors+k] = int32(rng.Intn(cfg.Cells))
+			coeff[c*cfg.Neighbors+k] = rng.Float32() * 0.01
+		}
+	}
+	return
+}
+
+// RunCFD executes the benchmark on the session's simulated machine.
+func RunCFD(s *core.Session, cfg CFDConfig) (CFDResult, error) {
+	if cfg.Cells <= 0 || cfg.Neighbors <= 0 || cfg.Iterations <= 0 {
+		return CFDResult{}, fmt.Errorf("rodinia: bad cfd config %+v", cfg)
+	}
+	ctx := s.Ctx
+	state, neigh, coeff := cfdMesh(cfg)
+
+	varsCuda, err := ctx.Malloc(int64(len(state))*4, "variables")
+	if err != nil {
+		return CFDResult{}, err
+	}
+	oldCuda, err := ctx.Malloc(int64(len(state))*4, "old_variables")
+	if err != nil {
+		return CFDResult{}, err
+	}
+	neighCuda, err := ctx.Malloc(int64(len(neigh))*4, "elements_surrounding_elements")
+	if err != nil {
+		return CFDResult{}, err
+	}
+	coeffCuda, err := ctx.Malloc(int64(len(coeff))*4, "normals")
+	if err != nil {
+		return CFDResult{}, err
+	}
+	fluxCuda, err := ctx.Malloc(int64(len(state))*4, "fluxes")
+	if err != nil {
+		return CFDResult{}, err
+	}
+
+	ctx.MemcpyH2D(varsCuda, 0, float32sToBytes(state))
+	ctx.MemcpyH2D(neighCuda, 0, int32sToBytes(neigh))
+	ctx.MemcpyH2D(coeffCuda, 0, float32sToBytes(coeff))
+
+	vv := floatView{memsim.Int32s(varsCuda)}
+	ov := floatView{memsim.Int32s(oldCuda)}
+	nv := memsim.Int32s(neighCuda)
+	cv := floatView{memsim.Int32s(coeffCuda)}
+	fv := floatView{memsim.Int32s(fluxCuda)}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		it := it
+		// copy: old_variables = variables.
+		ctx.LaunchSync(fmt.Sprintf("cfd_copy_%d", it), func(e *cuda.Exec) {
+			for i := int64(0); i < vv.len(); i++ {
+				ov.store(e, i, vv.load(e, i))
+			}
+		})
+		// compute_flux: antisymmetric exchange with each neighbor, so the
+		// total of each conserved variable is preserved exactly up to
+		// float rounding.
+		ctx.LaunchSync(fmt.Sprintf("cfd_compute_flux_%d", it), func(e *cuda.Exec) {
+			for c := 0; c < cfg.Cells; c++ {
+				for v := 0; v < cfdVars; v++ {
+					fv.store(e, int64(c*cfdVars+v), 0)
+				}
+			}
+			for c := 0; c < cfg.Cells; c++ {
+				for k := 0; k < cfg.Neighbors; k++ {
+					nb := int(nv.Load(e, int64(c*cfg.Neighbors+k)))
+					w := cv.load(e, int64(c*cfg.Neighbors+k))
+					for v := 0; v < cfdVars; v++ {
+						d := w * (ov.load(e, int64(nb*cfdVars+v)) - ov.load(e, int64(c*cfdVars+v)))
+						fv.store(e, int64(c*cfdVars+v), fv.load(e, int64(c*cfdVars+v))+d)
+						fv.store(e, int64(nb*cfdVars+v), fv.load(e, int64(nb*cfdVars+v))-d)
+					}
+				}
+			}
+		})
+		// time_step: variables = old + flux.
+		ctx.LaunchSync(fmt.Sprintf("cfd_time_step_%d", it), func(e *cuda.Exec) {
+			for i := int64(0); i < vv.len(); i++ {
+				vv.store(e, i, ov.load(e, i)+fv.load(e, i))
+			}
+		})
+	}
+
+	out := make([]byte, len(state)*4)
+	ctx.MemcpyD2H(out, varsCuda, 0)
+	final := bytesToFloat32s(out)
+	var density float64
+	for c := 0; c < cfg.Cells; c++ {
+		v := float64(final[c*cfdVars])
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return CFDResult{}, fmt.Errorf("rodinia: cfd diverged at cell %d", c)
+		}
+		density += v
+	}
+	return CFDResult{DensitySum: density}, nil
+}

@@ -1,0 +1,163 @@
+package rodinia
+
+import (
+	"fmt"
+	"math"
+
+	"xplacer/internal/core"
+	"xplacer/internal/cuda"
+	"xplacer/internal/memsim"
+)
+
+// Gaussian solves a dense linear system Ax = b by unpivoted Gaussian
+// elimination with the Rodinia Fan1/Fan2 kernel pair. Table II's finding:
+// the multiplier matrix m_cuda "is allocated on the CPU and transferred to
+// the GPU. The GPU overwrites all values transferred from the CPU before
+// they are used. Thus, the initial data transfer can be eliminated." The
+// baseline performs that useless transfer; Optimize=true removes it.
+type GaussianConfig struct {
+	// N is the system size.
+	N int
+	// Optimize skips the pointless zero-filled transfer of m_cuda.
+	Optimize bool
+}
+
+// GaussianResult carries the solution vector.
+type GaussianResult struct {
+	X []float32
+}
+
+// gaussianProblem builds a deterministic diagonally dominant system so
+// elimination without pivoting stays stable: the Rodinia generator's
+// "lambda" matrix has the same property.
+func gaussianProblem(n int) (a []float32, b []float32) {
+	a = make([]float32, n*n)
+	b = make([]float32, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			a[i*n+j] = float32(n-d) / float32(n)
+		}
+		b[i] = float32(i%7) + 1
+	}
+	return
+}
+
+// GaussianReference solves the same system with plain Go float64
+// elimination, for comparison within a tolerance.
+func GaussianReference(n int) []float64 {
+	af, bf := gaussianProblem(n)
+	a := make([]float64, n*n)
+	for i, v := range af {
+		a[i] = float64(v)
+	}
+	b := make([]float64, n)
+	for i, v := range bf {
+		b[i] = float64(v)
+	}
+	for t := 0; t < n-1; t++ {
+		for i := t + 1; i < n; i++ {
+			m := a[i*n+t] / a[t*n+t]
+			for j := t; j < n; j++ {
+				a[i*n+j] -= m * a[t*n+j]
+			}
+			b[i] -= m * b[t]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * x[j]
+		}
+		x[i] = s / a[i*n+i]
+	}
+	return x
+}
+
+// RunGaussian executes the benchmark on the session's simulated machine.
+func RunGaussian(s *core.Session, cfg GaussianConfig) (GaussianResult, error) {
+	n := cfg.N
+	if n < 2 {
+		return GaussianResult{}, fmt.Errorf("rodinia: gaussian needs n >= 2, got %d", n)
+	}
+	ctx := s.Ctx
+	aHost, bHost := gaussianProblem(n)
+
+	mCuda, err := ctx.Malloc(int64(n*n)*4, "m_cuda")
+	if err != nil {
+		return GaussianResult{}, err
+	}
+	aCuda, err := ctx.Malloc(int64(n*n)*4, "a_cuda")
+	if err != nil {
+		return GaussianResult{}, err
+	}
+	bCuda, err := ctx.Malloc(int64(n)*4, "b_cuda")
+	if err != nil {
+		return GaussianResult{}, err
+	}
+
+	if !cfg.Optimize {
+		// The unnecessary transfer: a zero-filled multiplier matrix that
+		// Fan1 will fully overwrite before Fan2 reads it.
+		ctx.MemcpyH2D(mCuda, 0, make([]byte, n*n*4))
+	}
+	ctx.MemcpyH2D(aCuda, 0, float32sToBytes(aHost))
+	ctx.MemcpyH2D(bCuda, 0, float32sToBytes(bHost))
+
+	mv := floatView{memsim.Int32s(mCuda)}
+	av := floatView{memsim.Int32s(aCuda)}
+	bv := floatView{memsim.Int32s(bCuda)}
+
+	for t := 0; t < n-1; t++ {
+		t := t
+		// Fan1: column of multipliers below the pivot.
+		ctx.LaunchSync(fmt.Sprintf("Fan1_%d", t), func(e *cuda.Exec) {
+			pivot := av.load(e, int64(t*n+t))
+			for i := t + 1; i < n; i++ {
+				mv.store(e, int64(i*n+t), av.load(e, int64(i*n+t))/pivot)
+			}
+		})
+		// Fan2: eliminate below the pivot row.
+		ctx.LaunchSync(fmt.Sprintf("Fan2_%d", t), func(e *cuda.Exec) {
+			for i := t + 1; i < n; i++ {
+				m := mv.load(e, int64(i*n+t))
+				for j := t; j < n; j++ {
+					av.store(e, int64(i*n+j), av.load(e, int64(i*n+j))-m*av.load(e, int64(t*n+j)))
+				}
+				bv.store(e, int64(i), bv.load(e, int64(i))-m*bv.load(e, int64(t)))
+			}
+		})
+	}
+
+	// Triangularized system back to the host (the Rodinia original copies
+	// a, b, and m back; m comes along even though only a and b are needed).
+	aOut := make([]byte, n*n*4)
+	bOut := make([]byte, n*4)
+	ctx.MemcpyD2H(aOut, aCuda, 0)
+	ctx.MemcpyD2H(bOut, bCuda, 0)
+	if !cfg.Optimize {
+		mOut := make([]byte, n*n*4)
+		ctx.MemcpyD2H(mOut, mCuda, 0)
+	}
+
+	at := bytesToFloat32s(aOut)
+	bt := bytesToFloat32s(bOut)
+	x := make([]float32, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := bt[i]
+		for j := i + 1; j < n; j++ {
+			sum -= at[i*n+j] * x[j]
+		}
+		x[i] = sum / at[i*n+i]
+	}
+	for _, v := range x {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return GaussianResult{}, fmt.Errorf("rodinia: gaussian produced non-finite solution")
+		}
+	}
+	return GaussianResult{X: x}, nil
+}

@@ -1,0 +1,139 @@
+package rodinia
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"xplacer/internal/core"
+	"xplacer/internal/cuda"
+	"xplacer/internal/memsim"
+)
+
+// LUD decomposes a dense matrix in place into L (unit lower) and U (upper)
+// triangular factors. Table II's findings on the Rodinia original:
+//
+//   - m_d is initialized on the CPU, transferred, recomputed, and
+//     transferred back — yet "the first row is never updated" (it is
+//     already the first row of U), so that part of the copy-back is
+//     unnecessary;
+//   - per-iteration diagnostics show the GPU touching fewer and fewer
+//     locations as the decomposition shrinks toward the bottom-right
+//     corner.
+type LUDConfig struct {
+	// N is the matrix dimension.
+	N int
+	// Optimize applies the Table II fix: the first row is never updated by
+	// the GPU, so its copy-back is skipped.
+	Optimize bool
+	// Seed makes the input matrix reproducible.
+	Seed int64
+	// DiagEvery > 0 emits a diagnostic every DiagEvery elimination steps.
+	DiagEvery int
+	// DiagOut receives diagnostic output; nil suppresses printing.
+	DiagOut io.Writer
+}
+
+// LUDResult holds the factored matrix (row-major, L below the unit
+// diagonal, U on and above it).
+type LUDResult struct {
+	LU []float32
+}
+
+// ludMatrix builds a deterministic, diagonally dominant input so the
+// unpivoted decomposition is stable.
+func ludMatrix(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		var rowSum float32
+		for j := 0; j < n; j++ {
+			v := rng.Float32()
+			a[i*n+j] = v
+			rowSum += v
+		}
+		a[i*n+i] += rowSum // dominance
+	}
+	return a
+}
+
+// LUDVerify multiplies the factors and returns the maximum absolute
+// difference against the original matrix.
+func LUDVerify(lu []float32, n int, seed int64) float64 {
+	orig := ludMatrix(n, seed)
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= i && k <= j; k++ {
+				l := 1.0
+				if k != i {
+					l = float64(lu[i*n+k])
+				}
+				u := float64(lu[k*n+j])
+				if k > j {
+					u = 0
+				}
+				s += l * u
+			}
+			if d := math.Abs(s - float64(orig[i*n+j])); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	return maxErr
+}
+
+// RunLUD executes the benchmark on the session's simulated machine.
+func RunLUD(s *core.Session, cfg LUDConfig) (LUDResult, error) {
+	n := cfg.N
+	if n < 2 {
+		return LUDResult{}, fmt.Errorf("rodinia: lud needs n >= 2, got %d", n)
+	}
+	ctx := s.Ctx
+	a := ludMatrix(n, cfg.Seed)
+
+	mD, err := ctx.Malloc(int64(n*n)*4, "m_d")
+	if err != nil {
+		return LUDResult{}, err
+	}
+	ctx.MemcpyH2D(mD, 0, float32sToBytes(a))
+	mv := floatView{memsim.Int32s(mD)}
+
+	for k := 0; k < n-1; k++ {
+		k := k
+		// Perimeter: the multiplier column below the pivot.
+		ctx.LaunchSync(fmt.Sprintf("lud_perimeter_%d", k), func(e *cuda.Exec) {
+			pivot := mv.load(e, int64(k*n+k))
+			for i := k + 1; i < n; i++ {
+				mv.store(e, int64(i*n+k), mv.load(e, int64(i*n+k))/pivot)
+			}
+		})
+		// Internal: trailing submatrix update. Note the shrinking access
+		// region as k grows.
+		ctx.LaunchSync(fmt.Sprintf("lud_internal_%d", k), func(e *cuda.Exec) {
+			for i := k + 1; i < n; i++ {
+				l := mv.load(e, int64(i*n+k))
+				for j := k + 1; j < n; j++ {
+					mv.store(e, int64(i*n+j), mv.load(e, int64(i*n+j))-l*mv.load(e, int64(k*n+j)))
+				}
+			}
+		})
+		if cfg.DiagEvery > 0 && (k+1)%cfg.DiagEvery == 0 {
+			s.Diagnostic(cfg.DiagOut, fmt.Sprintf("lud step %d", k+1))
+		}
+	}
+
+	// The whole matrix comes back — first row included, although the GPU
+	// never touched it (Table II). The optimized variant copies only the
+	// GPU-modified rows and keeps the host's first row.
+	out := make([]byte, n*n*4)
+	if cfg.Optimize {
+		copy(out[:n*4], float32sToBytes(a[:n]))
+		ctx.MemcpyD2H(out[n*4:], mD, int64(n)*4)
+	} else {
+		ctx.MemcpyD2H(out, mD, 0)
+	}
+	return LUDResult{LU: bytesToFloat32s(out)}, nil
+}

@@ -1,0 +1,95 @@
+package rodinia
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"xplacer/internal/core"
+	"xplacer/internal/cuda"
+	"xplacer/internal/memsim"
+)
+
+// NN is the Rodinia nearest-neighbor benchmark: compute the Euclidean
+// distance from a query point to every record and report the k closest.
+// The paper found "no possible improvements" here (Table II): every
+// transferred byte is consumed and every produced byte is transferred
+// back, so the baseline is also the optimum.
+type NNConfig struct {
+	// Records is the number of (lat, lng) records; K the neighbors wanted.
+	Records, K int
+	// QueryLat / QueryLng is the query point.
+	QueryLat, QueryLng float32
+	// Seed makes the records reproducible.
+	Seed int64
+}
+
+// NNResult lists the k nearest distances, ascending.
+type NNResult struct {
+	Distances []float32
+}
+
+func nnRecords(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	loc := make([]float32, 2*n)
+	for i := range loc {
+		loc[i] = rng.Float32() * 180
+	}
+	return loc
+}
+
+// NNReference computes the k nearest distances in plain Go.
+func NNReference(cfg NNConfig) []float32 {
+	loc := nnRecords(cfg.Records, cfg.Seed)
+	d := make([]float32, cfg.Records)
+	for i := 0; i < cfg.Records; i++ {
+		la := loc[2*i] - cfg.QueryLat
+		ln := loc[2*i+1] - cfg.QueryLng
+		d[i] = float32(math.Sqrt(float64(la*la + ln*ln)))
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	if cfg.K > len(d) {
+		cfg.K = len(d)
+	}
+	return d[:cfg.K]
+}
+
+// RunNN executes the benchmark on the session's simulated machine.
+func RunNN(s *core.Session, cfg NNConfig) (NNResult, error) {
+	if cfg.Records <= 0 || cfg.K <= 0 {
+		return NNResult{}, fmt.Errorf("rodinia: bad nn config %+v", cfg)
+	}
+	ctx := s.Ctx
+	loc := nnRecords(cfg.Records, cfg.Seed)
+
+	locCuda, err := ctx.Malloc(int64(2*cfg.Records)*4, "d_locations")
+	if err != nil {
+		return NNResult{}, err
+	}
+	distCuda, err := ctx.Malloc(int64(cfg.Records)*4, "d_distances")
+	if err != nil {
+		return NNResult{}, err
+	}
+	ctx.MemcpyH2D(locCuda, 0, float32sToBytes(loc))
+
+	lv := floatView{memsim.Int32s(locCuda)}
+	dv := floatView{memsim.Int32s(distCuda)}
+	ctx.LaunchSync("euclid", func(e *cuda.Exec) {
+		for i := 0; i < cfg.Records; i++ {
+			la := lv.load(e, int64(2*i)) - cfg.QueryLat
+			ln := lv.load(e, int64(2*i+1)) - cfg.QueryLng
+			dv.store(e, int64(i), float32(math.Sqrt(float64(la*la+ln*ln))))
+		}
+	})
+
+	out := make([]byte, cfg.Records*4)
+	ctx.MemcpyD2H(out, distCuda, 0)
+	d := bytesToFloat32s(out)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	k := cfg.K
+	if k > len(d) {
+		k = len(d)
+	}
+	return NNResult{Distances: d[:k]}, nil
+}

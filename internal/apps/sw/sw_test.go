@@ -1,0 +1,320 @@
+package sw
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xplacer/internal/core"
+	"xplacer/internal/detect"
+	"xplacer/internal/diag"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+)
+
+func plat() *machine.Platform {
+	p := machine.IntelPascal().Clone()
+	p.PageSize = 4096
+	p.GPUMemory = 1 << 24
+	return p
+}
+
+func run(t *testing.T, cfg Config) (Result, *core.Session) {
+	t.Helper()
+	s := core.MustSession(plat())
+	r, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, s
+}
+
+func TestScoreMatchesReference(t *testing.T) {
+	a, b := RandomStrings(40, 25, 7)
+	want := Reference(a, b)
+	for _, cfg := range []Config{
+		{N: 40, M: 25, Seed: 7},
+		{N: 40, M: 25, Seed: 7, Rotated: true},
+		{N: 40, M: 25, Seed: 7, OnTheFlyInit: true},
+		{N: 40, M: 25, Seed: 7, Rotated: true, OnTheFlyInit: true},
+		{N: 40, M: 25, Seed: 7, PreferGPU: true},
+	} {
+		r, _ := run(t, cfg)
+		if r.Score != want {
+			t.Errorf("config %+v: score %d, want %d", cfg, r.Score, want)
+		}
+	}
+}
+
+func TestScoreQuick(t *testing.T) {
+	err := quick.Check(func(n, m uint8, seed int64, rotated bool) bool {
+		nn, mm := int(n%24)+1, int(m%24)+1
+		a, b := RandomStrings(nn, mm, seed)
+		want := Reference(a, b)
+		s := core.MustSession(plat())
+		r, err := Run(s, Config{N: nn, M: mm, Seed: seed, Rotated: rotated})
+		return err == nil && r.Score == want
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterationCount(t *testing.T) {
+	r, _ := run(t, Config{N: 20, M: 10, Seed: 1})
+	if r.Iterations != 29 { // n+m-1 diagonals contain interior cells
+		t.Errorf("iterations = %d, want 29", r.Iterations)
+	}
+}
+
+func TestSelfAlignmentScore(t *testing.T) {
+	// Aligning a string against itself scores len*MatchScore.
+	s := core.MustSession(plat())
+	ctx := s.Ctx
+	_ = ctx
+	a, _ := RandomStrings(30, 30, 3)
+	want := Reference(a, a)
+	if want != int32(30*MatchScore) {
+		t.Fatalf("reference self-alignment = %d, want %d", want, 30*MatchScore)
+	}
+}
+
+func TestTraceback(t *testing.T) {
+	r, _ := run(t, Config{N: 30, M: 30, Seed: 3, Traceback: true})
+	if r.Score <= 0 {
+		t.Fatal("no alignment found")
+	}
+	if r.PathLen <= 0 || r.PathLen > 60 {
+		t.Errorf("path length %d out of range", r.PathLen)
+	}
+	if r.EndI <= 0 || r.EndJ <= 0 {
+		t.Errorf("end cell (%d,%d) invalid", r.EndI, r.EndJ)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	s := core.MustSession(plat())
+	if _, err := Run(s, Config{N: 0, M: 5}); err == nil {
+		t.Error("zero-length string accepted")
+	}
+}
+
+func TestFig7BoundaryConsumption(t *testing.T) {
+	// Paper Fig. 7: after a full run, the CPU has written the whole H
+	// matrix, but the GPU consumed CPU-origin values only on the boundary.
+	s := core.MustSession(plat())
+	if _, err := Run(s, Config{N: 20, M: 10, Seed: 1, Traceback: false}); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Diagnostic(nil, "end")
+	h := r.Find("H")
+	if h == nil {
+		t.Fatal("no H summary")
+	}
+	cellCount := 21 * 11
+	if h.WriteC != cellCount {
+		t.Errorf("CPU wrote %d H words, want the whole matrix %d", h.WriteC, cellCount)
+	}
+	// GPU reads of CPU-origin values: exactly the boundary cells adjacent
+	// to interior cells: row 0 columns 0..m-1... conservatively, far fewer
+	// than the interior, and at least the corner region.
+	if h.ReadCG == 0 {
+		t.Fatal("GPU consumed no CPU-origin value at all")
+	}
+	boundary := 21 + 11 - 1
+	if h.ReadCG > boundary {
+		t.Errorf("GPU consumed %d CPU-origin words; boundary has only %d", h.ReadCG, boundary)
+	}
+	// The GPU wrote every interior cell.
+	if h.WriteG != 20*10 {
+		t.Errorf("GPU wrote %d H words, want %d", h.WriteG, 20*10)
+	}
+}
+
+func TestFig8LowDensityPerIteration(t *testing.T) {
+	// Per-iteration diagnostics show very low access density on H: each
+	// wavefront touches one thin anti-diagonal (paper Fig. 8, iteration 8).
+	var b strings.Builder
+	s := core.MustSession(plat())
+	if _, err := Run(s, Config{N: 20, M: 10, Seed: 1, DiagEvery: 1, DiagOut: &b}); err != nil {
+		t.Fatal(err)
+	}
+	reports := s.Reports()
+	if len(reports) < 9 {
+		t.Fatalf("only %d reports", len(reports))
+	}
+	// Report index 8 covers iteration 9 alone (index 0 covers the CPU init
+	// plus iteration 1).
+	h := reports[8].Find("H")
+	if h == nil || h.TouchedWords == 0 {
+		t.Fatal("iteration report has no H accesses")
+	}
+	if h.DensityPct > 50 {
+		t.Errorf("iteration diagnostic density %d%%, want low", h.DensityPct)
+	}
+	if !strings.Contains(b.String(), "sw iteration 8") {
+		t.Error("diagnostic output missing iteration header")
+	}
+}
+
+func TestOnTheFlyInitSkipsCPUMatrixWrites(t *testing.T) {
+	s := core.MustSession(plat())
+	if _, err := Run(s, Config{N: 20, M: 10, Seed: 1, OnTheFlyInit: true}); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Diagnostic(nil, "end")
+	h := r.Find("H")
+	if h == nil {
+		t.Fatal("no H summary")
+	}
+	if h.WriteC != 0 {
+		t.Errorf("on-the-fly init still has %d CPU writes to H", h.WriteC)
+	}
+}
+
+func TestRotatedLayoutFasterInMemory(t *testing.T) {
+	// Even when everything fits in GPU memory, the row-major wavefront
+	// jumps across pages on every access (uncoalesced), while the rotated
+	// layout streams contiguously — rotated must be at least as fast.
+	simTime := func(rotated bool) machine.Duration {
+		s := core.MustSession(plat())
+		if _, err := Run(s, Config{N: 64, M: 2048, Seed: 5, Rotated: rotated}); err != nil {
+			t.Fatal(err)
+		}
+		return s.SimTime()
+	}
+	base, rot := simTime(false), simTime(true)
+	if rot > base {
+		t.Errorf("rotated (%v) slower than baseline (%v) in-memory", rot, base)
+	}
+}
+
+func TestRotatedFasterWhenOversubscribed(t *testing.T) {
+	// Shrink GPU memory below the matrix footprint: the baseline layout
+	// must page-thrash, the rotated one must stream (paper Fig. 9, largest
+	// input).
+	p := plat()
+	n, m := 96, 96
+	p.GPUMemory = FootprintBytes(n, m) * 6 / 10
+	simTime := func(rotated bool) machine.Duration {
+		s := core.MustSession(p)
+		if _, err := Run(s, Config{N: n, M: m, Seed: 2, Rotated: rotated}); err != nil {
+			t.Fatal(err)
+		}
+		return s.SimTime()
+	}
+	base, rot := simTime(false), simTime(true)
+	if rot >= base {
+		t.Errorf("rotated (%v) not faster than baseline (%v) under oversubscription", rot, base)
+	}
+}
+
+func TestMatrixIndexBijection(t *testing.T) {
+	// Every grid cell maps to a distinct in-bounds offset in both layouts.
+	for _, rotated := range []bool{false, true} {
+		n, m := 7, 5
+		sp := memsim.NewSpace(4096)
+		al, _ := sp.Alloc(cells(n, m)*4, memsim.Managed, "H")
+		mx := newMatrix(al, n, m, rotated)
+		seen := map[int64]bool{}
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= m; j++ {
+				off := mx.index(i, j)
+				if off < 0 || off >= cells(n, m) {
+					t.Fatalf("rotated=%v: offset %d out of range", rotated, off)
+				}
+				if seen[off] {
+					t.Fatalf("rotated=%v: offset %d reused", rotated, off)
+				}
+				seen[off] = true
+			}
+		}
+	}
+}
+
+func TestUnnecessaryInitFindingSurfaces(t *testing.T) {
+	// The final diagnostic flags H with low density of GPU reads of the
+	// CPU's initialization... at minimum, the P matrix (never read by the
+	// GPU, sparsely read by the CPU) yields findings.
+	s := core.MustSession(plat())
+	if _, err := Run(s, Config{N: 20, M: 10, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Diagnostic(nil, "end")
+	if len(r.Findings) == 0 {
+		t.Fatal("no findings on the baseline Smith-Waterman")
+	}
+	var kinds []detect.Kind
+	for _, f := range r.Findings {
+		kinds = append(kinds, f.Kind)
+	}
+	_ = diag.Report{}
+	t.Logf("findings: %v", kinds)
+}
+
+func TestFootprintBytes(t *testing.T) {
+	if FootprintBytes(10, 10) != 2*11*11*4 {
+		t.Errorf("FootprintBytes = %d", FootprintBytes(10, 10))
+	}
+}
+
+func TestOnTheFlyInitNoSpeedup(t *testing.T) {
+	// Paper §IV-B: initializing the boundary values on the fly "did not
+	// produce any speedup" — the CPU zeroing it replaces is cheap.
+	simTime := func(onTheFly bool) machine.Duration {
+		s := core.MustSession(plat())
+		if _, err := Run(s, Config{N: 128, M: 128, Seed: 4, OnTheFlyInit: onTheFly}); err != nil {
+			t.Fatal(err)
+		}
+		return s.SimTime()
+	}
+	base, otf := simTime(false), simTime(true)
+	ratio := float64(base) / float64(otf)
+	if ratio > 1.35 || ratio < 0.95 {
+		t.Errorf("on-the-fly init speedup %.2f, want ~1 (paper: no speedup)", ratio)
+	}
+}
+
+func TestOversubscribedBaselineThrashes(t *testing.T) {
+	// The §IV-B profile attributes the slow 46000-character runs to "GPU
+	// page fault groups": the driver's thrash counter captures exactly
+	// that, and the rotated layout avoids most of it.
+	p := plat()
+	n := 96
+	p.GPUMemory = FootprintBytes(n, n) * 6 / 10
+	thrashes := func(rotated bool) int64 {
+		s := core.MustSession(p)
+		if _, err := Run(s, Config{N: n, M: n, Seed: 2, Rotated: rotated}); err != nil {
+			t.Fatal(err)
+		}
+		return s.UMStats().Thrashes
+	}
+	base, rot := thrashes(false), thrashes(true)
+	if base == 0 {
+		t.Fatal("over-subscribed baseline did not thrash")
+	}
+	if rot >= base {
+		t.Errorf("rotated thrashes %d not below baseline %d", rot, base)
+	}
+}
+
+func TestPreferGPUHurtsWhenOversubscribed(t *testing.T) {
+	// Paper §IV-B: "on the IBM plus Volta system, this advise was not set,
+	// because it caused performance degradation for the largest input
+	// size." Pinning everything to an over-subscribed GPU must not win.
+	p := machine.IBMVolta().Clone()
+	p.PageSize = 4096
+	n := 96
+	p.GPUMemory = FootprintBytes(n, n) * 6 / 10
+	simTime := func(prefer bool) machine.Duration {
+		s := core.MustSession(p)
+		if _, err := Run(s, Config{N: n, M: n, Seed: 2, PreferGPU: prefer}); err != nil {
+			t.Fatal(err)
+		}
+		return s.SimTime()
+	}
+	with, without := simTime(true), simTime(false)
+	if with < without {
+		t.Errorf("PreferGPU helped under over-subscription: %v < %v", with, without)
+	}
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"xplacer/internal/machine"
+)
+
+func TestAblationAdvisorMatchesHandTuning(t *testing.T) {
+	// On the PCIe machine the advisor-derived placement must recover at
+	// least the hand-tuned remedy's speedup.
+	rows, err := AblationAdvisor(machine.IntelPascal(), 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adv, hand float64
+	for _, r := range rows {
+		switch r.Variant {
+		case "advisor":
+			adv = r.Factor()
+		case "readmostly":
+			hand = r.Factor()
+		}
+	}
+	if adv < 1.8 {
+		t.Errorf("advisor speedup %.2f, want > 1.8", adv)
+	}
+	if adv < hand-0.1 {
+		t.Errorf("advisor (%.2f) clearly below hand-tuned (%.2f)", adv, hand)
+	}
+}
+
+func TestAblationAdvisorAvoidsIBMRegression(t *testing.T) {
+	// The paper's hand-picked ReadMostly costs 0.8x on the NVLink machine;
+	// the advisor must not walk into that trap.
+	rows, err := AblationAdvisor(machine.IBMVolta(), 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Variant == "advisor" && r.Factor() < 0.97 {
+			t.Errorf("advisor regressed on IBM: %.2f", r.Factor())
+		}
+		if r.Variant == "readmostly" && r.Factor() >= 1.0 {
+			t.Errorf("hand-tuned ReadMostly unexpectedly fine on IBM: %.2f", r.Factor())
+		}
+	}
+}
+
+func TestAblationFaultStallCarriesGain(t *testing.T) {
+	rows, err := AblationFaultStall(12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off, on float64
+	for _, r := range rows {
+		if strings.Contains(r.Label, "stall=0%") {
+			off = r.Factor()
+		} else {
+			on = r.Factor()
+		}
+	}
+	if on <= off {
+		t.Errorf("stall off %.2f, on %.2f: the stall should add speedup", off, on)
+	}
+}
+
+func TestAblationPageTouchCarriesInMemoryGain(t *testing.T) {
+	rows, err := AblationPageTouch(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off, on float64
+	for _, r := range rows {
+		if strings.Contains(r.Label, "pagetouch=0") {
+			off = r.Factor()
+		} else {
+			on = r.Factor()
+		}
+	}
+	if on <= off {
+		t.Errorf("page-touch off %.2f, on %.2f: the cost should create the rotation gap", off, on)
+	}
+}
+
+func TestAblationSMTCutoffShape(t *testing.T) {
+	rows := AblationSMTCutoff()
+	byN := map[int]float64{}
+	for _, r := range rows {
+		byN[r.Entries] = r.NsAccess
+	}
+	// Linear search cost grows with the table...
+	if byN[63] <= byN[8] {
+		t.Errorf("linear search not growing: 8 -> %.1f ns, 63 -> %.1f ns", byN[8], byN[63])
+	}
+	// ...and the switch to binary search at 64 makes lookups cheaper than
+	// the worst linear case (§IV-D).
+	if byN[64] >= byN[63] {
+		t.Errorf("binary search at 64 (%.1f ns) not cheaper than linear at 63 (%.1f ns)", byN[64], byN[63])
+	}
+}

@@ -1,0 +1,68 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated platforms. Each experiment has a
+// function returning structured rows plus a text renderer; cmd/xplbench
+// and the top-level benchmarks are thin wrappers around it.
+//
+// Sizes are scaled from the paper's testbed sizes to simulation-friendly
+// ones (the simulator interprets every memory access); EXPERIMENTS.md
+// records the mapping. Speedups come from the simulated clock, overheads
+// (Table III) from wall-clock ratios.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"xplacer/internal/core"
+	"xplacer/internal/machine"
+)
+
+// Speedup is one (platform, workload-point, variant) measurement.
+type Speedup struct {
+	Platform string
+	// Label identifies the workload point (a problem size or row count).
+	Label string
+	// Variant names the remedy or optimization measured.
+	Variant string
+	// Baseline and Time are simulated durations.
+	Baseline machine.Duration
+	Time     machine.Duration
+}
+
+// Factor returns baseline/time (>1 = the variant is faster).
+func (s Speedup) Factor() float64 {
+	if s.Time == 0 {
+		return 0
+	}
+	return float64(s.Baseline) / float64(s.Time)
+}
+
+// renderSpeedups prints rows in a fixed-width table.
+func renderSpeedups(w io.Writer, title string, rows []Speedup) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-14s %-12s %-12s %14s %14s %8s\n",
+		"platform", "point", "variant", "baseline", "time", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-12s %-12s %14s %14s %7.2fx\n",
+			r.Platform, r.Label, r.Variant, r.Baseline, r.Time, r.Factor())
+	}
+}
+
+// SpeedupsCSV writes rows as comma-separated values for plotting, the
+// figures' raw-data counterpart of the diagnostic CSV output.
+func SpeedupsCSV(w io.Writer, rows []Speedup) {
+	fmt.Fprintln(w, "platform,point,variant,baseline_ps,time_ps,speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.4f\n",
+			r.Platform, r.Label, r.Variant, int64(r.Baseline), int64(r.Time), r.Factor())
+	}
+}
+
+// simTime runs app uninstrumented on plat and returns the simulated time.
+func simTime(plat *machine.Platform, app func(*core.Session) error) (machine.Duration, error) {
+	res, err := core.Run(plat, false, app)
+	if err != nil {
+		return 0, err
+	}
+	return res.SimTime, nil
+}

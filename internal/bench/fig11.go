@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"errors"
+	"io"
+	"strconv"
+
+	"xplacer/internal/apps/rodinia"
+	"xplacer/internal/core"
+	"xplacer/internal/machine"
+)
+
+var errTooFewSizes = errors.New("bench: need at least two sizes")
+
+// Fig11Options parameterizes the Pathfinder transfer-overlap experiment
+// (paper Fig. 11: 1M columns, rows 200/600/1000, pyramid height 20). The
+// simulated sweep keeps the row counts and pyramid height and scales the
+// columns down; the compute/transfer ratio is column-count invariant.
+type Fig11Options struct {
+	Cols    int
+	Rows    []int
+	Pyramid int
+	// Platforms: Intel+Pascal and IBM+Volta, like the paper.
+	Platforms []*machine.Platform
+}
+
+// DefaultFig11Options returns the scaled standard sweep.
+func DefaultFig11Options() Fig11Options {
+	return Fig11Options{
+		Cols:      8192,
+		Rows:      []int{200, 600, 1000},
+		Pyramid:   20,
+		Platforms: []*machine.Platform{machine.IntelPascal(), machine.IBMVolta()},
+	}
+}
+
+// QuickFig11Options returns a fast smoke-test sweep.
+func QuickFig11Options() Fig11Options {
+	return Fig11Options{
+		Cols:      1024,
+		Rows:      []int{100, 200},
+		Pyramid:   20,
+		Platforms: []*machine.Platform{machine.IntelPascal(), machine.IBMVolta()},
+	}
+}
+
+// Fig11 measures the overlapped-transfer Pathfinder against the baseline.
+func Fig11(opt Fig11Options) ([]Speedup, error) {
+	var rows []Speedup
+	for _, plat := range opt.Platforms {
+		for _, r := range opt.Rows {
+			var times [2]machine.Duration
+			for i, overlap := range []bool{false, true} {
+				cfg := rodinia.PathfinderConfig{
+					Cols: opt.Cols, Rows: r, Pyramid: opt.Pyramid,
+					Overlap: overlap, Seed: 13,
+				}
+				t, err := simTime(plat, func(s *core.Session) error {
+					_, err := rodinia.RunPathfinder(s, cfg)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				times[i] = t
+			}
+			rows = append(rows, Speedup{
+				Platform: plat.Name,
+				Label:    "rows=" + strconv.Itoa(r),
+				Variant:  "overlap",
+				Baseline: times[0],
+				Time:     times[1],
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig11 writes the rows as text.
+func RenderFig11(w io.Writer, rows []Speedup) {
+	renderSpeedups(w, "Fig. 11 — Pathfinder: speedup from overlapping section transfers with compute", rows)
+}

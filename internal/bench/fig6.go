@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"io"
+	"strconv"
+
+	"xplacer/internal/apps/lulesh"
+	"xplacer/internal/core"
+	"xplacer/internal/machine"
+)
+
+// Fig6Options parameterizes the LULESH remedy sweep (paper Fig. 6:
+// "Speedup over the baseline. Four different methods were used to remedy a
+// large number of CPU page faults...").
+type Fig6Options struct {
+	// Sizes are the LULESH edge lengths. The paper sweeps 8..48; the
+	// defaults are scaled down so the interpreted simulation stays fast.
+	Sizes []int
+	// Timesteps per run (paper Table III uses 16).
+	Timesteps int
+	// Platforms to sweep (default: all three testbeds).
+	Platforms []*machine.Platform
+}
+
+// DefaultFig6Options returns the standard sweep.
+func DefaultFig6Options() Fig6Options {
+	return Fig6Options{
+		Sizes:     []int{8, 16, 24, 32},
+		Timesteps: 16,
+		Platforms: machine.Platforms(),
+	}
+}
+
+// QuickFig6Options returns a fast smoke-test sweep.
+func QuickFig6Options() Fig6Options {
+	return Fig6Options{
+		Sizes:     []int{4, 8},
+		Timesteps: 8,
+		Platforms: machine.Platforms(),
+	}
+}
+
+// Fig6 measures every remedy variant against the baseline.
+func Fig6(opt Fig6Options) ([]Speedup, error) {
+	var rows []Speedup
+	for _, plat := range opt.Platforms {
+		for _, size := range opt.Sizes {
+			times := map[lulesh.Variant]machine.Duration{}
+			for _, v := range lulesh.Variants() {
+				cfg := lulesh.Config{Size: size, Timesteps: opt.Timesteps, Variant: v}
+				t, err := simTime(plat, func(s *core.Session) error {
+					_, err := lulesh.Run(s, cfg)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				times[v] = t
+			}
+			base := times[lulesh.Baseline]
+			for _, v := range lulesh.Variants() {
+				if v == lulesh.Baseline {
+					continue
+				}
+				rows = append(rows, Speedup{
+					Platform: plat.Name,
+					Label:    sizeLabel(size),
+					Variant:  v.String(),
+					Baseline: base,
+					Time:     times[v],
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func sizeLabel(size int) string {
+	return "size=" + strconv.Itoa(size)
+}
+
+// RenderFig6 writes the rows as text.
+func RenderFig6(w io.Writer, rows []Speedup) {
+	renderSpeedups(w, "Fig. 6 — LULESH 2: speedup over the baseline (4 remedies x platforms x sizes)", rows)
+}

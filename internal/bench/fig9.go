@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"io"
+	"strconv"
+
+	"xplacer/internal/apps/sw"
+	"xplacer/internal/core"
+	"xplacer/internal/machine"
+)
+
+// Fig9Options parameterizes the Smith-Waterman rotation experiment (paper
+// Fig. 9). The paper's input lengths are 5000/25000/45000/46000 characters
+// with a 16 GiB GPU: 45000 fits, 46000 over-subscribes. The simulated
+// sweep preserves those ratios at ~1/50 scale: GPU memory is set to 1.05x
+// the footprint of the third size, so the largest size exceeds it.
+type Fig9Options struct {
+	// Sizes are the (square) string lengths, ascending; the last one must
+	// over-subscribe the scaled GPU memory.
+	Sizes []int
+	// Platforms: the paper uses Intel+Pascal (with PreferredLocation(GPU)
+	// advice) and IBM+Volta (without).
+	Platforms []*machine.Platform
+}
+
+// DefaultFig9Options returns the scaled standard sweep.
+func DefaultFig9Options() Fig9Options {
+	return Fig9Options{
+		Sizes:     []int{100, 500, 900, 920},
+		Platforms: []*machine.Platform{machine.IntelPascal(), machine.IBMVolta()},
+	}
+}
+
+// QuickFig9Options returns a fast smoke-test sweep.
+func QuickFig9Options() Fig9Options {
+	return Fig9Options{
+		Sizes:     []int{48, 96, 100},
+		Platforms: []*machine.Platform{machine.IntelPascal(), machine.IBMVolta()},
+	}
+}
+
+// Fig9 measures the rotated layout against the row-major baseline.
+func Fig9(opt Fig9Options) ([]Speedup, error) {
+	if len(opt.Sizes) < 2 {
+		return nil, errTooFewSizes
+	}
+	// Scale the GPU memory so that the second-largest size fits and the
+	// largest does not, like 45000 vs 46000 on the 16 GiB testbeds.
+	fitSize := opt.Sizes[len(opt.Sizes)-2]
+	gpuMem := sw.FootprintBytes(fitSize, fitSize) * 105 / 100
+
+	var rows []Speedup
+	for _, base := range opt.Platforms {
+		plat := base.Clone()
+		plat.GPUMemory = gpuMem
+		// "On the Intel plus Pascal system, the memory advise
+		// setPreferredLocation to GPU was used ...; on the IBM plus Volta
+		// system, this advise was not set" (§IV-B).
+		preferGPU := !plat.HardwareCoherent
+		for _, size := range opt.Sizes {
+			var times [2]machine.Duration
+			for i, rotated := range []bool{false, true} {
+				cfg := sw.Config{N: size, M: size, Seed: 11, Rotated: rotated, PreferGPU: preferGPU}
+				t, err := simTime(plat, func(s *core.Session) error {
+					_, err := sw.Run(s, cfg)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				times[i] = t
+			}
+			rows = append(rows, Speedup{
+				Platform: plat.Name,
+				Label:    "len=" + strconv.Itoa(size),
+				Variant:  "rotated",
+				Baseline: times[0],
+				Time:     times[1],
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig9 writes the rows as text.
+func RenderFig9(w io.Writer, rows []Speedup) {
+	renderSpeedups(w, "Fig. 9 — Smith-Waterman: speedup of the rotated-matrix version (largest size exceeds GPU memory)", rows)
+}

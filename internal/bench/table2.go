@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xplacer/internal/apps/rodinia"
+	"xplacer/internal/core"
+	"xplacer/internal/detect"
+	"xplacer/internal/machine"
+)
+
+// Table2Row is one benchmark's finding set.
+type Table2Row struct {
+	Benchmark string
+	Findings  []detect.Finding
+}
+
+// Summary reports the finding kinds per allocation, one line each, or the
+// paper's "no possible improvements identified" when there are none.
+func (r Table2Row) Summary() []string {
+	if len(r.Findings) == 0 {
+		return []string{"no possible improvements identified"}
+	}
+	var out []string
+	for _, f := range r.Findings {
+		out = append(out, fmt.Sprintf("%s: %s — %s", f.Alloc, f.Kind, f.Detail))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether a finding of the given kind exists on the given
+// allocation label ("" matches any allocation).
+func (r Table2Row) Has(kind detect.Kind, alloc string) bool {
+	for _, f := range r.Findings {
+		if f.Kind == kind && (alloc == "" || f.Alloc == alloc) {
+			return true
+		}
+	}
+	return false
+}
+
+// Table2 runs all six Rodinia benchmarks under instrumentation and
+// collects the end-of-run anti-pattern findings (paper Table II).
+func Table2() ([]Table2Row, error) {
+	plat := machine.IntelPascal()
+	opt := detect.DefaultOptions()
+
+	type app struct {
+		name string
+		run  func(s *core.Session) error
+	}
+	apps := []app{
+		{"Backprop", func(s *core.Session) error {
+			_, err := rodinia.RunBackprop(s, rodinia.BackpropConfig{In: 512, Hidden: 16, Seed: 5})
+			return err
+		}},
+		{"CFD", func(s *core.Session) error {
+			_, err := rodinia.RunCFD(s, rodinia.CFDConfig{Cells: 2048, Neighbors: 4, Iterations: 4, Seed: 5})
+			return err
+		}},
+		{"Gaussian", func(s *core.Session) error {
+			_, err := rodinia.RunGaussian(s, rodinia.GaussianConfig{N: 64})
+			return err
+		}},
+		{"LUD", func(s *core.Session) error {
+			_, err := rodinia.RunLUD(s, rodinia.LUDConfig{N: 64, Seed: 5})
+			return err
+		}},
+		{"NN", func(s *core.Session) error {
+			_, err := rodinia.RunNN(s, rodinia.NNConfig{Records: 4096, K: 5, QueryLat: 30, QueryLng: 90, Seed: 5})
+			return err
+		}},
+		{"Pathfinder", func(s *core.Session) error {
+			// Per-iteration diagnostics surface the paper's finding: each
+			// iteration accesses only 100/N percent of gpuWall (the
+			// per-interval low-access-density pattern).
+			_, err := rodinia.RunPathfinder(s, rodinia.PathfinderConfig{
+				Cols: 1024, Rows: 101, Pyramid: 20, Seed: 5, DiagEvery: 1,
+			})
+			return err
+		}},
+	}
+
+	var rows []Table2Row
+	for _, a := range apps {
+		s, err := core.NewSession(plat)
+		if err != nil {
+			return nil, err
+		}
+		s.Opt = opt
+		if err := a.run(s); err != nil {
+			return nil, fmt.Errorf("bench: table2: %s: %w", a.name, err)
+		}
+		s.Diagnostic(nil, "end of "+a.name)
+		// Collect findings from every diagnostic (per-iteration ones
+		// included), deduplicated by (kind, allocation).
+		type key struct {
+			kind  detect.Kind
+			alloc string
+		}
+		seen := map[key]bool{}
+		var findings []detect.Finding
+		for _, rep := range s.Reports() {
+			for _, f := range rep.Findings {
+				k := key{f.Kind, f.Alloc}
+				if !seen[k] {
+					seen[k] = true
+					findings = append(findings, f)
+				}
+			}
+		}
+		rows = append(rows, Table2Row{Benchmark: a.name, Findings: findings})
+	}
+	return rows, nil
+}
+
+// RenderTable2 writes the findings like the paper's Table II.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table II — Findings in a subset of the Rodinia benchmarks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "\n%s:\n", r.Benchmark)
+		for _, line := range r.Summary() {
+			fmt.Fprintf(w, "  - %s\n", line)
+		}
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 70))
+}

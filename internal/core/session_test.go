@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xplacer/internal/cuda"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+)
+
+func TestNewSessionInstrumented(t *testing.T) {
+	s, err := NewSession(machine.IntelPascal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Instrumented() || s.Tracer == nil {
+		t.Error("NewSession should instrument")
+	}
+	if s.Ctx.Tracer() == nil {
+		t.Error("tracer not wired into the context")
+	}
+}
+
+func TestNewPlainSession(t *testing.T) {
+	s, err := NewPlainSession(machine.IntelPascal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Instrumented() {
+		t.Error("plain session has a tracer")
+	}
+	// Diagnostic on a plain session is a harmless no-op.
+	r := s.Diagnostic(nil, "t")
+	if len(r.Allocs) != 0 {
+		t.Error("plain diagnostic not empty")
+	}
+}
+
+func TestSessionRejectsBadPlatform(t *testing.T) {
+	p := machine.IntelPascal().Clone()
+	p.PageSize = 1000
+	if _, err := NewSession(p); err == nil {
+		t.Error("invalid platform accepted")
+	}
+}
+
+func TestDiagnosticCollectsReports(t *testing.T) {
+	s := MustSession(machine.IntelPascal())
+	a, _ := s.Ctx.MallocManaged(64, "a")
+	memsim.Float64s(a).Store(s.Ctx.Host(), 0, 1)
+	var sb strings.Builder
+	s.Diagnostic(&sb, "first")
+	s.Diagnostic(&sb, "second")
+	if len(s.Reports()) != 2 {
+		t.Fatalf("reports = %d", len(s.Reports()))
+	}
+	if !strings.Contains(sb.String(), "=== first ===") {
+		t.Error("titles missing from output")
+	}
+	// The first interval had the write; the second (after reset) did not.
+	if s.Reports()[0].Allocs[0].WriteC != 2 {
+		t.Errorf("first interval writes = %d, want 2 words", s.Reports()[0].Allocs[0].WriteC)
+	}
+	if s.Reports()[1].Allocs[0].WriteC != 0 {
+		t.Error("second interval not reset")
+	}
+}
+
+func TestRunMeasuresSimAndWallTime(t *testing.T) {
+	res, err := Run(machine.IntelPascal(), false, func(s *Session) error {
+		a, err := s.Ctx.MallocManaged(1<<16, "a")
+		if err != nil {
+			return err
+		}
+		v := memsim.Float64s(a)
+		s.Ctx.LaunchSync("k", func(e *cuda.Exec) {
+			for i := int64(0); i < v.Len(); i++ {
+				v.Store(e, i, 1)
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimTime <= 0 {
+		t.Error("no simulated time")
+	}
+	if res.WallTime <= 0 {
+		t.Error("no wall time")
+	}
+	if res.UM.FaultsGPU == 0 {
+		t.Error("driver stats not captured")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	if _, err := Run(machine.IntelPascal(), true, func(*Session) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDefaultDetectOptionsApplied(t *testing.T) {
+	s := MustSession(machine.IntelPascal())
+	if s.Opt.DensityThresholdPct != 50 || s.Opt.MinBlockWords != 32 {
+		t.Errorf("defaults not applied: %+v", s.Opt)
+	}
+}

@@ -1,0 +1,538 @@
+// Package cuda provides a CUDA-like runtime API on top of the simulated
+// machine: managed and device allocations, explicit memcpys, memory advice,
+// streams with asynchronous copies, kernel launches, and a simulated clock.
+//
+// It is the analog of the CUDA runtime functions XPlacer wraps (§III-B):
+// cudaMalloc, cudaMallocManaged, cudaFree, cudaMemcpy, cudaMemAdvise, and
+// kernel launches. A Tracer registered on the Context observes every
+// allocation, access, transfer, and launch — exactly the hook points the
+// paper's instrumentation inserts.
+package cuda
+
+import (
+	"fmt"
+	"io"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/um"
+)
+
+// Tracer observes runtime events. internal/trace implements it; a nil
+// tracer on the Context disables instrumentation (the "original version"
+// of Table III).
+type Tracer interface {
+	// TraceAccess observes one element access by dev.
+	TraceAccess(dev machine.Device, a *memsim.Alloc, addr memsim.Addr, size int64, kind memsim.AccessKind)
+	// TraceAlloc observes an allocation (trcMalloc/trcMallocManaged).
+	TraceAlloc(a *memsim.Alloc)
+	// TraceFree observes a deallocation (trcFree).
+	TraceFree(a *memsim.Alloc)
+	// TraceTransfer observes an explicit memcpy touching [off, off+n) of a.
+	// H2D is recorded as a CPU write of the range, D2H as a CPU read
+	// (§III-C "Unnecessary data transfers").
+	TraceTransfer(a *memsim.Alloc, dir um.TransferDir, off, n int64)
+	// TraceKernelLaunch observes a kernel launch by name.
+	TraceKernelLaunch(name string)
+}
+
+// Stream orders asynchronous work. Operations issued on the same stream
+// execute in order; different streams may overlap — the mechanism the
+// optimized Pathfinder uses to hide transfers behind compute (Fig. 11).
+type Stream struct {
+	ctx   *Context
+	id    int
+	avail machine.Duration // simulated time at which the stream is idle
+}
+
+// ID returns the stream's context-unique id (0 is the default stream).
+func (s *Stream) ID() int { return s.id }
+
+// KernelRecord is the per-launch profile the kernel-launch wrapper
+// collects — the paper's §III-B use case of recording "the number of page
+// faults ... before and after the launch of a CUDA kernel" (CUPTI-style
+// counters, without needing CUPTI).
+type KernelRecord struct {
+	// Name is the launch label; Seq the global launch index.
+	Name string
+	Seq  int64
+	// Stream is the stream id the kernel ran on.
+	Stream int
+	// Start and Duration place the kernel on the simulated timeline.
+	Start    machine.Duration
+	Duration machine.Duration
+	// Faults is the number of page faults the kernel took; MigratedBytes
+	// the page traffic it caused (including evictions); PagesTouched the
+	// distinct pages it accessed.
+	Faults        int
+	MigratedBytes int64
+	PagesTouched  int
+	// Stalled reports whether the fault-storm stall applied.
+	Stalled bool
+}
+
+// Context is one simulated process on one platform: an address space, a UM
+// driver, a host clock, and streams.
+type Context struct {
+	plat    *machine.Platform
+	space   *memsim.Space
+	drv     *um.Driver
+	tracer  Tracer
+	hostNow machine.Duration
+	streams []*Stream
+	host    *Exec
+	kernels int64
+
+	profile  bool
+	profiled []KernelRecord
+}
+
+// NewContext creates a fresh simulated process on the platform.
+func NewContext(plat *machine.Platform) (*Context, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	space := memsim.NewSpace(plat.PageSize)
+	ctx := &Context{
+		plat:  plat,
+		space: space,
+		drv:   um.NewDriver(plat, space),
+	}
+	ctx.streams = []*Stream{{ctx: ctx, id: 0}}
+	ctx.host = &Exec{ctx: ctx, dev: machine.CPU, host: true}
+	return ctx, nil
+}
+
+// MustContext is NewContext that panics on error; for tests and examples
+// with preset platforms.
+func MustContext(plat *machine.Platform) *Context {
+	ctx, err := NewContext(plat)
+	if err != nil {
+		panic(err)
+	}
+	return ctx
+}
+
+// SetTracer installs (or with nil removes) the instrumentation hook.
+func (c *Context) SetTracer(t Tracer) { c.tracer = t }
+
+// Tracer returns the installed tracer, or nil.
+func (c *Context) Tracer() Tracer { return c.tracer }
+
+// Platform returns the machine model the context runs on.
+func (c *Context) Platform() *machine.Platform { return c.plat }
+
+// Space returns the simulated address space.
+func (c *Context) Space() *memsim.Space { return c.space }
+
+// Driver returns the unified-memory driver (for statistics).
+func (c *Context) Driver() *um.Driver { return c.drv }
+
+// Now returns the current simulated host time.
+func (c *Context) Now() machine.Duration { return c.hostNow }
+
+// KernelCount returns the number of kernels launched so far.
+func (c *Context) KernelCount() int64 { return c.kernels }
+
+// SetProfiling enables (or disables) per-kernel profiling; records are
+// retrieved with KernelProfile.
+func (c *Context) SetProfiling(on bool) { c.profile = on }
+
+// KernelProfile returns the per-launch records collected while profiling
+// was enabled. The returned slice must not be modified.
+func (c *Context) KernelProfile() []KernelRecord { return c.profiled }
+
+// WriteKernelProfile renders the collected records as a text table, or as
+// CSV when csv is set — the per-kernel fault counters the paper's
+// kernel-launch wrapper gathers (§III-B).
+func (c *Context) WriteKernelProfile(w io.Writer, csv bool) {
+	if csv {
+		fmt.Fprintln(w, "seq,name,stream,start_ps,duration_ps,faults,migrated_bytes,pages_touched,stalled")
+		for _, r := range c.profiled {
+			fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%t\n",
+				r.Seq, r.Name, r.Stream, int64(r.Start), int64(r.Duration),
+				r.Faults, r.MigratedBytes, r.PagesTouched, r.Stalled)
+		}
+		return
+	}
+	fmt.Fprintf(w, "%5s %-36s %3s %14s %14s %7s %10s %7s %7s\n",
+		"seq", "kernel", "str", "start", "duration", "faults", "migBytes", "pages", "stalled")
+	for _, r := range c.profiled {
+		fmt.Fprintf(w, "%5d %-36s %3d %14s %14s %7d %10d %7d %7t\n",
+			r.Seq, r.Name, r.Stream, r.Start, r.Duration,
+			r.Faults, r.MigratedBytes, r.PagesTouched, r.Stalled)
+	}
+}
+
+// Host returns the host execution context, through which CPU code performs
+// element accesses.
+func (c *Context) Host() *Exec { return c.host }
+
+// MallocManaged allocates unified memory (cudaMallocManaged).
+func (c *Context) MallocManaged(size int64, label string) (*memsim.Alloc, error) {
+	return c.alloc(size, memsim.Managed, label)
+}
+
+// Malloc allocates device-only memory (cudaMalloc).
+func (c *Context) Malloc(size int64, label string) (*memsim.Alloc, error) {
+	return c.alloc(size, memsim.DeviceOnly, label)
+}
+
+// HostAlloc registers plain host heap memory so the tracer can observe
+// host-side accesses to it.
+func (c *Context) HostAlloc(size int64, label string) (*memsim.Alloc, error) {
+	return c.alloc(size, memsim.HostOnly, label)
+}
+
+func (c *Context) alloc(size int64, kind memsim.Kind, label string) (*memsim.Alloc, error) {
+	a, err := c.space.Alloc(size, kind, label)
+	if err != nil {
+		return nil, err
+	}
+	c.drv.Register(a)
+	if c.tracer != nil {
+		c.tracer.TraceAlloc(a)
+	}
+	// A small fixed driver cost per allocation.
+	c.hostNow += 2 * machine.Microsecond
+	return a, nil
+}
+
+// Free releases an allocation (cudaFree). The shadow memory of the tracer
+// survives until the next diagnostic per the paper's delayed-free rule.
+func (c *Context) Free(a *memsim.Alloc) error {
+	if c.tracer != nil {
+		c.tracer.TraceFree(a)
+	}
+	c.drv.Unregister(a)
+	c.hostNow += 1 * machine.Microsecond
+	return c.space.Free(a)
+}
+
+// Advise applies memory advice to a whole allocation (cudaMemAdvise over
+// the full range).
+func (c *Context) Advise(a *memsim.Alloc, adv um.Advice, dev machine.Device) error {
+	c.hostNow += 1 * machine.Microsecond
+	return c.drv.Advise(a, adv, dev)
+}
+
+// AdviseRange applies memory advice to [off, off+n) of an allocation, page
+// granular like the real cudaMemAdvise(ptr, size, ...).
+func (c *Context) AdviseRange(a *memsim.Alloc, off, n int64, adv um.Advice, dev machine.Device) error {
+	c.hostNow += 1 * machine.Microsecond
+	return c.drv.AdviseRange(a, off, n, adv, dev)
+}
+
+// Prefetch synchronously moves a managed allocation to dev
+// (cudaMemPrefetchAsync + sync).
+func (c *Context) Prefetch(a *memsim.Alloc, dev machine.Device) {
+	c.hostNow += c.drv.Prefetch(a, dev)
+}
+
+// NewStream creates an additional stream.
+func (c *Context) NewStream() *Stream {
+	s := &Stream{ctx: c, id: len(c.streams)}
+	c.streams = append(c.streams, s)
+	return s
+}
+
+// Event marks a point on a stream's timeline (cudaEvent). Record it on a
+// stream, then make another stream wait for it (WaitEvent) or ask for the
+// elapsed time between two events — device-side cross-stream dependencies
+// without host synchronization.
+type Event struct {
+	recorded bool
+	when     machine.Duration
+}
+
+// NewEvent creates an unrecorded event.
+func (c *Context) NewEvent() *Event { return &Event{} }
+
+// Record captures the stream's current completion time in the event
+// (cudaEventRecord).
+func (c *Context) Record(ev *Event, s *Stream) {
+	if s == nil {
+		s = c.streams[0]
+	}
+	ev.recorded = true
+	ev.when = maxDur(c.hostNow, s.avail)
+	c.hostNow += machine.Microsecond // issue overhead
+}
+
+// WaitEvent makes subsequent work on s wait until the event's recorded
+// point has completed (cudaStreamWaitEvent). Waiting on an unrecorded
+// event is a no-op, as in CUDA.
+func (c *Context) WaitEvent(s *Stream, ev *Event) {
+	if s == nil {
+		s = c.streams[0]
+	}
+	if ev.recorded && ev.when > s.avail {
+		s.avail = ev.when
+	}
+	c.hostNow += machine.Microsecond
+}
+
+// EventSynchronize blocks the host until the event's point has completed.
+func (c *Context) EventSynchronize(ev *Event) {
+	if ev.recorded {
+		c.hostNow = maxDur(c.hostNow, ev.when)
+	}
+	c.hostNow += c.plat.StreamSync
+}
+
+// ElapsedTime returns the simulated time between two recorded events
+// (cudaEventElapsedTime). It returns 0 if either event is unrecorded.
+func (c *Context) ElapsedTime(start, end *Event) machine.Duration {
+	if !start.recorded || !end.recorded {
+		return 0
+	}
+	return end.when - start.when
+}
+
+// DefaultStream returns stream 0.
+func (c *Context) DefaultStream() *Stream { return c.streams[0] }
+
+// MemcpyH2D copies len(src) bytes from host memory into a device or
+// managed allocation at byte offset off, synchronously (cudaMemcpy
+// HostToDevice).
+func (c *Context) MemcpyH2D(dst *memsim.Alloc, off int64, src []byte) {
+	c.memcpyH2D(dst, off, src)
+	c.hostNow += c.drv.Transfer(dst, um.HostToDevice, int64(len(src)))
+}
+
+// MemcpyH2DAsync is MemcpyH2D queued on a stream; the host does not wait.
+func (c *Context) MemcpyH2DAsync(s *Stream, dst *memsim.Alloc, off int64, src []byte) {
+	c.memcpyH2D(dst, off, src)
+	dur := c.drv.Transfer(dst, um.HostToDevice, int64(len(src)))
+	start := maxDur(c.hostNow, s.avail)
+	s.avail = start + dur
+	c.hostNow += machine.Microsecond // issue overhead
+}
+
+func (c *Context) memcpyH2D(dst *memsim.Alloc, off int64, src []byte) {
+	n := int64(len(src))
+	if off < 0 || off+n > dst.Size {
+		panic(fmt.Sprintf("cuda: MemcpyH2D [%d,%d) out of bounds of %s", off, off+n, dst))
+	}
+	copy(dst.Data()[off:off+n], src)
+	if c.tracer != nil {
+		c.tracer.TraceTransfer(dst, um.HostToDevice, off, n)
+	}
+}
+
+// MemcpyD2H copies len(dst) bytes from a device or managed allocation at
+// byte offset off into host memory, synchronously.
+func (c *Context) MemcpyD2H(dst []byte, src *memsim.Alloc, off int64) {
+	n := int64(len(dst))
+	if off < 0 || off+n > src.Size {
+		panic(fmt.Sprintf("cuda: MemcpyD2H [%d,%d) out of bounds of %s", off, off+n, src))
+	}
+	// A synchronous D2H waits for outstanding device work first.
+	c.deviceSync()
+	copy(dst, src.Data()[off:off+n])
+	if c.tracer != nil {
+		c.tracer.TraceTransfer(src, um.DeviceToHost, off, n)
+	}
+	c.hostNow += c.drv.Transfer(src, um.DeviceToHost, n)
+}
+
+// Launch runs a kernel on a stream. The body executes immediately (the
+// simulation is sequential) but its simulated duration is placed on the
+// stream's timeline: launch overhead + aggregate local access time divided
+// by GPU parallelism + remote access time divided by link concurrency +
+// serial driver time (faults, migrations).
+func (c *Context) Launch(s *Stream, name string, body func(e *Exec)) {
+	if s == nil {
+		s = c.streams[0]
+	}
+	if c.tracer != nil {
+		c.tracer.TraceKernelLaunch(name)
+	}
+	c.kernels++
+	e := &Exec{ctx: c, dev: machine.GPU}
+	body(e)
+	dur := c.plat.KernelLaunch + e.kernelDuration(c.plat)
+	start := maxDur(c.hostNow, s.avail)
+	s.avail = start + dur
+	c.hostNow += machine.Microsecond // async launch issue overhead
+	if c.profile {
+		c.profiled = append(c.profiled, KernelRecord{
+			Name:          name,
+			Seq:           c.kernels - 1,
+			Stream:        s.id,
+			Start:         start,
+			Duration:      dur,
+			Faults:        e.faults,
+			MigratedBytes: e.migBytes,
+			PagesTouched:  e.pageCount,
+			Stalled:       e.faults > 0 && c.plat.FaultStallPct > 0,
+		})
+	}
+}
+
+// LaunchSync is Launch followed by Synchronize, for the common pattern of
+// benchmarks that launch and immediately wait.
+func (c *Context) LaunchSync(name string, body func(e *Exec)) {
+	c.Launch(nil, name, body)
+	c.Synchronize()
+}
+
+// StreamSynchronize blocks the host until the stream is idle.
+func (c *Context) StreamSynchronize(s *Stream) {
+	c.hostNow = maxDur(c.hostNow, s.avail) + c.plat.StreamSync
+}
+
+// Synchronize blocks the host until all streams are idle
+// (cudaDeviceSynchronize).
+func (c *Context) Synchronize() {
+	c.deviceSync()
+	c.hostNow += c.plat.StreamSync
+}
+
+func (c *Context) deviceSync() {
+	for _, s := range c.streams {
+		c.hostNow = maxDur(c.hostNow, s.avail)
+	}
+}
+
+// Exec is an execution context: host code or one kernel. Views perform
+// element accesses through it; it charges the cost model and calls the
+// tracer.
+type Exec struct {
+	ctx  *Context
+	dev  machine.Device
+	host bool
+
+	local  machine.Duration
+	remote machine.Duration
+	serial machine.Duration
+	// Distinct-page tracking: each page a kernel touches costs
+	// PageTouchCost (GPU TLB misses / page-table walks). lastPage is a
+	// per-allocation short circuit so sequential streams stay cheap.
+	touched   map[memsim.Addr]struct{}
+	lastPage  []memsim.Addr // by alloc ID; page number + 1, 0 = none yet
+	pageCount int
+	// Optional GPU L2 model (§VI future work): lines seen by this kernel.
+	// Enabled only when the platform sets GPUL2Bytes.
+	l2lines map[memsim.Addr]struct{}
+	l2hits  int64
+	// faults and migBytes batch into fault groups / pipelined transfers at
+	// the end of the kernel.
+	faults   int
+	migBytes int64
+	// Compute time added explicitly via Work, divided by parallelism for
+	// kernels.
+	work machine.Duration
+}
+
+// Device returns the device this execution context runs on.
+func (e *Exec) Device() machine.Device { return e.dev }
+
+// Access implements memsim.Accessor.
+func (e *Exec) Access(a *memsim.Alloc, addr memsim.Addr, size int64, kind memsim.AccessKind) {
+	if t := e.ctx.tracer; t != nil {
+		t.TraceAccess(e.dev, a, addr, size, kind)
+	}
+	cost := e.ctx.drv.Access(e.dev, a, addr, size, kind)
+	if e.host {
+		// Host code advances the host clock directly; every cost component
+		// serializes (host faults are serviced one at a time).
+		e.ctx.hostNow += cost.HostTime(e.ctx.plat)
+		return
+	}
+	e.local += cost.Local
+	e.remote += cost.Remote
+	e.serial += cost.Serial
+	e.faults += cost.Faults
+	e.migBytes += cost.MigratedBytes
+	e.notePage(a.ID, addr)
+	if e.ctx.plat.GPUL2Bytes > 0 && cost.Remote == 0 && cost.Faults == 0 {
+		e.noteLine(addr, size)
+	}
+}
+
+// noteLine models the optional GPU L2 (§VI): a repeat access to a line the
+// kernel already touched — while the kernel's line footprint still fits in
+// the cache — is re-priced from GPUAccess to GPUL2Hit.
+func (e *Exec) noteLine(addr memsim.Addr, size int64) {
+	line := e.ctx.plat.GPUL2Line
+	if line <= 0 {
+		line = 128
+	}
+	if e.l2lines == nil {
+		e.l2lines = make(map[memsim.Addr]struct{})
+	}
+	ln := addr / memsim.Addr(line)
+	if _, ok := e.l2lines[ln]; ok {
+		if int64(len(e.l2lines))*line <= e.ctx.plat.GPUL2Bytes {
+			// Hit: refund the local DRAM cost, charge the hit cost.
+			words := machine.Duration((size + 3) / 4)
+			e.local -= e.ctx.plat.GPUAccess * words
+			e.local += e.ctx.plat.GPUL2Hit * words
+			e.l2hits++
+		}
+		return
+	}
+	e.l2lines[ln] = struct{}{}
+}
+
+// notePage records the page of an access for the per-kernel distinct-page
+// cost. The per-allocation last-page cache keeps sequential streams off
+// the map.
+func (e *Exec) notePage(allocID int, addr memsim.Addr) {
+	pg := addr/memsim.Addr(e.ctx.plat.PageSize) + 1
+	for allocID >= len(e.lastPage) {
+		e.lastPage = append(e.lastPage, 0)
+	}
+	if e.lastPage[allocID] == pg {
+		return
+	}
+	e.lastPage[allocID] = pg
+	if e.touched == nil {
+		e.touched = make(map[memsim.Addr]struct{})
+	}
+	if _, ok := e.touched[pg]; !ok {
+		e.touched[pg] = struct{}{}
+		e.pageCount++
+	}
+}
+
+// Work charges d of pure compute time (arithmetic between memory accesses).
+// For kernels it is divided by the GPU parallelism like local access time.
+func (e *Exec) Work(d machine.Duration) {
+	if e.host {
+		e.ctx.hostNow += d
+		return
+	}
+	e.work += d
+}
+
+// kernelDuration folds the accumulated costs into the kernel's simulated
+// duration: local plus compute time divided by thread parallelism, remote
+// memory time divided by the link concurrency, one PageTouchCost per
+// distinct page touched, fault latency batched into page fault groups,
+// migrations pipelined at link bandwidth, and serial driver time undivided.
+func (e *Exec) kernelDuration(p *machine.Platform) machine.Duration {
+	par := machine.Duration(p.GPUParallelism)
+	rc := machine.Duration(p.RemoteConcurrency)
+	fc := machine.Duration(p.FaultConcurrency)
+	compute := (e.local + e.work) / par
+	if e.faults > 0 && p.FaultStallPct > 0 {
+		// A faulting kernel loses latency hiding (fault-storm stall).
+		compute = compute * machine.Duration(100+p.FaultStallPct) / 100
+	}
+	d := compute + e.remote/rc + e.serial
+	d += machine.Duration(e.pageCount) * p.PageTouchCost
+	d += machine.Duration(e.faults) * p.FaultService / fc
+	if e.migBytes > 0 {
+		d += p.TransferTime(e.migBytes)
+	}
+	return d
+}
+
+func maxDur(a, b machine.Duration) machine.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

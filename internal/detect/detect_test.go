@@ -1,0 +1,295 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+)
+
+// fixture builds a shadow table with one entry of n words.
+func fixture(t *testing.T, kind memsim.Kind, words int) (*shadow.Table, *shadow.Entry, *memsim.Alloc) {
+	t.Helper()
+	sp := memsim.NewSpace(4096)
+	a, err := sp.Alloc(int64(words*shadow.WordSize), kind, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := shadow.NewTable()
+	e, err := tb.Insert(a, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, e, a
+}
+
+func findKind(fs []Finding, k Kind) *Finding {
+	for i := range fs {
+		if fs[i].Kind == k {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestAlternatingDetection(t *testing.T) {
+	tb, _, a := fixture(t, memsim.Managed, 100)
+	// CPU writes word 0-9, GPU reads word 0-4, GPU writes word 5.
+	for i := 0; i < 10; i++ {
+		tb.Record(machine.CPU, a.Base+memsim.Addr(i*4), 4, memsim.Write)
+	}
+	for i := 0; i < 5; i++ {
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Read)
+	}
+	tb.Record(machine.GPU, a.Base+5*4, 4, memsim.Write)
+
+	fs := Scan(tb.Entries(), DefaultOptions())
+	f := findKind(fs, AlternatingAccess)
+	if f == nil {
+		t.Fatal("no alternating finding")
+	}
+	// Words 0-4: CPU write + GPU read; word 5: CPU write + GPU write.
+	if f.Count != 6 {
+		t.Errorf("alternating count = %d, want 6", f.Count)
+	}
+}
+
+func TestAlternatingRequiresWrite(t *testing.T) {
+	tb, e, a := fixture(t, memsim.Managed, 10)
+	// Both devices only read: not alternating in the paper's sense.
+	tb.Record(machine.CPU, a.Base, 4, memsim.Read)
+	tb.Record(machine.GPU, a.Base, 4, memsim.Read)
+	if n := Alternating(e); n != 0 {
+		t.Errorf("read-only sharing flagged as alternating: %d", n)
+	}
+}
+
+func TestAlternatingOnlyOnManaged(t *testing.T) {
+	tb, _, a := fixture(t, memsim.DeviceOnly, 10)
+	tb.Record(machine.CPU, a.Base, 4, memsim.Write) // via memcpy
+	tb.Record(machine.GPU, a.Base, 4, memsim.Write)
+	fs := Scan(tb.Entries(), DefaultOptions())
+	if findKind(fs, AlternatingAccess) != nil {
+		t.Error("alternating reported for non-managed memory")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	tb, e, a := fixture(t, memsim.Managed, 200)
+	for i := 0; i < 18; i++ { // 9%
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Write)
+	}
+	touched, pct := Density(e)
+	if touched != 18 || pct != 9 {
+		t.Errorf("Density = %d words, %d%%; want 18, 9%%", touched, pct)
+	}
+	fs := Scan(tb.Entries(), DefaultOptions())
+	f := findKind(fs, LowAccessDensity)
+	if f == nil || f.DensityPct != 9 {
+		t.Fatalf("low-density finding = %+v", f)
+	}
+}
+
+func TestDensityThresholdBoundary(t *testing.T) {
+	// Exactly at the threshold still flags (paper: density <= threshold).
+	tb, _, a := fixture(t, memsim.Managed, 10)
+	for i := 0; i < 5; i++ {
+		tb.Record(machine.CPU, a.Base+memsim.Addr(i*4), 4, memsim.Write)
+	}
+	fs := Scan(tb.Entries(), Options{DensityThresholdPct: 50, MinBlockWords: 4})
+	if findKind(fs, LowAccessDensity) == nil {
+		t.Error("50% density with 50% threshold not flagged")
+	}
+	// 60% is above the threshold.
+	tb2, _, a2 := fixture(t, memsim.Managed, 10)
+	for i := 0; i < 6; i++ {
+		tb2.Record(machine.CPU, a2.Base+memsim.Addr(i*4), 4, memsim.Write)
+	}
+	fs2 := Scan(tb2.Entries(), Options{DensityThresholdPct: 50, MinBlockWords: 4})
+	if findKind(fs2, LowAccessDensity) != nil {
+		t.Error("60% density flagged at 50% threshold")
+	}
+}
+
+func TestFullDensityNotFlagged(t *testing.T) {
+	tb, _, a := fixture(t, memsim.Managed, 16)
+	for i := 0; i < 16; i++ {
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Write)
+	}
+	fs := Scan(tb.Entries(), DefaultOptions())
+	if findKind(fs, LowAccessDensity) != nil {
+		t.Error("100% density flagged")
+	}
+}
+
+func TestUnusedAllocation(t *testing.T) {
+	tb, _, _ := fixture(t, memsim.DeviceOnly, 64)
+	fs := Scan(tb.Entries(), DefaultOptions())
+	f := findKind(fs, UnusedAllocation)
+	if f == nil {
+		t.Fatal("unused allocation not reported")
+	}
+	if !strings.Contains(f.Detail, "never accessed") {
+		t.Errorf("detail = %q", f.Detail)
+	}
+	// An unused allocation must not also be flagged low-density etc.
+	if len(fs) != 1 {
+		t.Errorf("extra findings on unused alloc: %v", fs)
+	}
+}
+
+func TestUnnecessaryTransferInNeverAccessed(t *testing.T) {
+	tb, e, a := fixture(t, memsim.DeviceOnly, 128)
+	// Whole block H2D; GPU reads only the first 32 words.
+	tb.Record(machine.CPU, a.Base, int64(128*4), memsim.Write)
+	e.TransferredIn = 128 * 4
+	for i := 0; i < 32; i++ {
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Read)
+	}
+	fs := Scan(tb.Entries(), Options{DensityThresholdPct: 50, MinBlockWords: 32})
+	f := findKind(fs, UnnecessaryTransferIn)
+	if f == nil {
+		t.Fatal("unnecessary transfer-in not found")
+	}
+	if f.Count != 96 {
+		t.Errorf("unused transferred words = %d, want 96", f.Count)
+	}
+	if len(f.Blocks) != 1 || f.Blocks[0].FirstWord != 32 || f.Blocks[0].Words != 96 {
+		t.Errorf("blocks = %+v", f.Blocks)
+	}
+}
+
+func TestUnnecessaryTransferInOverwritten(t *testing.T) {
+	// The Gaussian pattern of Table II: GPU overwrites all transferred
+	// values before using them.
+	tb, e, a := fixture(t, memsim.DeviceOnly, 64)
+	tb.Record(machine.CPU, a.Base, 64*4, memsim.Write)
+	e.TransferredIn = 64 * 4
+	for i := 0; i < 64; i++ {
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Write)
+	}
+	// GPU reads after overwriting: origin is now GPU, so the transferred
+	// values were never used.
+	for i := 0; i < 64; i++ {
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Read)
+	}
+	fs := Scan(tb.Entries(), DefaultOptions())
+	f := findKind(fs, UnnecessaryTransferIn)
+	if f == nil {
+		t.Fatal("overwritten-before-use transfer not found")
+	}
+	if !strings.Contains(f.Detail, "overwrites all transferred values") {
+		t.Errorf("detail = %q", f.Detail)
+	}
+}
+
+func TestNecessaryTransferInNotFlagged(t *testing.T) {
+	tb, e, a := fixture(t, memsim.DeviceOnly, 64)
+	tb.Record(machine.CPU, a.Base, 64*4, memsim.Write)
+	e.TransferredIn = 64 * 4
+	for i := 0; i < 64; i++ {
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Read)
+	}
+	fs := Scan(tb.Entries(), DefaultOptions())
+	if f := findKind(fs, UnnecessaryTransferIn); f != nil {
+		t.Errorf("fully read transfer flagged: %+v", f)
+	}
+}
+
+func TestUnnecessaryTransferOut(t *testing.T) {
+	// The Backprop pattern: copied back although the GPU never wrote it.
+	tb, e, a := fixture(t, memsim.DeviceOnly, 64)
+	tb.Record(machine.CPU, a.Base, 64*4, memsim.Write)
+	e.TransferredIn = 64 * 4
+	for i := 0; i < 64; i++ {
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Read)
+	}
+	tb.Record(machine.CPU, a.Base, 64*4, memsim.Read) // D2H
+	e.TransferredOut = 64 * 4
+	fs := Scan(tb.Entries(), DefaultOptions())
+	f := findKind(fs, UnnecessaryTransferOut)
+	if f == nil {
+		t.Fatal("unnecessary transfer-out not found")
+	}
+	if f.Count != 64 {
+		t.Errorf("count = %d, want 64", f.Count)
+	}
+}
+
+func TestModifiedTransferOutNotFlagged(t *testing.T) {
+	tb, e, a := fixture(t, memsim.DeviceOnly, 64)
+	for i := 0; i < 64; i++ {
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Write)
+	}
+	tb.Record(machine.CPU, a.Base, 64*4, memsim.Read)
+	e.TransferredOut = 64 * 4
+	fs := Scan(tb.Entries(), DefaultOptions())
+	if f := findKind(fs, UnnecessaryTransferOut); f != nil {
+		t.Errorf("GPU-modified transfer-out flagged: %+v", f)
+	}
+}
+
+func TestMinBlockWordsFiltersSmallRuns(t *testing.T) {
+	tb, e, a := fixture(t, memsim.DeviceOnly, 64)
+	tb.Record(machine.CPU, a.Base, 64*4, memsim.Write)
+	e.TransferredIn = 64 * 4
+	// GPU reads every other word: unused runs have length 1.
+	for i := 0; i < 64; i += 2 {
+		tb.Record(machine.GPU, a.Base+memsim.Addr(i*4), 4, memsim.Read)
+	}
+	fs := Scan(tb.Entries(), Options{DensityThresholdPct: 0, MinBlockWords: 8})
+	if f := findKind(fs, UnnecessaryTransferIn); f != nil {
+		t.Errorf("1-word runs reported with MinBlockWords=8: %+v", f)
+	}
+}
+
+func TestKindStringsAndRemedies(t *testing.T) {
+	kinds := []Kind{AlternatingAccess, LowAccessDensity, UnnecessaryTransferIn, UnnecessaryTransferOut, UnusedAllocation}
+	for _, k := range kinds {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if k.Remedy() == "" {
+			t.Errorf("kind %v has no remedy", k)
+		}
+	}
+}
+
+func TestDensityMatchesBruteForceQuick(t *testing.T) {
+	err := quick.Check(func(pattern []bool) bool {
+		if len(pattern) == 0 {
+			return true
+		}
+		sp := memsim.NewSpace(4096)
+		a, err := sp.Alloc(int64(len(pattern)*4), memsim.Managed, "q")
+		if err != nil {
+			return false
+		}
+		tb := shadow.NewTable()
+		e, err := tb.Insert(a, "f")
+		if err != nil {
+			return false
+		}
+		want := 0
+		for i, on := range pattern {
+			if on {
+				tb.Record(machine.CPU, a.Base+memsim.Addr(i*4), 4, memsim.Write)
+				want++
+			}
+		}
+		got, pct := Density(e)
+		return got == want && pct == want*100/len(pattern)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockBytes(t *testing.T) {
+	if (Block{FirstWord: 3, Words: 10}).Bytes() != 40 {
+		t.Error("Block.Bytes wrong")
+	}
+}

@@ -1,0 +1,129 @@
+package diag
+
+import (
+	"fmt"
+	"io"
+
+	"xplacer/internal/detect"
+)
+
+// DiffEntry describes how one allocation's behaviour changed between two
+// diagnostic reports (typically: before and after applying a remedy).
+type DiffEntry struct {
+	Label string
+	// Before and After are nil when the allocation exists on one side only.
+	Before, After *AllocSummary
+	// ResolvedFindings and NewFindings list anti-patterns that disappeared
+	// or appeared.
+	ResolvedFindings []detect.Finding
+	NewFindings      []detect.Finding
+}
+
+// Changed reports whether anything moved for this allocation.
+func (d DiffEntry) Changed() bool {
+	if len(d.ResolvedFindings) > 0 || len(d.NewFindings) > 0 {
+		return true
+	}
+	if (d.Before == nil) != (d.After == nil) {
+		return true
+	}
+	if d.Before == nil {
+		return false
+	}
+	return d.Before.Alternating != d.After.Alternating ||
+		d.Before.DensityPct != d.After.DensityPct
+}
+
+// Diff compares two reports by allocation label — the "did my fix work?"
+// step of the paper's workflow (§III-D step 5, iterated).
+func Diff(before, after Report) []DiffEntry {
+	type bucket struct {
+		before, after *AllocSummary
+	}
+	order := []string{}
+	byLabel := map[string]*bucket{}
+	get := func(label string) *bucket {
+		b, ok := byLabel[label]
+		if !ok {
+			b = &bucket{}
+			byLabel[label] = b
+			order = append(order, label)
+		}
+		return b
+	}
+	for i := range before.Allocs {
+		get(before.Allocs[i].Label).before = &before.Allocs[i]
+	}
+	for i := range after.Allocs {
+		get(after.Allocs[i].Label).after = &after.Allocs[i]
+	}
+
+	findingsBy := func(r Report) map[string][]detect.Finding {
+		m := map[string][]detect.Finding{}
+		for _, f := range r.Findings {
+			m[f.Alloc] = append(m[f.Alloc], f)
+		}
+		return m
+	}
+	fb, fa := findingsBy(before), findingsBy(after)
+	hasKind := func(fs []detect.Finding, k detect.Kind) bool {
+		for _, f := range fs {
+			if f.Kind == k {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []DiffEntry
+	for _, label := range order {
+		b := byLabel[label]
+		e := DiffEntry{Label: label, Before: b.before, After: b.after}
+		for _, f := range fb[label] {
+			if !hasKind(fa[label], f.Kind) {
+				e.ResolvedFindings = append(e.ResolvedFindings, f)
+			}
+		}
+		for _, f := range fa[label] {
+			if !hasKind(fb[label], f.Kind) {
+				e.NewFindings = append(e.NewFindings, f)
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// RenderDiff writes the changed entries of a diff.
+func RenderDiff(w io.Writer, entries []DiffEntry) {
+	changed := 0
+	for _, e := range entries {
+		if !e.Changed() {
+			continue
+		}
+		changed++
+		fmt.Fprintf(w, "%s:\n", e.Label)
+		switch {
+		case e.Before == nil:
+			fmt.Fprintln(w, "  new allocation")
+		case e.After == nil:
+			fmt.Fprintln(w, "  allocation gone")
+		default:
+			if e.Before.Alternating != e.After.Alternating {
+				fmt.Fprintf(w, "  alternating elements: %d -> %d\n", e.Before.Alternating, e.After.Alternating)
+			}
+			if e.Before.DensityPct != e.After.DensityPct {
+				fmt.Fprintf(w, "  access density: %d%% -> %d%%\n", e.Before.DensityPct, e.After.DensityPct)
+			}
+		}
+		for _, f := range e.ResolvedFindings {
+			fmt.Fprintf(w, "  resolved: %s\n", f.Kind)
+		}
+		for _, f := range e.NewFindings {
+			fmt.Fprintf(w, "  NEW: %s — %s\n", f.Kind, f.Detail)
+		}
+	}
+	if changed == 0 {
+		fmt.Fprintln(w, "no differences")
+	}
+}

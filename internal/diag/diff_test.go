@@ -1,0 +1,93 @@
+package diag_test
+
+import (
+	"strings"
+	"testing"
+
+	"xplacer/internal/apps/rodinia"
+	"xplacer/internal/core"
+	"xplacer/internal/detect"
+	"xplacer/internal/diag"
+	"xplacer/internal/machine"
+)
+
+func TestDiffDetectsResolvedFindings(t *testing.T) {
+	// Backprop baseline vs optimized: the diff must show the unused
+	// allocation and the round-trip copy as resolved.
+	report := func(optimize bool) diag.Report {
+		s := core.MustSession(machine.IntelPascal())
+		if _, err := rodinia.RunBackprop(s, rodinia.BackpropConfig{In: 128, Hidden: 16, Seed: 3, Optimize: optimize}); err != nil {
+			t.Fatal(err)
+		}
+		return s.Diagnostic(nil, "")
+	}
+	before, after := report(false), report(true)
+	entries := diag.Diff(before, after)
+
+	byLabel := map[string]diag.DiffEntry{}
+	for _, e := range entries {
+		byLabel[e.Label] = e
+	}
+	in := byLabel["input_cuda"]
+	if len(in.ResolvedFindings) == 0 || in.ResolvedFindings[0].Kind != detect.UnnecessaryTransferOut {
+		t.Errorf("input_cuda diff = %+v, want resolved transfer-out", in)
+	}
+	out := byLabel["output_hidden_cuda"]
+	if out.After != nil || out.Before == nil {
+		t.Errorf("output_hidden_cuda should exist only before: %+v", out)
+	}
+	if !out.Changed() {
+		t.Error("removed allocation not marked changed")
+	}
+
+	var sb strings.Builder
+	diag.RenderDiff(&sb, entries)
+	for _, want := range []string{"input_cuda", "resolved: unnecessary-transfer-out", "allocation gone"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestDiffIdenticalReports(t *testing.T) {
+	s := core.MustSession(machine.IntelPascal())
+	if _, err := rodinia.RunNN(s, rodinia.NNConfig{Records: 128, K: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Diagnostic(nil, "")
+	entries := diag.Diff(r, r)
+	for _, e := range entries {
+		if e.Changed() {
+			t.Errorf("self-diff reports a change: %+v", e)
+		}
+	}
+	var sb strings.Builder
+	diag.RenderDiff(&sb, entries)
+	if !strings.Contains(sb.String(), "no differences") {
+		t.Errorf("self-diff render: %s", sb.String())
+	}
+}
+
+func TestDiffNewFinding(t *testing.T) {
+	before := diag.Report{
+		Allocs: []diag.AllocSummary{{Label: "x", TouchedWords: 10, DensityPct: 100}},
+	}
+	after := diag.Report{
+		Allocs: []diag.AllocSummary{{Label: "x", TouchedWords: 2, DensityPct: 20, Alternating: 3}},
+		Findings: []detect.Finding{
+			{Kind: detect.AlternatingAccess, Alloc: "x", Detail: "3 elements"},
+		},
+	}
+	entries := diag.Diff(before, after)
+	if len(entries) != 1 || len(entries[0].NewFindings) != 1 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	var sb strings.Builder
+	diag.RenderDiff(&sb, entries)
+	if !strings.Contains(sb.String(), "NEW: alternating-cpu-gpu-access") {
+		t.Errorf("render: %s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "access density: 100% -> 20%") {
+		t.Errorf("density change missing: %s", sb.String())
+	}
+}

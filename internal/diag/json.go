@@ -1,0 +1,83 @@
+package diag
+
+import (
+	"encoding/json"
+	"io"
+
+	"xplacer/internal/detect"
+)
+
+// jsonReport is the machine-readable serialization of a Report, for
+// tooling that post-processes diagnostics (the structured counterpart of
+// the paper's raw CSV output).
+type jsonReport struct {
+	Title    string        `json:"title,omitempty"`
+	Allocs   []jsonAlloc   `json:"allocations"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+type jsonAlloc struct {
+	Label          string `json:"label"`
+	Kind           string `json:"kind"`
+	Words          int    `json:"words"`
+	Freed          bool   `json:"freed,omitempty"`
+	WriteC         int    `json:"writeC"`
+	WriteG         int    `json:"writeG"`
+	ReadCC         int    `json:"readCC"`
+	ReadCG         int    `json:"readCG"`
+	ReadGC         int    `json:"readGC"`
+	ReadGG         int    `json:"readGG"`
+	TouchedWords   int    `json:"touchedWords"`
+	DensityPct     int    `json:"densityPct"`
+	Alternating    int    `json:"alternating"`
+	TransferredIn  int64  `json:"bytesIn,omitempty"`
+	TransferredOut int64  `json:"bytesOut,omitempty"`
+}
+
+type jsonFinding struct {
+	Kind       string         `json:"kind"`
+	Alloc      string         `json:"alloc"`
+	Count      int            `json:"count,omitempty"`
+	DensityPct int            `json:"densityPct,omitempty"`
+	Blocks     []detect.Block `json:"blocks,omitempty"`
+	Detail     string         `json:"detail"`
+	Remedy     string         `json:"remedy"`
+}
+
+// JSON writes the report as indented JSON.
+func (r *Report) JSON(w io.Writer) error {
+	out := jsonReport{Title: r.Title}
+	for _, s := range r.Allocs {
+		out.Allocs = append(out.Allocs, jsonAlloc{
+			Label:          s.Label,
+			Kind:           s.Kind.String(),
+			Words:          s.Words,
+			Freed:          s.Freed,
+			WriteC:         s.WriteC,
+			WriteG:         s.WriteG,
+			ReadCC:         s.ReadCC,
+			ReadCG:         s.ReadCG,
+			ReadGC:         s.ReadGC,
+			ReadGG:         s.ReadGG,
+			TouchedWords:   s.TouchedWords,
+			DensityPct:     s.DensityPct,
+			Alternating:    s.Alternating,
+			TransferredIn:  s.TransferredIn,
+			TransferredOut: s.TransferredOut,
+		})
+	}
+	for _, f := range r.Findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			Kind:       f.Kind.String(),
+			Alloc:      f.Alloc,
+			Count:      f.Count,
+			DensityPct: f.DensityPct,
+			Blocks:     f.Blocks,
+			Detail:     f.Detail,
+			Remedy:     f.Kind.Remedy(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,799 @@
+// Package instr is XPlacer's source-to-source instrumentation pass for Go
+// programs — the role the ROSE plugin plays for C++/CUDA in the paper
+// (§III-B, Fig. 1). It rewrites a Go source file so that every expression
+// that possibly accesses heap memory is wrapped in a call to the xplrt
+// runtime:
+//
+//	*p = 0        becomes  *xplrt.TraceW(p) = 0
+//	x := *p       becomes  x := *xplrt.TraceR(p)
+//	*p += 2       becomes  *xplrt.TraceRW(p) += 2
+//	s[i] = v      becomes  *xplrt.TraceW(&s[i]) = v
+//	y := q.field  becomes  y := *xplrt.TraceR(&q.field)   (q a pointer)
+//
+// matching the paper's traceR/traceW/traceRW API (Table I). Instrumentation
+// is elided where the paper elides it: accesses to plain (non-reference)
+// variables, operands of address-of, map indexing (not addressable in Go),
+// and type contexts.
+//
+// Pragmas mirror the paper's:
+//
+//	//xpl:replace oldFn newFn
+//	    replaces calls to oldFn with calls to newFn (the cudaMalloc ->
+//	    trcMalloc mechanism).
+//	//xpl:diagnostic tracePrint(os.Stdout; a, z)
+//	    inserts a diagnostic call at this point; arguments before the
+//	    semicolon are copied verbatim, each pointer variable after it is
+//	    expanded into named allocation records (XplAllocData analogs) via
+//	    xplrt.ExpandAll/xplrt.Arg.
+//
+// The pass type-checks the input (go/types) to decide which expressions
+// touch the heap.
+package instr
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Options configures the pass.
+type Options struct {
+	// RuntimePackage is the import path of the runtime library; defaults
+	// to "xplacer/xplrt".
+	RuntimePackage string
+	// RuntimeAlias is the local name used for the inserted import;
+	// defaults to "xplrt".
+	RuntimeAlias string
+	// Support lists additional source files of the same package that are
+	// type-checked together with the instrumented file but left unchanged
+	// (declarations of replacement functions, diagnostic sinks, ...).
+	Support []NamedSource
+}
+
+// NamedSource is a filename/source pair.
+type NamedSource struct {
+	Name string
+	Src  []byte
+}
+
+func (o *Options) fill() {
+	if o.RuntimePackage == "" {
+		o.RuntimePackage = "xplacer/xplrt"
+	}
+	if o.RuntimeAlias == "" {
+		o.RuntimeAlias = "xplrt"
+	}
+}
+
+// diagPragma is one parsed //xpl:diagnostic comment.
+type diagPragma struct {
+	pos      token.Pos
+	fn       ast.Expr
+	verbatim []ast.Expr
+	expanded []ast.Expr // must be identifiers or selector chains
+	consumed bool
+	text     string
+}
+
+// Package instruments every listed file of one Go package together (they
+// are type-checked as a unit) and returns the rewritten sources keyed by
+// file name — the whole-program mode of the paper's workflow, where
+// everything after the XPlacer header include is instrumented.
+func Package(files []NamedSource, opt Options) (map[string][]byte, error) {
+	opt.fill()
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, in := range files {
+		f, err := parser.ParseFile(fset, in.Name, in.Src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("instr: parse %s: %w", in.Name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	for _, sup := range opt.Support {
+		sf, err := parser.ParseFile(fset, sup.Name, sup.Src, 0)
+		if err != nil {
+			return nil, fmt.Errorf("instr: parse support %s: %w", sup.Name, err)
+		}
+		parsed = append(parsed, sf)
+	}
+	info, err := check(fset, parsed)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]byte{}
+	for i := range files {
+		b, err := rewriteOne(fset, parsed[i], info, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[files[i].Name] = b
+	}
+	return out, nil
+}
+
+// File instruments one self-contained Go source file and returns the
+// rewritten source.
+func File(filename string, src []byte, opt Options) ([]byte, error) {
+	opt.fill()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("instr: parse: %w", err)
+	}
+	files := []*ast.File{f}
+	for _, sup := range opt.Support {
+		sf, err := parser.ParseFile(fset, sup.Name, sup.Src, 0)
+		if err != nil {
+			return nil, fmt.Errorf("instr: parse support %s: %w", sup.Name, err)
+		}
+		files = append(files, sf)
+	}
+
+	info, err := check(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	return rewriteOne(fset, f, info, opt)
+}
+
+// check type-checks the files as one package. Unused imports are
+// tolerated: a package imported only for a //xpl:diagnostic pragma (e.g.
+// os.Stdout) becomes used once the pragma expands.
+func check(fset *token.FileSet, files []*ast.File) (*types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error: func(err error) {
+			if strings.Contains(err.Error(), "imported and not used") {
+				return
+			}
+			typeErrs = append(typeErrs, err)
+		},
+	}
+	_, _ = conf.Check(files[0].Name.Name, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("instr: typecheck: %w", typeErrs[0])
+	}
+	return info, nil
+}
+
+// rewriteOne instruments one already-checked file and prints it.
+func rewriteOne(fset *token.FileSet, f *ast.File, info *types.Info, opt Options) ([]byte, error) {
+	r := &rewriter{fset: fset, info: info, opt: opt}
+	if err := r.collectPragmas(f); err != nil {
+		return nil, err
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			r.block(fd.Body)
+		}
+	}
+	for _, d := range r.diags {
+		if !d.consumed {
+			return nil, fmt.Errorf("instr: %s: //xpl:diagnostic pragma outside a function body: %s",
+				fset.Position(d.pos), d.text)
+		}
+	}
+	if r.usedRuntime {
+		addImport(f, opt.RuntimeAlias, opt.RuntimePackage)
+	}
+
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, f); err != nil {
+		return nil, fmt.Errorf("instr: print: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// rewriter holds the pass state.
+type rewriter struct {
+	fset        *token.FileSet
+	info        *types.Info
+	opt         Options
+	replaces    map[string]string
+	diags       []*diagPragma
+	usedRuntime bool
+}
+
+// collectPragmas scans the file's comments for xpl pragmas.
+func (r *rewriter) collectPragmas(f *ast.File) error {
+	r.replaces = map[string]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			switch {
+			case strings.HasPrefix(text, "xpl:replace"):
+				fields := strings.Fields(strings.TrimPrefix(text, "xpl:replace"))
+				if len(fields) != 2 {
+					return fmt.Errorf("instr: %s: want //xpl:replace old new, got %q",
+						r.fset.Position(c.Pos()), c.Text)
+				}
+				r.replaces[fields[0]] = fields[1]
+			case strings.HasPrefix(text, "xpl:diagnostic"):
+				d, err := parseDiagnostic(c.Pos(), strings.TrimSpace(strings.TrimPrefix(text, "xpl:diagnostic")))
+				if err != nil {
+					return fmt.Errorf("instr: %s: %v", r.fset.Position(c.Pos()), err)
+				}
+				r.diags = append(r.diags, d)
+			}
+		}
+	}
+	sort.Slice(r.diags, func(i, j int) bool { return r.diags[i].pos < r.diags[j].pos })
+	return nil
+}
+
+// parseDiagnostic parses "fn(verbatim...; expanded...)".
+func parseDiagnostic(pos token.Pos, text string) (*diagPragma, error) {
+	open := strings.Index(text, "(")
+	close := strings.LastIndex(text, ")")
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("want fn(verbatim; expanded), got %q", text)
+	}
+	fnExpr, err := parser.ParseExpr(text[:open])
+	if err != nil {
+		return nil, fmt.Errorf("bad diagnostic function %q: %v", text[:open], err)
+	}
+	d := &diagPragma{pos: pos, fn: fnExpr, text: text}
+	inner := text[open+1 : close]
+	parts := strings.SplitN(inner, ";", 2)
+	parse := func(list string) ([]ast.Expr, error) {
+		list = strings.TrimSpace(list)
+		if list == "" {
+			return nil, nil
+		}
+		// Parse "f(list)" to split on top-level commas correctly.
+		e, err := parser.ParseExpr("f(" + list + ")")
+		if err != nil {
+			return nil, fmt.Errorf("bad argument list %q: %v", list, err)
+		}
+		return e.(*ast.CallExpr).Args, nil
+	}
+	if d.verbatim, err = parse(parts[0]); err != nil {
+		return nil, err
+	}
+	if len(parts) == 2 {
+		if d.expanded, err = parse(parts[1]); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// --- type helpers -----------------------------------------------------------
+
+func (r *rewriter) typeOf(e ast.Expr) types.Type {
+	if tv, ok := r.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (r *rewriter) isType(e ast.Expr) bool {
+	tv, ok := r.info.Types[e]
+	return ok && tv.IsType()
+}
+
+func (r *rewriter) isBuiltin(e ast.Expr) bool {
+	tv, ok := r.info.Types[e]
+	return ok && tv.IsBuiltin()
+}
+
+func isPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// sliceLike reports whether indexing t yields an addressable heap element:
+// slices and pointers-to-array qualify; maps, strings, and plain array
+// values do not (arrays may live on the stack and may not be addressable).
+func sliceLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return true
+	case *types.Pointer:
+		_, isArr := u.Elem().Underlying().(*types.Array)
+		return isArr
+	default:
+		return false
+	}
+}
+
+// --- expression rewriting -----------------------------------------------------
+
+// mode describes the access context of the expression being rewritten.
+type mode int
+
+const (
+	load   mode = iota // r-value
+	store              // assignment target
+	update             // compound assignment / inc-dec target
+	place              // addressable place whose own access is elided (&x)
+)
+
+func (m mode) traceFn() string {
+	switch m {
+	case store:
+		return "TraceW"
+	case update:
+		return "TraceRW"
+	default:
+		return "TraceR"
+	}
+}
+
+// trace builds xplrt.TraceX(ptr).
+func (r *rewriter) trace(m mode, ptr ast.Expr) ast.Expr {
+	r.usedRuntime = true
+	return &ast.CallExpr{
+		Fun: &ast.SelectorExpr{
+			X:   ast.NewIdent(r.opt.RuntimeAlias),
+			Sel: ast.NewIdent(m.traceFn()),
+		},
+		Args: []ast.Expr{ptr},
+	}
+}
+
+// deref builds *call.
+func deref(call ast.Expr) ast.Expr { return &ast.StarExpr{X: call} }
+
+// addrOf builds &place.
+func addrOf(placeExpr ast.Expr) ast.Expr {
+	return &ast.UnaryExpr{Op: token.AND, X: placeExpr}
+}
+
+// expr rewrites e in the given access context and returns the replacement.
+func (r *rewriter) expr(e ast.Expr, m mode) ast.Expr {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		e.X = r.expr(e.X, m)
+		return e
+
+	case *ast.StarExpr:
+		if r.isType(e) {
+			return e // pointer type in expression position (conversion)
+		}
+		ptrOK := isPointer(r.typeOf(e.X))
+		e.X = r.expr(e.X, load)
+		if !ptrOK || m == place {
+			return e // &*p is p: the access itself is elided (§III-B)
+		}
+		return deref(r.trace(m, e.X))
+
+	case *ast.IndexExpr:
+		baseT := r.typeOf(e.X)
+		e.X = r.expr(e.X, load)
+		e.Index = r.expr(e.Index, load)
+		if !sliceLike(baseT) || m == place {
+			return e // maps, strings, generic instantiations, array values
+		}
+		return deref(r.trace(m, addrOf(e)))
+
+	case *ast.SelectorExpr:
+		sel, isSel := r.info.Selections[e]
+		if !isSel {
+			return e // package-qualified identifier
+		}
+		baseT := r.typeOf(e.X)
+		e.X = r.expr(e.X, load)
+		if sel.Kind() != types.FieldVal || !isPointer(baseT) || m == place {
+			return e // methods, value-struct fields (stack), &p.f operands
+		}
+		return deref(r.trace(m, addrOf(e)))
+
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			e.X = r.expr(e.X, place)
+			return e
+		}
+		e.X = r.expr(e.X, load)
+		return e
+
+	case *ast.BinaryExpr:
+		e.X = r.expr(e.X, load)
+		e.Y = r.expr(e.Y, load)
+		return e
+
+	case *ast.CallExpr:
+		r.rewriteCall(e)
+		return e
+
+	case *ast.CompositeLit:
+		for i, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				kv.Value = r.expr(kv.Value, load)
+				continue
+			}
+			e.Elts[i] = r.expr(el, load)
+		}
+		return e
+
+	case *ast.SliceExpr:
+		// Slicing reads only the slice header; elements are untouched.
+		e.X = r.expr(e.X, load)
+		if e.Low != nil {
+			e.Low = r.expr(e.Low, load)
+		}
+		if e.High != nil {
+			e.High = r.expr(e.High, load)
+		}
+		if e.Max != nil {
+			e.Max = r.expr(e.Max, load)
+		}
+		return e
+
+	case *ast.TypeAssertExpr:
+		e.X = r.expr(e.X, load)
+		return e
+
+	case *ast.FuncLit:
+		r.block(e.Body)
+		return e
+
+	default:
+		// Identifiers, literals, types: direct variable accesses are not
+		// instrumented ("when variables that have non-reference type are
+		// accessed", §III-B).
+		return e
+	}
+}
+
+// rewriteCall handles function calls: pragma-driven replacement, builtins,
+// conversions, and argument rewriting.
+func (r *rewriter) rewriteCall(e *ast.CallExpr) {
+	// //xpl:replace
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		if repl, ok := r.replaces[id.Name]; ok {
+			e.Fun = replacementExpr(repl)
+		}
+	} else if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+		if base, ok := sel.X.(*ast.Ident); ok {
+			if repl, ok := r.replaces[base.Name+"."+sel.Sel.Name]; ok {
+				e.Fun = replacementExpr(repl)
+			}
+		}
+	}
+
+	if r.isType(e.Fun) {
+		// Conversion: T(x).
+		for i := range e.Args {
+			e.Args[i] = r.expr(e.Args[i], load)
+		}
+		return
+	}
+	if r.isBuiltin(e.Fun) {
+		// new(T), make([]T, n), len(x), ...: skip type arguments.
+		for i := range e.Args {
+			if r.isType(e.Args[i]) {
+				continue
+			}
+			e.Args[i] = r.expr(e.Args[i], load)
+		}
+		return
+	}
+	// Rewrite a *p() function-pointer call's pointer read, and method
+	// receivers' child expressions.
+	e.Fun = r.expr(e.Fun, load)
+	for i := range e.Args {
+		e.Args[i] = r.expr(e.Args[i], load)
+	}
+}
+
+// replacementExpr builds the AST for a replacement function name, which
+// may be dotted (pkg.Fn).
+func replacementExpr(name string) ast.Expr {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return &ast.SelectorExpr{X: ast.NewIdent(name[:i]), Sel: ast.NewIdent(name[i+1:])}
+	}
+	return ast.NewIdent(name)
+}
+
+// --- statement rewriting -------------------------------------------------------
+
+// stmt rewrites one statement in place.
+func (r *rewriter) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		m := store
+		switch s.Tok {
+		case token.DEFINE:
+			m = place // new variables: nothing to trace on the LHS
+		case token.ASSIGN:
+			m = store
+		default:
+			m = update // +=, -=, ...
+		}
+		for i := range s.Lhs {
+			if id, ok := s.Lhs[i].(*ast.Ident); ok && (s.Tok == token.DEFINE || id.Name == "_") {
+				continue
+			}
+			if s.Tok == token.DEFINE {
+				continue
+			}
+			s.Lhs[i] = r.expr(s.Lhs[i], m)
+		}
+		for i := range s.Rhs {
+			s.Rhs[i] = r.expr(s.Rhs[i], load)
+		}
+
+	case *ast.IncDecStmt:
+		s.X = r.expr(s.X, update)
+
+	case *ast.ExprStmt:
+		s.X = r.expr(s.X, load)
+
+	case *ast.SendStmt:
+		s.Chan = r.expr(s.Chan, load)
+		s.Value = r.expr(s.Value, load)
+
+	case *ast.ReturnStmt:
+		for i := range s.Results {
+			s.Results[i] = r.expr(s.Results[i], load)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			r.stmt(s.Init)
+		}
+		s.Cond = r.expr(s.Cond, load)
+		r.block(s.Body)
+		if s.Else != nil {
+			r.stmt(s.Else)
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			r.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			s.Cond = r.expr(s.Cond, load)
+		}
+		if s.Post != nil {
+			r.stmt(s.Post)
+		}
+		r.block(s.Body)
+
+	case *ast.RangeStmt:
+		if r.rewriteSliceRange(s) {
+			return
+		}
+		s.X = r.expr(s.X, load)
+		if s.Tok == token.ASSIGN {
+			if s.Key != nil {
+				s.Key = r.expr(s.Key, store)
+			}
+			if s.Value != nil {
+				s.Value = r.expr(s.Value, store)
+			}
+		}
+		r.block(s.Body)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			r.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			s.Tag = r.expr(s.Tag, load)
+		}
+		r.block(s.Body)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			r.stmt(s.Init)
+		}
+		r.block(s.Body)
+
+	case *ast.SelectStmt:
+		r.block(s.Body)
+
+	case *ast.CaseClause:
+		for i := range s.List {
+			s.List[i] = r.expr(s.List[i], load)
+		}
+		for _, st := range s.Body {
+			r.stmt(st)
+		}
+
+	case *ast.CommClause:
+		if s.Comm != nil {
+			r.stmt(s.Comm)
+		}
+		for _, st := range s.Body {
+			r.stmt(st)
+		}
+
+	case *ast.BlockStmt:
+		r.block(s)
+
+	case *ast.LabeledStmt:
+		r.stmt(s.Stmt)
+
+	case *ast.GoStmt:
+		r.rewriteCall(s.Call)
+
+	case *ast.DeferStmt:
+		r.rewriteCall(s.Call)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i := range vs.Values {
+						vs.Values[i] = r.expr(vs.Values[i], load)
+					}
+				}
+			}
+		}
+	}
+}
+
+// rewriteSliceRange handles "for k, v := range s" over a slice: the value
+// binding reads s[k] from the heap each iteration, so it becomes
+//
+//	for k := range s { v := *xplrt.TraceR(&s[k]); ... }
+//
+// It reports whether it handled the statement. The transformation only
+// fires when it is semantics-preserving: a := range over a slice whose
+// expression is a plain identifier or selector chain (evaluated once by
+// the original range too, and free to re-evaluate), with a value binding.
+func (r *rewriter) rewriteSliceRange(s *ast.RangeStmt) bool {
+	if s.Tok != token.DEFINE || s.Value == nil {
+		return false
+	}
+	valID, ok := s.Value.(*ast.Ident)
+	if !ok || valID.Name == "_" {
+		return false
+	}
+	if _, isSlice := underlyingOf(r.typeOf(s.X)).(*types.Slice); !isSlice {
+		return false
+	}
+	if !pureOperand(s.X) {
+		return false
+	}
+	key := s.Key
+	keyID, keyIsIdent := key.(*ast.Ident)
+	if key == nil || (keyIsIdent && keyID.Name == "_") {
+		// Materialize a key to index with.
+		keyID = ast.NewIdent("xplIdx")
+		s.Key = keyID
+	} else if !keyIsIdent {
+		return false
+	} else {
+		keyID = ast.NewIdent(keyID.Name) // fresh node for the index expr
+	}
+	// v := *xplrt.TraceR(&s[k])
+	bind := &ast.AssignStmt{
+		Lhs: []ast.Expr{ast.NewIdent(valID.Name)},
+		Tok: token.DEFINE,
+		Rhs: []ast.Expr{deref(r.trace(load, addrOf(&ast.IndexExpr{
+			X:     s.X,
+			Index: keyID,
+		})))},
+	}
+	s.Value = nil
+	r.block(s.Body)
+	s.Body.List = append([]ast.Stmt{bind}, s.Body.List...)
+	return true
+}
+
+// pureOperand reports whether re-evaluating the expression is safe and
+// cheap: identifiers and selector chains over identifiers.
+func pureOperand(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return pureOperand(e.X)
+	default:
+		return false
+	}
+}
+
+func underlyingOf(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// block rewrites a block's statements and inserts any diagnostic pragmas
+// whose position falls between two of its statements.
+func (r *rewriter) block(b *ast.BlockStmt) {
+	var out []ast.Stmt
+	for _, s := range b.List {
+		for _, d := range r.diags {
+			if !d.consumed && d.pos > b.Lbrace && d.pos < s.Pos() {
+				d.consumed = true
+				out = append(out, r.diagStmt(d))
+			}
+		}
+		r.stmt(s)
+		out = append(out, s)
+	}
+	for _, d := range r.diags {
+		if !d.consumed && d.pos > b.Lbrace && d.pos < b.Rbrace {
+			d.consumed = true
+			out = append(out, r.diagStmt(d))
+		}
+	}
+	b.List = out
+}
+
+// diagStmt builds the inserted diagnostic call:
+//
+//	fn(verbatim..., xplrt.ExpandAll(xplrt.Arg(v, "v"), ...)...)
+func (r *rewriter) diagStmt(d *diagPragma) ast.Stmt {
+	args := append([]ast.Expr{}, d.verbatim...)
+	if len(d.expanded) > 0 {
+		r.usedRuntime = true
+		var expandArgs []ast.Expr
+		for _, v := range d.expanded {
+			var name bytes.Buffer
+			if err := format.Node(&name, token.NewFileSet(), v); err != nil {
+				name.Reset()
+				name.WriteString("arg")
+			}
+			expandArgs = append(expandArgs, &ast.CallExpr{
+				Fun: &ast.SelectorExpr{
+					X:   ast.NewIdent(r.opt.RuntimeAlias),
+					Sel: ast.NewIdent("Arg"),
+				},
+				Args: []ast.Expr{v, &ast.BasicLit{
+					Kind:  token.STRING,
+					Value: fmt.Sprintf("%q", name.String()),
+				}},
+			})
+		}
+		args = append(args, &ast.CallExpr{
+			Fun: &ast.SelectorExpr{
+				X:   ast.NewIdent(r.opt.RuntimeAlias),
+				Sel: ast.NewIdent("ExpandAll"),
+			},
+			Args: expandArgs,
+		})
+		return &ast.ExprStmt{X: &ast.CallExpr{
+			Fun:      d.fn,
+			Args:     args,
+			Ellipsis: token.Pos(1), // pass the expanded slice variadically
+		}}
+	}
+	return &ast.ExprStmt{X: &ast.CallExpr{Fun: d.fn, Args: args}}
+}
+
+// addImport inserts the runtime import into the file.
+func addImport(f *ast.File, alias, path string) {
+	spec := &ast.ImportSpec{
+		Name: ast.NewIdent(alias),
+		Path: &ast.BasicLit{Kind: token.STRING, Value: fmt.Sprintf("%q", path)},
+	}
+	for _, d := range f.Decls {
+		if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			gd.Specs = append(gd.Specs, spec)
+			if len(gd.Specs) > 1 {
+				gd.Lparen = gd.Pos() // force parenthesized form
+			}
+			return
+		}
+	}
+	f.Decls = append([]ast.Decl{&ast.GenDecl{Tok: token.IMPORT, Specs: []ast.Spec{spec}}}, f.Decls...)
+}

@@ -1,0 +1,47 @@
+package instr
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenCorpus pins the instrumenter's output on representative
+// programs. Regenerate with: go test ./internal/instr -run Golden -update
+func TestGoldenCorpus(t *testing.T) {
+	inputs, err := filepath.Glob("testdata/corpus/*.input")
+	if err != nil || len(inputs) == 0 {
+		t.Fatalf("no corpus inputs: %v", err)
+	}
+	for _, in := range inputs {
+		in := in
+		t.Run(filepath.Base(in), func(t *testing.T) {
+			src, err := os.ReadFile(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := File(strings.TrimSuffix(filepath.Base(in), ".input"), src, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := strings.TrimSuffix(in, ".input") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}

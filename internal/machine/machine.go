@@ -1,0 +1,384 @@
+// Package machine models the heterogeneous CPU/GPU platforms that XPlacer's
+// simulated runtime executes on.
+//
+// The paper evaluates three testbeds: an Intel E5-2695 v4 with an Nvidia
+// Pascal GPU, an Intel E5-2698 v3 with an Nvidia Volta GPU (both connected
+// over PCIe), and an IBM Power9 with an Nvidia Volta GPU connected over
+// NVLink. Platform captures the parameters of such a machine that matter for
+// unified-memory behaviour: interconnect bandwidth and latency, page-fault
+// service time, local and remote access costs, GPU memory capacity, and the
+// degree of parallelism a kernel enjoys.
+//
+// All durations are expressed in picoseconds (see Duration) so that the hot
+// access path works in cheap integer arithmetic.
+package machine
+
+import "fmt"
+
+// Duration is a span of simulated time in picoseconds. Integer picoseconds
+// keep sub-nanosecond per-word costs exact without floating point on the hot
+// access path.
+type Duration int64
+
+// Common duration units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Nanoseconds reports d as (possibly fractional) nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// Microseconds reports d as fractional microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds reports d as fractional milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports d as fractional seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Microseconds())
+	case d >= Nanosecond:
+		return fmt.Sprintf("%.3fns", d.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(d))
+	}
+}
+
+// Device identifies a processing element of the simulated machine.
+type Device uint8
+
+// The simulated machine has one CPU (the host) and one GPU (the device),
+// mirroring the paper's single-node, single-GPU evaluation.
+const (
+	CPU Device = iota
+	GPU
+	NumDevices
+)
+
+func (d Device) String() string {
+	switch d {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("Device(%d)", uint8(d))
+	}
+}
+
+// Other returns the peer device: the GPU for the CPU and vice versa.
+func (d Device) Other() Device {
+	if d == CPU {
+		return GPU
+	}
+	return CPU
+}
+
+// Interconnect names the host-device link technology.
+type Interconnect uint8
+
+// Supported interconnects.
+const (
+	PCIe Interconnect = iota
+	NVLink
+)
+
+func (i Interconnect) String() string {
+	if i == NVLink {
+		return "NVLink"
+	}
+	return "PCIe"
+}
+
+// Platform is the parameter set of one simulated heterogeneous machine.
+// The zero value is not useful; start from one of the presets (IntelPascal,
+// IntelVolta, IBMVolta) or fill in every field.
+type Platform struct {
+	// Name labels the platform in reports, e.g. "Intel+Pascal".
+	Name string
+
+	// Link is the host-device interconnect technology (informational; the
+	// performance behaviour is carried by the numeric fields below).
+	Link Interconnect
+
+	// LinkBandwidth is the host<->device transfer bandwidth in bytes per
+	// second, applied to page migrations and explicit memcpys.
+	LinkBandwidth int64
+
+	// LinkLatency is the fixed startup cost of one host<->device transfer
+	// (DMA setup, command submission).
+	LinkLatency Duration
+
+	// FaultService is the cost of servicing one page fault: trap, driver
+	// bookkeeping, page-table updates. Migration time comes on top and is
+	// derived from LinkBandwidth.
+	FaultService Duration
+
+	// CPUAccess and GPUAccess are the per-word (4-byte) costs of an access
+	// that hits device-local memory.
+	CPUAccess Duration
+	GPUAccess Duration
+
+	// RemoteAccess is the per-word cost of accessing memory resident on the
+	// peer device through an established mapping (cudaMemAdviseSetAccessedBy
+	// or a direct mapping to a preferred location) without migrating.
+	RemoteAccess Duration
+
+	// ReadMostlyInvalidate is the cost a write to a read-duplicated page
+	// pays to collapse the duplicates (invalidation broadcast).
+	ReadMostlyInvalidate Duration
+
+	// KernelLaunch is the fixed cost of launching one GPU kernel.
+	KernelLaunch Duration
+
+	// StreamSync is the fixed cost of one stream/event synchronization.
+	StreamSync Duration
+
+	// GPUParallelism divides the aggregate per-access compute/memory cost
+	// of a kernel, modelling the GPU's thread-level parallelism. Faults and
+	// migrations are not divided: they serialize on the driver.
+	GPUParallelism int
+
+	// CPUParallelism divides aggregate host access costs (1 = sequential
+	// host code, matching the paper's benchmarks).
+	CPUParallelism int
+
+	// GPUMemory is the device memory capacity in bytes. Managed pages
+	// resident on the GPU beyond this bound force LRU eviction.
+	GPUMemory int64
+
+	// PageSize is the unified-memory page granularity in bytes.
+	PageSize int64
+
+	// HardwareCoherent marks platforms (IBM Power9 + NVLink2 with address
+	// translation services) where CPU and GPU access each other's memory
+	// coherently without page faults; the driver then migrates pages based
+	// on access counters rather than on first touch, which is why fault-
+	// avoiding remedies gain little on the IBM testbed (paper §IV-A).
+	HardwareCoherent bool
+
+	// CounterMigrationThreshold is the number of remote accesses to a page
+	// after which a hardware-coherent driver migrates it to the accessor.
+	CounterMigrationThreshold int
+
+	// RemoteConcurrency is the number of outstanding remote (peer-memory)
+	// accesses the interconnect sustains; aggregate remote access cost is
+	// divided by it instead of by the full GPU parallelism.
+	RemoteConcurrency int
+
+	// FaultConcurrency is the number of GPU page faults the driver services
+	// as one "page fault group" (the paper's §IV-B profile shows GPU time
+	// dominated by such groups). Aggregate in-kernel fault latency divides
+	// by it; host faults are serviced one at a time.
+	FaultConcurrency int
+
+	// PageTouchCost is the per-kernel cost of each distinct page the kernel
+	// touches (GPU TLB misses and page-table walks). A kernel whose
+	// accesses scatter over many pages — the row-major Smith-Waterman
+	// wavefront — pays it on every page; the rotated layout touches a
+	// handful of pages per kernel and mostly avoids it (§IV-B).
+	PageTouchCost Duration
+
+	// FaultStallPct inflates the compute part of a kernel that takes at
+	// least one page fault, in percent (300 = 4x total). A faulting kernel
+	// loses its latency hiding: warps pile up behind the fault group until
+	// the driver resolves it. This is what makes the LULESH domain-object
+	// ping-pong hurt proportionally to problem size on the PCIe testbeds
+	// (Fig. 6). Hardware-coherent platforms take no faults and are
+	// unaffected.
+	FaultStallPct int
+
+	// GPUL2Bytes enables the optional GPU L2 cache model the paper lists
+	// as future work (§VI: "a runtime could more precisely model the GPU
+	// memory hierarchy"). Zero (the default, used by all presets) disables
+	// it; when positive, repeat accesses to cache lines that fit within
+	// the capacity cost GPUL2Hit instead of GPUAccess.
+	GPUL2Bytes int64
+	// GPUL2Line is the cache line size in bytes (power of two; default 128
+	// when the cache is enabled and this is zero).
+	GPUL2Line int64
+	// GPUL2Hit is the per-word cost of an L2 hit.
+	GPUL2Hit Duration
+}
+
+// Validate reports an error if any platform parameter is unusable.
+func (p *Platform) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("machine: platform has no name")
+	case p.LinkBandwidth <= 0:
+		return fmt.Errorf("machine: %s: LinkBandwidth must be positive, got %d", p.Name, p.LinkBandwidth)
+	case p.GPUParallelism <= 0:
+		return fmt.Errorf("machine: %s: GPUParallelism must be positive, got %d", p.Name, p.GPUParallelism)
+	case p.CPUParallelism <= 0:
+		return fmt.Errorf("machine: %s: CPUParallelism must be positive, got %d", p.Name, p.CPUParallelism)
+	case p.GPUMemory <= 0:
+		return fmt.Errorf("machine: %s: GPUMemory must be positive, got %d", p.Name, p.GPUMemory)
+	case p.PageSize <= 0 || p.PageSize&(p.PageSize-1) != 0:
+		return fmt.Errorf("machine: %s: PageSize must be a positive power of two, got %d", p.Name, p.PageSize)
+	case p.CPUAccess < 0 || p.GPUAccess < 0 || p.RemoteAccess < 0:
+		return fmt.Errorf("machine: %s: access costs must be non-negative", p.Name)
+	case p.FaultService < 0 || p.LinkLatency < 0 || p.PageTouchCost < 0:
+		return fmt.Errorf("machine: %s: latencies must be non-negative", p.Name)
+	case p.FaultConcurrency <= 0:
+		return fmt.Errorf("machine: %s: FaultConcurrency must be positive, got %d", p.Name, p.FaultConcurrency)
+	case p.RemoteConcurrency <= 0:
+		return fmt.Errorf("machine: %s: RemoteConcurrency must be positive, got %d", p.Name, p.RemoteConcurrency)
+	}
+	return nil
+}
+
+// TransferTime is the simulated duration of moving n bytes across the
+// host-device link, including the fixed link latency.
+func (p *Platform) TransferTime(n int64) Duration {
+	if n <= 0 {
+		return p.LinkLatency
+	}
+	// bytes / (bytes/s) in picoseconds. float64 keeps full precision for
+	// any realistic size and avoids int64 overflow (n*1e12 would overflow
+	// beyond ~9 MB); this path runs per transfer, not per access.
+	ps := float64(n) / float64(p.LinkBandwidth) * 1e12
+	return p.LinkLatency + Duration(ps)
+}
+
+// MigrationTime is the duration of migrating one page, fault service
+// included.
+func (p *Platform) MigrationTime() Duration {
+	return p.FaultService + p.TransferTime(p.PageSize)
+}
+
+// AccessTime is the per-word cost of device dev touching local memory.
+func (p *Platform) AccessTime(dev Device) Duration {
+	if dev == GPU {
+		return p.GPUAccess
+	}
+	return p.CPUAccess
+}
+
+// Clone returns a copy of p that can be modified (e.g. to shrink GPUMemory
+// for an over-subscription experiment) without affecting the preset.
+func (p *Platform) Clone() *Platform {
+	q := *p
+	return &q
+}
+
+// Preset platforms. Numbers are order-of-magnitude values for the paper's
+// testbeds (PCIe 3.0 x16 vs NVLink 2.0), tuned so the relative results in
+// the paper's Figs. 6, 9, and 11 hold; see DESIGN.md §6.
+func IntelPascal() *Platform {
+	return &Platform{
+		Name:                      "Intel+Pascal",
+		Link:                      PCIe,
+		LinkBandwidth:             12 << 30, // ~12 GiB/s effective PCIe 3.0 x16
+		LinkLatency:               5 * Microsecond,
+		FaultService:              35 * Microsecond,
+		CPUAccess:                 1200 * Picosecond,
+		GPUAccess:                 2 * Nanosecond,
+		RemoteAccess:              160 * Nanosecond,
+		ReadMostlyInvalidate:      2 * Microsecond,
+		KernelLaunch:              8 * Microsecond,
+		StreamSync:                6 * Microsecond,
+		GPUParallelism:            56, // P100 SM count; per-access costs are throughput-level
+		CPUParallelism:            1,
+		GPUMemory:                 16 << 30,
+		PageSize:                  64 << 10,
+		HardwareCoherent:          false,
+		CounterMigrationThreshold: 512,
+		RemoteConcurrency:         32,
+		FaultConcurrency:          16,
+		PageTouchCost:             60 * Nanosecond,
+		FaultStallPct:             1100,
+	}
+}
+
+// IntelVolta models the Intel E5-2698 v3 + Volta (PCIe) testbed.
+func IntelVolta() *Platform {
+	return &Platform{
+		Name:                      "Intel+Volta",
+		Link:                      PCIe,
+		LinkBandwidth:             12 << 30,
+		LinkLatency:               5 * Microsecond,
+		FaultService:              30 * Microsecond,
+		CPUAccess:                 1100 * Picosecond,
+		GPUAccess:                 1600 * Picosecond,
+		RemoteAccess:              140 * Nanosecond,
+		ReadMostlyInvalidate:      2 * Microsecond,
+		KernelLaunch:              7 * Microsecond,
+		StreamSync:                6 * Microsecond,
+		GPUParallelism:            80, // V100 SM count
+		CPUParallelism:            1,
+		GPUMemory:                 16 << 30,
+		PageSize:                  64 << 10,
+		HardwareCoherent:          false,
+		CounterMigrationThreshold: 512,
+		RemoteConcurrency:         32,
+		FaultConcurrency:          32,
+		PageTouchCost:             50 * Nanosecond,
+		FaultStallPct:             1100,
+	}
+}
+
+// IBMVolta models the IBM Power9 + Volta testbed, where CPU and GPU are
+// connected by NVLink: migrations are ~5x faster and faults ~4x cheaper,
+// which is why hint-based remedies gain little there (paper §IV-A).
+func IBMVolta() *Platform {
+	return &Platform{
+		Name:          "IBM+Volta",
+		Link:          NVLink,
+		LinkBandwidth: 60 << 30,
+		LinkLatency:   1 * Microsecond,
+		FaultService:  8 * Microsecond,
+		CPUAccess:     1300 * Picosecond,
+		GPUAccess:     1600 * Picosecond,
+		RemoteAccess:  30 * Nanosecond,
+		// Collapsing a read-duplicated page means a TLB shootdown across
+		// the coherence fabric — far more expensive than on x86, which is
+		// why SetReadMostly *slows down* LULESH on this machine (0.8x,
+		// §IV-A).
+		ReadMostlyInvalidate: 50 * Microsecond,
+		KernelLaunch:         7 * Microsecond,
+		// Host<->GPU synchronization crosses the Power9 coherence fabric
+		// and costs noticeably more than on x86 — one reason the overlapped
+		// Pathfinder stays slower on this machine (Fig. 11).
+		StreamSync:                12 * Microsecond,
+		GPUParallelism:            80, // V100 SM count
+		CPUParallelism:            1,
+		GPUMemory:                 16 << 30,
+		PageSize:                  64 << 10,
+		HardwareCoherent:          true,
+		CounterMigrationThreshold: 512,
+		RemoteConcurrency:         64,
+		FaultConcurrency:          32,
+		PageTouchCost:             50 * Nanosecond,
+		FaultStallPct:             0,
+	}
+}
+
+// Platforms returns the three paper testbeds in evaluation order.
+func Platforms() []*Platform {
+	return []*Platform{IntelPascal(), IntelVolta(), IBMVolta()}
+}
+
+// ByName returns the preset platform with the given name, or an error.
+// Recognized names (case-sensitive): "Intel+Pascal", "Intel+Volta",
+// "IBM+Volta".
+func ByName(name string) (*Platform, error) {
+	for _, p := range Platforms() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("machine: unknown platform %q", name)
+}

@@ -1,0 +1,193 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationUnits(t *testing.T) {
+	if Second != 1_000_000_000_000*Picosecond {
+		t.Fatalf("Second = %d ps, want 1e12", int64(Second))
+	}
+	if got := (2500 * Nanosecond).Microseconds(); got != 2.5 {
+		t.Errorf("2500ns = %vus, want 2.5", got)
+	}
+	if got := (3 * Millisecond).Seconds(); got != 0.003 {
+		t.Errorf("3ms = %vs, want 0.003", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2.000ns"},
+		{1500 * Nanosecond, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDeviceOther(t *testing.T) {
+	if CPU.Other() != GPU || GPU.Other() != CPU {
+		t.Fatal("Device.Other is not an involution on {CPU,GPU}")
+	}
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Fatal("unexpected device names")
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, p := range Platforms() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadPlatforms(t *testing.T) {
+	base := IntelPascal()
+	mutations := []struct {
+		name string
+		mut  func(*Platform)
+	}{
+		{"no name", func(p *Platform) { p.Name = "" }},
+		{"zero bandwidth", func(p *Platform) { p.LinkBandwidth = 0 }},
+		{"zero gpu parallelism", func(p *Platform) { p.GPUParallelism = 0 }},
+		{"zero cpu parallelism", func(p *Platform) { p.CPUParallelism = 0 }},
+		{"zero gpu memory", func(p *Platform) { p.GPUMemory = 0 }},
+		{"non-pow2 page", func(p *Platform) { p.PageSize = 3000 }},
+		{"negative access", func(p *Platform) { p.CPUAccess = -1 }},
+		{"negative fault", func(p *Platform) { p.FaultService = -1 }},
+	}
+	for _, m := range mutations {
+		p := base.Clone()
+		m.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid platform", m.name)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := IntelPascal()
+	// 12 GiB over a 12 GiB/s link must take ~1 s (plus fixed latency).
+	got := p.TransferTime(12 << 30)
+	if got < Second || got > Second+Second/100+p.LinkLatency {
+		t.Errorf("TransferTime(12GiB) = %v, want ~1s", got)
+	}
+	// Zero or negative sizes cost only the latency.
+	if p.TransferTime(0) != p.LinkLatency {
+		t.Errorf("TransferTime(0) = %v, want latency %v", p.TransferTime(0), p.LinkLatency)
+	}
+	// A page on NVLink is ~5x faster than on PCIe.
+	pas, ibm := IntelPascal(), IBMVolta()
+	rp := pas.TransferTime(pas.PageSize) - pas.LinkLatency
+	ri := ibm.TransferTime(ibm.PageSize) - ibm.LinkLatency
+	if ri*4 > rp {
+		t.Errorf("NVLink page transfer %v not clearly faster than PCIe %v", ri, rp)
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	p := IBMVolta()
+	err := quick.Check(func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.TransferTime(x) <= p.TransferTime(y)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMigrationTimeIncludesFault(t *testing.T) {
+	p := IntelVolta()
+	if p.MigrationTime() <= p.FaultService {
+		t.Errorf("MigrationTime %v should exceed FaultService %v", p.MigrationTime(), p.FaultService)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"Intel+Pascal", "Intel+Volta", "IBM+Volta"} {
+		p, err := ByName(want)
+		if err != nil || p.Name != want {
+			t.Errorf("ByName(%q) = %v, %v", want, p, err)
+		}
+	}
+	if _, err := ByName("Cray+Ampere"); err == nil || !strings.Contains(err.Error(), "unknown platform") {
+		t.Errorf("ByName(unknown) err = %v, want unknown-platform error", err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := IntelPascal()
+	q := p.Clone()
+	q.GPUMemory = 1 << 20
+	if p.GPUMemory == q.GPUMemory {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestAccessTimePerDevice(t *testing.T) {
+	p := IntelPascal()
+	if p.AccessTime(CPU) != p.CPUAccess || p.AccessTime(GPU) != p.GPUAccess {
+		t.Fatal("AccessTime does not dispatch on device")
+	}
+}
+
+func TestIBMIsHardwareCoherent(t *testing.T) {
+	if IntelPascal().HardwareCoherent || IntelVolta().HardwareCoherent {
+		t.Error("PCIe platforms must not be hardware coherent")
+	}
+	if !IBMVolta().HardwareCoherent {
+		t.Error("IBM+Volta (NVLink2/P9) must be hardware coherent")
+	}
+}
+
+func TestValidateConcurrencyFields(t *testing.T) {
+	p := IntelPascal().Clone()
+	p.FaultConcurrency = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero FaultConcurrency accepted")
+	}
+	p = IntelPascal().Clone()
+	p.RemoteConcurrency = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative RemoteConcurrency accepted")
+	}
+	p = IntelPascal().Clone()
+	p.PageTouchCost = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative PageTouchCost accepted")
+	}
+}
+
+func TestPlatformParallelismIsSMCount(t *testing.T) {
+	// The per-access costs are throughput-level, so parallelism is the SM
+	// count, not the thread count.
+	if p := IntelPascal(); p.GPUParallelism != 56 {
+		t.Errorf("Pascal SMs = %d, want 56 (P100)", p.GPUParallelism)
+	}
+	if p := IBMVolta(); p.GPUParallelism != 80 {
+		t.Errorf("Volta SMs = %d, want 80 (V100)", p.GPUParallelism)
+	}
+}
+
+func TestPresetL2Disabled(t *testing.T) {
+	for _, p := range Platforms() {
+		if p.GPUL2Bytes != 0 {
+			t.Errorf("%s: the optional L2 model must be off by default", p.Name)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package memsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// countingAccessor records accesses for assertions.
+type countingAccessor struct {
+	n     int
+	last  Addr
+	size  int64
+	kind  AccessKind
+	alloc *Alloc
+}
+
+func (c *countingAccessor) Access(a *Alloc, addr Addr, size int64, kind AccessKind) {
+	c.n++
+	c.alloc, c.last, c.size, c.kind = a, addr, size, kind
+}
+
+func newSpace(t *testing.T) *Space {
+	t.Helper()
+	return NewSpace(4096)
+}
+
+func TestAllocPageAligned(t *testing.T) {
+	s := newSpace(t)
+	a, err := s.Alloc(100, Managed, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(5000, DeviceOnly, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base%4096 != 0 || b.Base%4096 != 0 {
+		t.Errorf("allocations not page aligned: %#x %#x", a.Base, b.Base)
+	}
+	if b.Base < a.End() {
+		t.Errorf("allocations overlap: a=[%#x,%#x) b=%#x", a.Base, a.End(), b.Base)
+	}
+	if a.Base == 0 {
+		t.Error("address 0 must stay reserved as null")
+	}
+}
+
+func TestAllocRejectsNonPositiveSize(t *testing.T) {
+	s := newSpace(t)
+	for _, sz := range []int64{0, -1} {
+		if _, err := s.Alloc(sz, Managed, "x"); err == nil {
+			t.Errorf("Alloc(%d) succeeded, want error", sz)
+		}
+	}
+}
+
+func TestNewSpaceRejectsBadPageSize(t *testing.T) {
+	for _, ps := range []int64{0, -4096, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", ps)
+				}
+			}()
+			NewSpace(ps)
+		}()
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := newSpace(t)
+	var allocs []*Alloc
+	for i := 0; i < 10; i++ {
+		a, err := s.Alloc(int64(64*(i+1)), Managed, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs = append(allocs, a)
+	}
+	for _, a := range allocs {
+		if got := s.Lookup(a.Base); got != a {
+			t.Errorf("Lookup(base %#x) = %v, want %v", a.Base, got, a)
+		}
+		if got := s.Lookup(a.End() - 1); got != a {
+			t.Errorf("Lookup(end-1) = %v, want %v", got, a)
+		}
+	}
+	if s.Lookup(0) != nil {
+		t.Error("Lookup(0) found an allocation at null")
+	}
+	if s.Lookup(allocs[0].End()) != nil {
+		t.Error("Lookup in alignment padding found an allocation")
+	}
+}
+
+func TestFreeSemantics(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(128, Managed, "a")
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Freed {
+		t.Error("Freed flag not set")
+	}
+	if s.Lookup(a.Base) != nil {
+		t.Error("freed allocation still found by Lookup")
+	}
+	if err := s.Free(a); err == nil || !strings.Contains(err.Error(), "double free") {
+		t.Errorf("double free err = %v", err)
+	}
+	if err := s.Free(nil); err == nil {
+		t.Error("Free(nil) succeeded")
+	}
+	// ByID still reaches freed allocations (delayed shadow analysis).
+	if s.ByID(a.ID) != a {
+		t.Error("ByID lost the freed allocation")
+	}
+}
+
+func TestByIDOutOfRange(t *testing.T) {
+	s := newSpace(t)
+	if s.ByID(-1) != nil || s.ByID(0) != nil {
+		t.Error("ByID out of range should be nil")
+	}
+}
+
+func TestFloat64View(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(8*16, Managed, "v")
+	v := Float64s(a)
+	if v.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", v.Len())
+	}
+	var c countingAccessor
+	v.Store(&c, 3, 2.5)
+	if c.n != 1 || c.kind != Write || c.size != 8 || c.last != a.Base+24 {
+		t.Errorf("Store access = %+v", c)
+	}
+	if got := v.Load(&c, 3); got != 2.5 {
+		t.Errorf("Load = %v, want 2.5", got)
+	}
+	if c.kind != Read {
+		t.Errorf("Load recorded kind %v", c.kind)
+	}
+	v.Update(&c, 3, func(x float64) float64 { return x * 2 })
+	if c.kind != ReadWrite {
+		t.Errorf("Update recorded kind %v", c.kind)
+	}
+	if got := v.Peek(3); got != 5.0 {
+		t.Errorf("after Update, Peek = %v, want 5", got)
+	}
+	// Peek/Poke stay silent.
+	n := c.n
+	v.Poke(0, 1)
+	_ = v.Peek(0)
+	if c.n != n {
+		t.Error("Peek/Poke touched the accessor")
+	}
+}
+
+func TestFloat64ViewSpecialValues(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(8*4, Managed, "v")
+	v := Float64s(a)
+	var c countingAccessor
+	for i, x := range []float64{math.Inf(1), math.Inf(-1), 0.0, math.MaxFloat64} {
+		v.Store(&c, int64(i), x)
+		if got := v.Load(&c, int64(i)); got != x {
+			t.Errorf("roundtrip %v -> %v", x, got)
+		}
+	}
+	v.Store(&c, 0, math.NaN())
+	if !math.IsNaN(v.Load(&c, 0)) {
+		t.Error("NaN did not roundtrip")
+	}
+}
+
+func TestInt32View(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(4*8, DeviceOnly, "w")
+	v := Int32s(a)
+	var c countingAccessor
+	v.Store(&c, 0, -7)
+	v.Store(&c, 7, 1<<30)
+	if v.Load(&c, 0) != -7 || v.Load(&c, 7) != 1<<30 {
+		t.Error("int32 roundtrip failed")
+	}
+	v.Update(&c, 0, func(x int32) int32 { return x + 1 })
+	if v.Peek(0) != -6 {
+		t.Errorf("Update result %d, want -6", v.Peek(0))
+	}
+	if c.size != 4 {
+		t.Errorf("int32 access size %d, want 4", c.size)
+	}
+}
+
+func TestUint64View(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(8*4, Managed, "p")
+	v := Uint64s(a)
+	var c countingAccessor
+	v.Store(&c, 1, 0xdeadbeefcafebabe)
+	if v.Load(&c, 1) != 0xdeadbeefcafebabe {
+		t.Error("uint64 roundtrip failed")
+	}
+	if v.Peek(1) != 0xdeadbeefcafebabe {
+		t.Error("Peek mismatch")
+	}
+}
+
+func TestViewsAt(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(256, Managed, "sub")
+	v := Float64sAt(a, 16, 4)
+	if v.Addr(0) != a.Base+16 {
+		t.Errorf("Addr(0) = %#x, want base+16", v.Addr(0))
+	}
+	var c countingAccessor
+	v.Store(&c, 3, 9)
+	whole := Float64s(a)
+	if whole.Peek(2+3) != 9 { // offset 16 bytes = 2 elements
+		t.Error("subview write not visible through whole view")
+	}
+}
+
+func TestViewBoundsPanics(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(64, Managed, "b")
+	v := Float64s(a)
+	var c countingAccessor
+	cases := []func(){
+		func() { v.Load(&c, -1) },
+		func() { v.Load(&c, v.Len()) },
+		func() { v.Store(&c, v.Len(), 0) },
+		func() { Float64sAt(a, 0, 9) },  // 72 bytes > 64
+		func() { Float64sAt(a, -8, 1) }, // negative offset
+		func() { Int32sAt(a, 64, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on out-of-bounds", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOffsetPanicsOutside(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(64, Managed, "o")
+	if a.Offset(a.Base+63) != 63 {
+		t.Error("Offset wrong inside range")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Offset outside range did not panic")
+		}
+	}()
+	a.Offset(a.End())
+}
+
+func TestLittleEndianHelpersQuick(t *testing.T) {
+	if err := quick.Check(func(x uint64) bool {
+		var b [8]byte
+		put64(b[:], x)
+		return le64(b[:]) == x
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(x uint32) bool {
+		var b [4]byte
+		put32(b[:], x)
+		return le32(b[:]) == x
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupMatchesLinearScanQuick(t *testing.T) {
+	s := NewSpace(256)
+	var allocs []*Alloc
+	for i := 0; i < 40; i++ {
+		a, _ := s.Alloc(int64(1+i*37%500), Managed, "")
+		allocs = append(allocs, a)
+	}
+	// Free a few to exercise the live-list path.
+	_ = s.Free(allocs[3])
+	_ = s.Free(allocs[17])
+	linear := func(addr Addr) *Alloc {
+		for _, a := range allocs {
+			if !a.Freed && a.Contains(addr) {
+				return a
+			}
+		}
+		return nil
+	}
+	if err := quick.Check(func(off uint16) bool {
+		addr := Addr(off) * 7 % s.next
+		return s.Lookup(addr) == linear(addr)
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteView(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(32, Managed, "b")
+	v := Bytes(a)
+	if v.Len() != 32 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	var c countingAccessor
+	v.Store(&c, 5, 0xAB)
+	if c.n != 1 || c.kind != Write || c.size != 1 || c.last != a.Base+5 {
+		t.Errorf("Store access = %+v", c)
+	}
+	if got := v.Load(&c, 5); got != 0xAB {
+		t.Errorf("Load = %#x", got)
+	}
+	if c.kind != Read {
+		t.Errorf("Load kind = %v", c.kind)
+	}
+	v.Poke(0, 7)
+	if v.Peek(0) != 7 {
+		t.Error("Peek/Poke roundtrip failed")
+	}
+}
+
+func TestByteViewAt(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(32, Managed, "b")
+	v := BytesAt(a, 8, 4)
+	if v.Addr(0) != a.Base+8 {
+		t.Errorf("Addr(0) = %#x", v.Addr(0))
+	}
+	var c countingAccessor
+	v.Store(&c, 3, 1)
+	if Bytes(a).Peek(11) != 1 {
+		t.Error("subview write misplaced")
+	}
+}
+
+func TestByteViewBounds(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(8, Managed, "b")
+	v := Bytes(a)
+	var c countingAccessor
+	for _, f := range []func(){
+		func() { v.Load(&c, -1) },
+		func() { v.Load(&c, 8) },
+		func() { v.Store(&c, 8, 0) },
+		func() { BytesAt(a, 4, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on out-of-bounds byte access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUint64ViewBounds(t *testing.T) {
+	s := newSpace(t)
+	a, _ := s.Alloc(16, Managed, "u")
+	v := Uint64s(a)
+	var c countingAccessor
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	v.Load(&c, 2)
+}
+
+func TestKindAndAccessKindStrings(t *testing.T) {
+	if Managed.String() != "managed" || DeviceOnly.String() != "device" || HostOnly.String() != "host" {
+		t.Error("kind names wrong")
+	}
+	if Read.String() != "R" || Write.String() != "W" || ReadWrite.String() != "RW" {
+		t.Error("access kind names wrong")
+	}
+}

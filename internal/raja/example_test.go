@@ -1,0 +1,38 @@
+package raja_test
+
+import (
+	"fmt"
+
+	"xplacer/internal/cuda"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/raja"
+)
+
+// Example shows a RAJA-style kernel running under the CUDA policy with a
+// min reduction, as LULESH's time-constraint kernel does.
+func Example() {
+	ctx := cuda.MustContext(machine.IntelPascal())
+	a, err := ctx.MallocManaged(64*8, "dt_per_elem")
+	if err != nil {
+		panic(err)
+	}
+	v := memsim.Float64s(a)
+	host := ctx.Host()
+	for i := int64(0); i < v.Len(); i++ {
+		v.Store(host, i, float64(100+i))
+	}
+	v.Store(host, 17, 3.5)
+
+	red, err := raja.NewReduceMin(ctx, "dt_min", 1e30)
+	if err != nil {
+		panic(err)
+	}
+	raja.ForAll(ctx, raja.CUDA, "CalcTimeConstraints", v.Len(), 0,
+		func(acc memsim.Accessor, i int64) {
+			red.Min(acc, v.Load(acc, i))
+		})
+	fmt.Println(red.Get())
+	// Output:
+	// 3.5
+}

@@ -1,0 +1,132 @@
+// Package raja is a miniature RAJA-style portability layer over the
+// simulated CUDA runtime. The paper's main case study is the RAJA version
+// of LULESH 2 (§II-C): computational kernels are expressed as lambdas and
+// dispatched under an execution policy — sequential host execution or CUDA
+// kernel launch — without changing the kernel body. internal/apps/lulesh
+// writes its kernels against this layer, exactly like the original.
+//
+// Kernel bodies receive a memsim.Accessor, so the same body runs on the
+// host (accessor = the host execution context) and on the GPU (accessor =
+// the kernel's exec), and is traced either way.
+package raja
+
+import (
+	"math"
+
+	"xplacer/internal/cuda"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+)
+
+// Policy selects where a forall executes, like RAJA's execution policies
+// (seq_exec, cuda_exec<...>).
+type Policy int
+
+// Execution policies.
+const (
+	// Seq runs the body sequentially on the host.
+	Seq Policy = iota
+	// CUDA launches the body as one GPU kernel and synchronizes.
+	CUDA
+)
+
+func (p Policy) String() string {
+	if p == CUDA {
+		return "cuda_exec"
+	}
+	return "seq_exec"
+}
+
+// Body is a per-index kernel lambda.
+type Body func(acc memsim.Accessor, i int64)
+
+// ForAll executes body for i in [0, n) under the policy. Under CUDA the
+// per-element work cost models the lambda's arithmetic (RAJA kernels are
+// usually compute-heavier than their traced memory traffic); under Seq the
+// host clock advances by the same per-element work.
+func ForAll(ctx *cuda.Context, pol Policy, name string, n int64, perElem machine.Duration, body Body) {
+	ForAllCapture(ctx, pol, name, n, perElem, nil, body)
+}
+
+// ForAllCapture is ForAll with a kernel-scope capture step: the lambda's
+// captured state (e.g. the Domain object's pointer fields in LULESH) is
+// dereferenced once per kernel, not once per element — the hardware caches
+// it after the first warp touches it.
+func ForAllCapture(ctx *cuda.Context, pol Policy, name string, n int64, perElem machine.Duration, capture func(acc memsim.Accessor), body Body) {
+	switch pol {
+	case CUDA:
+		ctx.LaunchSync(name, func(e *cuda.Exec) {
+			if capture != nil {
+				capture(e)
+			}
+			for i := int64(0); i < n; i++ {
+				body(e, i)
+			}
+			e.Work(machine.Duration(n) * perElem)
+		})
+	default:
+		host := ctx.Host()
+		if capture != nil {
+			capture(host)
+		}
+		for i := int64(0); i < n; i++ {
+			body(host, i)
+		}
+		host.Work(machine.Duration(n) * perElem)
+	}
+}
+
+// ReduceMin is the RAJA ReduceMin<policy, double> analog: kernels fold
+// values in, the host reads the result afterwards. The reduction state
+// lives in a managed buffer the GPU writes and the host copies back —
+// matching how RAJA's CUDA reductions move their result.
+type ReduceMin struct {
+	buf  memsim.Float64View
+	ctx  *cuda.Context
+	init float64
+}
+
+// NewReduceMin allocates the managed reduction slot.
+func NewReduceMin(ctx *cuda.Context, label string, init float64) (*ReduceMin, error) {
+	a, err := ctx.MallocManaged(8, label)
+	if err != nil {
+		return nil, err
+	}
+	r := &ReduceMin{buf: memsim.Float64s(a), ctx: ctx, init: init}
+	r.buf.Poke(0, init)
+	return r, nil
+}
+
+// Reset restores the initial value (host write).
+func (r *ReduceMin) Reset() {
+	r.buf.Store(r.ctx.Host(), 0, r.init)
+}
+
+// Set stores x through an execution context — used to (re)initialize the
+// reduction from kernel scope so the slot never ping-pongs back to the
+// host between timesteps.
+func (r *ReduceMin) Set(acc memsim.Accessor, x float64) {
+	r.buf.Store(acc, 0, x)
+}
+
+// Min folds x into the reduction from inside a kernel body.
+func (r *ReduceMin) Min(acc memsim.Accessor, x float64) {
+	if x < r.buf.Load(acc, 0) {
+		r.buf.Store(acc, 0, x)
+	}
+}
+
+// Get copies the result back to the host (an explicit transfer, like
+// RAJA's reduction readback) and returns it.
+func (r *ReduceMin) Get() float64 {
+	var out [8]byte
+	r.ctx.MemcpyD2H(out[:], r.buf.Alloc(), 0)
+	bits := uint64(0)
+	for k := 7; k >= 0; k-- {
+		bits = bits<<8 | uint64(out[k])
+	}
+	return math.Float64frombits(bits)
+}
+
+// Alloc exposes the reduction's backing allocation (diagnostics).
+func (r *ReduceMin) Alloc() *memsim.Alloc { return r.buf.Alloc() }

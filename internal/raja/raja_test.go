@@ -1,0 +1,100 @@
+package raja
+
+import (
+	"testing"
+
+	"xplacer/internal/cuda"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+)
+
+func ctx(t *testing.T) *cuda.Context {
+	t.Helper()
+	p := machine.IntelPascal().Clone()
+	p.PageSize = 4096
+	return cuda.MustContext(p)
+}
+
+func TestForAllPoliciesProduceSameResult(t *testing.T) {
+	for _, pol := range []Policy{Seq, CUDA} {
+		c := ctx(t)
+		a, _ := c.MallocManaged(64*8, "a")
+		v := memsim.Float64s(a)
+		ForAll(c, pol, "fill", v.Len(), 10*machine.Nanosecond, func(acc memsim.Accessor, i int64) {
+			v.Store(acc, i, float64(i)*2)
+		})
+		for i := int64(0); i < v.Len(); i++ {
+			if v.Peek(i) != float64(i)*2 {
+				t.Fatalf("%v: element %d = %v", pol, i, v.Peek(i))
+			}
+		}
+	}
+}
+
+func TestForAllCUDALaunchesOneKernel(t *testing.T) {
+	c := ctx(t)
+	a, _ := c.MallocManaged(8*8, "a")
+	v := memsim.Float64s(a)
+	ForAll(c, CUDA, "k", v.Len(), 0, func(acc memsim.Accessor, i int64) {
+		v.Store(acc, i, 1)
+	})
+	if c.KernelCount() != 1 {
+		t.Errorf("kernels = %d, want 1", c.KernelCount())
+	}
+	// Seq launches none.
+	ForAll(c, Seq, "s", v.Len(), 0, func(acc memsim.Accessor, i int64) {
+		v.Store(acc, i, 2)
+	})
+	if c.KernelCount() != 1 {
+		t.Errorf("Seq launched a kernel")
+	}
+}
+
+func TestForAllWorkCharged(t *testing.T) {
+	slow := func(perElem machine.Duration) machine.Duration {
+		c := ctx(t)
+		a, _ := c.MallocManaged(1024*8, "a")
+		v := memsim.Float64s(a)
+		c.Prefetch(a, machine.GPU)
+		ForAll(c, CUDA, "k", v.Len(), perElem, func(acc memsim.Accessor, i int64) {
+			v.Store(acc, i, 1)
+		})
+		return c.Now()
+	}
+	if slow(machine.Microsecond) <= slow(0) {
+		t.Error("per-element work not charged")
+	}
+}
+
+func TestReduceMin(t *testing.T) {
+	c := ctx(t)
+	red, err := NewReduceMin(c, "dt_red", 1e30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.MallocManaged(64*8, "a")
+	v := memsim.Float64s(a)
+	host := c.Host()
+	for i := int64(0); i < v.Len(); i++ {
+		v.Store(host, i, float64(100-i))
+	}
+	ForAll(c, CUDA, "reduce", v.Len(), 0, func(acc memsim.Accessor, i int64) {
+		red.Min(acc, v.Load(acc, i))
+	})
+	if got := red.Get(); got != 37 {
+		t.Errorf("min = %v, want 37", got)
+	}
+	red.Reset()
+	ForAll(c, CUDA, "reduce2", 1, 0, func(acc memsim.Accessor, i int64) {
+		red.Min(acc, 5)
+	})
+	if got := red.Get(); got != 5 {
+		t.Errorf("after reset, min = %v, want 5", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Seq.String() != "seq_exec" || CUDA.String() != "cuda_exec" {
+		t.Error("policy names wrong")
+	}
+}

@@ -1,0 +1,90 @@
+package shadow
+
+import (
+	"testing"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+)
+
+// FuzzUpdate checks the shadow-byte invariants under arbitrary access
+// sequences: accumulated bits are never lost (except the last-writer bit,
+// which tracks the most recent writer), and a read always lands in the
+// category matching the current origin.
+func FuzzUpdate(f *testing.F) {
+	f.Add(byte(0), byte(0), byte(0))
+	f.Add(byte(0xFF), byte(1), byte(2))
+	f.Add(CPUWrote|ReadCC, byte(1), byte(1))
+	f.Fuzz(func(t *testing.T, start, devSel, kindSel byte) {
+		dev := machine.Device(devSel % 2)
+		kind := memsim.AccessKind(kindSel % 3)
+		before := start
+		after := Update(before, dev, kind)
+
+		// Monotonicity: no sticky bit is ever cleared.
+		sticky := before &^ LastWriterGPU
+		if after&sticky != sticky {
+			t.Fatalf("Update(%08b, %v, %v) = %08b lost sticky bits", before, dev, kind, after)
+		}
+		// A write updates the last-writer bit to the writer.
+		if kind != memsim.Read {
+			gpu := after&LastWriterGPU != 0
+			if gpu != (dev == machine.GPU) {
+				t.Fatalf("last-writer bit wrong after %v write: %08b", dev, after)
+			}
+		}
+		// A read sets exactly the (reader, origin) category implied by the
+		// pre-access last-writer bit.
+		if kind != memsim.Write {
+			origin := before&LastWriterGPU != 0
+			var want byte
+			switch {
+			case dev == machine.CPU && !origin:
+				want = ReadCC
+			case dev == machine.GPU && !origin:
+				want = ReadCG
+			case dev == machine.CPU && origin:
+				want = ReadGC
+			default:
+				want = ReadGG
+			}
+			if after&want == 0 {
+				t.Fatalf("read category %08b not set: %08b -> %08b (dev %v)", want, before, after, dev)
+			}
+		}
+	})
+}
+
+// FuzzTableFind cross-checks Find against a brute-force scan for arbitrary
+// probe addresses over an irregular table.
+func FuzzTableFind(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(4096))
+	f.Add(uint64(1 << 20))
+	f.Fuzz(func(t *testing.T, probe uint64) {
+		sp := memsim.NewSpace(256)
+		tb := NewTable()
+		var ranges []*Entry
+		for i := 0; i < 70; i++ { // past the binary-search cutoff
+			a, err := sp.Alloc(int64(1+(i*97)%700), memsim.Managed, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := tb.Insert(a, "f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranges = append(ranges, e)
+		}
+		addr := memsim.Addr(probe % (1 << 18))
+		var want *Entry
+		for _, e := range ranges {
+			if e.Contains(addr) {
+				want = e
+			}
+		}
+		if got := tb.Find(addr); got != want {
+			t.Fatalf("Find(%#x) = %v, want %v", addr, got, want)
+		}
+	})
+}

@@ -1,0 +1,251 @@
+// Package shadow implements XPlacer's shadow memory (paper §III-C, Fig. 3).
+//
+// For every traced allocation the runtime keeps one shadow byte per 32-bit
+// word of user memory (~25% overhead, as in the paper). Seven bits record
+// which processor wrote the word, which processor wrote it last, and which
+// (reader, value-origin) combinations occurred on reads. A sorted
+// allocation table — the shadow memory table, SMT — maps addresses to
+// shadow entries; lookup uses linear search below 64 entries and binary
+// search above, matching the prototype the paper describes in §IV-D.
+package shadow
+
+import (
+	"fmt"
+	"sort"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+)
+
+// Shadow byte bit flags. One byte covers one 32-bit word of user memory.
+const (
+	// CPUWrote / GPUWrote: the device wrote this word at least once.
+	CPUWrote byte = 1 << 0
+	GPUWrote byte = 1 << 1
+	// LastWriterGPU: the most recent write came from the GPU (clear = CPU).
+	LastWriterGPU byte = 1 << 2
+	// ReadCC..ReadGG: a (reader, origin-of-last-write) combination occurred.
+	// ReadCG is "C>G" in the paper's Fig. 4: the GPU read a value whose last
+	// writer was the CPU.
+	ReadCC byte = 1 << 3 // CPU read a CPU-written value
+	ReadCG byte = 1 << 4 // GPU read a CPU-written value
+	ReadGC byte = 1 << 5 // CPU read a GPU-written value
+	ReadGG byte = 1 << 6 // GPU read a GPU-written value
+)
+
+// linearCutoff is the SMT size at which lookup switches from linear to
+// binary search (§IV-D: "linear search when the number of allocations is
+// less than 64, and binary search otherwise").
+const linearCutoff = 64
+
+// WordSize is the user-memory granularity of one shadow byte.
+const WordSize = 4
+
+// Update returns the shadow byte after an access by dev of the given kind.
+// A read-modify-write records the read (against the current last writer)
+// and then the write.
+func Update(b byte, dev machine.Device, kind memsim.AccessKind) byte {
+	if kind != memsim.Write { // Read or ReadWrite: record the read first.
+		gpuOrigin := b&LastWriterGPU != 0
+		switch {
+		case dev == machine.CPU && !gpuOrigin:
+			b |= ReadCC
+		case dev == machine.GPU && !gpuOrigin:
+			b |= ReadCG
+		case dev == machine.CPU && gpuOrigin:
+			b |= ReadGC
+		default:
+			b |= ReadGG
+		}
+	}
+	if kind != memsim.Read { // Write or ReadWrite: record the write.
+		if dev == machine.CPU {
+			b = (b | CPUWrote) &^ LastWriterGPU
+		} else {
+			b = b | GPUWrote | LastWriterGPU
+		}
+	}
+	return b
+}
+
+// Entry is one traced allocation's shadow state.
+type Entry struct {
+	// Base and End delimit the traced address range.
+	Base, End memsim.Addr
+	// AllocID links back to the memsim allocation.
+	AllocID int
+	// Label is the user-facing name (XplAllocData expansion or alloc label).
+	Label string
+	// Kind records the allocation family (decides which anti-patterns
+	// apply; §III-A).
+	Kind memsim.Kind
+	// AllocFn is the allocation function the wrapper intercepted.
+	AllocFn string
+	// Shadow holds one byte per 32-bit word.
+	Shadow []byte
+	// Freed marks entries whose user memory was released; their shadow is
+	// kept until the next diagnostic (§III-C delayed shadow free).
+	Freed bool
+	// TransferredIn / TransferredOut count explicit memcpy bytes in each
+	// direction (for the unnecessary-transfer diagnostic).
+	TransferredIn, TransferredOut int64
+	// EverTouched records whether any access hit the entry since its
+	// allocation. Unlike the shadow bits it survives Reset, so the
+	// unused-allocation diagnostic is not fooled by per-iteration
+	// intervals.
+	EverTouched bool
+}
+
+// Words returns the number of shadow words in the entry.
+func (e *Entry) Words() int { return len(e.Shadow) }
+
+// Contains reports whether addr lies in the entry's range.
+func (e *Entry) Contains(addr memsim.Addr) bool { return addr >= e.Base && addr < e.End }
+
+// wordIndex maps an address to its shadow byte index.
+func (e *Entry) wordIndex(addr memsim.Addr) int { return int(addr-e.Base) / WordSize }
+
+// Table is the shadow memory table: entries sorted by base address.
+type Table struct {
+	entries []*Entry
+	lookups int64 // total lookup operations (overhead accounting)
+}
+
+// NewTable returns an empty SMT.
+func NewTable() *Table { return &Table{} }
+
+// Len returns the number of entries (live and freed-but-retained).
+func (t *Table) Len() int { return len(t.entries) }
+
+// Lookups returns the number of Find operations performed.
+func (t *Table) Lookups() int64 { return t.lookups }
+
+// Entries returns the entries in base-address order; the slice must not be
+// modified.
+func (t *Table) Entries() []*Entry { return t.entries }
+
+// Insert registers an allocation and creates its shadow memory.
+// Inserting an overlapping range is an error (it would indicate a missed
+// free or a broken allocator).
+func (t *Table) Insert(a *memsim.Alloc, allocFn string) (*Entry, error) {
+	e, err := t.InsertRange(a.Base, a.Size, a.Label, a.Kind, allocFn)
+	if err != nil {
+		return nil, err
+	}
+	e.AllocID = a.ID
+	return e, nil
+}
+
+// InsertRange registers an arbitrary address range — used by the plain-Go
+// runtime (xplrt), which traces real heap addresses rather than simulated
+// allocations. Overlapping ranges are rejected.
+func (t *Table) InsertRange(base memsim.Addr, size int64, label string, kind memsim.Kind, allocFn string) (*Entry, error) {
+	words := int((size + WordSize - 1) / WordSize)
+	e := &Entry{
+		Base:    base,
+		End:     base + memsim.Addr(size),
+		AllocID: -1,
+		Label:   label,
+		Kind:    kind,
+		AllocFn: allocFn,
+		Shadow:  make([]byte, words),
+	}
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Base >= e.Base })
+	if i < len(t.entries) && t.entries[i].Base < e.End {
+		return nil, fmt.Errorf("shadow: entry [%#x,%#x) overlaps existing [%#x,%#x)", e.Base, e.End, t.entries[i].Base, t.entries[i].End)
+	}
+	if i > 0 && t.entries[i-1].End > e.Base {
+		return nil, fmt.Errorf("shadow: entry [%#x,%#x) overlaps existing [%#x,%#x)", e.Base, e.End, t.entries[i-1].Base, t.entries[i-1].End)
+	}
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+	return e, nil
+}
+
+// Find returns the entry containing addr, or nil if the address is not
+// traced (untracked accesses are ignored, §III-C). Freed entries no longer
+// match: their memory may be reused.
+func (t *Table) Find(addr memsim.Addr) *Entry {
+	t.lookups++
+	n := len(t.entries)
+	if n < linearCutoff {
+		for _, e := range t.entries {
+			if e.Contains(addr) {
+				if e.Freed {
+					return nil
+				}
+				return e
+			}
+		}
+		return nil
+	}
+	i := sort.Search(n, func(i int) bool { return t.entries[i].End > addr })
+	if i < n && t.entries[i].Contains(addr) && !t.entries[i].Freed {
+		return t.entries[i]
+	}
+	return nil
+}
+
+// MarkFreed flags the entry for the allocation as freed; the shadow bytes
+// survive until DropFreed (called after the next diagnostic).
+func (t *Table) MarkFreed(allocID int) {
+	for _, e := range t.entries {
+		if e.AllocID == allocID && !e.Freed {
+			e.Freed = true
+			return
+		}
+	}
+}
+
+// DropFreed removes entries marked freed (invoked after a diagnostic has
+// analyzed them).
+func (t *Table) DropFreed() {
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if !e.Freed {
+			kept = append(kept, e)
+		}
+	}
+	// Zero the tail so dropped entries can be collected.
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = kept
+}
+
+// Record registers an access of size bytes at addr and reports whether the
+// address was traced. Unknown addresses are ignored (§III-C). The access
+// may span multiple shadow words.
+func (t *Table) Record(dev machine.Device, addr memsim.Addr, size int64, kind memsim.AccessKind) bool {
+	e := t.Find(addr)
+	if e == nil {
+		return false
+	}
+	e.EverTouched = true
+	first := e.wordIndex(addr)
+	last := e.wordIndex(addr + memsim.Addr(size) - 1)
+	if last >= len(e.Shadow) {
+		last = len(e.Shadow) - 1
+	}
+	for i := first; i <= last; i++ {
+		e.Shadow[i] = Update(e.Shadow[i], dev, kind)
+	}
+	return true
+}
+
+// Reset clears the per-interval shadow bits and transfer counters
+// (tracePrint resets the shadow memory after each diagnostic, §III-C) and
+// drops freed entries. The last-writer bit survives: the paper defines the
+// origin of a read as the last write "regardless if it occurred in the
+// same iteration or earlier (e.g., at start up)".
+func (t *Table) Reset() {
+	for _, e := range t.entries {
+		for i := range e.Shadow {
+			e.Shadow[i] &= LastWriterGPU
+		}
+		e.TransferredIn = 0
+		e.TransferredOut = 0
+	}
+	t.DropFreed()
+}

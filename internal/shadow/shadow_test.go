@@ -1,0 +1,228 @@
+package shadow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+)
+
+func TestUpdateWriteBits(t *testing.T) {
+	b := Update(0, machine.CPU, memsim.Write)
+	if b&CPUWrote == 0 || b&LastWriterGPU != 0 {
+		t.Errorf("CPU write -> %08b", b)
+	}
+	b = Update(b, machine.GPU, memsim.Write)
+	if b&GPUWrote == 0 || b&LastWriterGPU == 0 || b&CPUWrote == 0 {
+		t.Errorf("GPU write after CPU write -> %08b", b)
+	}
+	b = Update(b, machine.CPU, memsim.Write)
+	if b&LastWriterGPU != 0 {
+		t.Errorf("CPU write should clear last-writer-GPU -> %08b", b)
+	}
+}
+
+func TestUpdateReadOriginCategories(t *testing.T) {
+	cases := []struct {
+		name   string
+		prep   byte // starting shadow
+		reader machine.Device
+		want   byte
+	}{
+		{"CPU reads CPU origin", CPUWrote, machine.CPU, ReadCC},
+		{"GPU reads CPU origin", CPUWrote, machine.GPU, ReadCG},
+		{"CPU reads GPU origin", GPUWrote | LastWriterGPU, machine.CPU, ReadGC},
+		{"GPU reads GPU origin", GPUWrote | LastWriterGPU, machine.GPU, ReadGG},
+		{"CPU reads never-written word (defaults to CPU origin)", 0, machine.CPU, ReadCC},
+		{"GPU reads never-written word", 0, machine.GPU, ReadCG},
+	}
+	for _, c := range cases {
+		got := Update(c.prep, c.reader, memsim.Read)
+		if got&c.want == 0 {
+			t.Errorf("%s: %08b lacks %08b", c.name, got, c.want)
+		}
+	}
+}
+
+func TestUpdateReadModifyWrite(t *testing.T) {
+	// GPU RW of a CPU-written word: reads CPU origin, then becomes writer.
+	b := Update(CPUWrote, machine.GPU, memsim.ReadWrite)
+	if b&ReadCG == 0 {
+		t.Errorf("RW did not record the read: %08b", b)
+	}
+	if b&GPUWrote == 0 || b&LastWriterGPU == 0 {
+		t.Errorf("RW did not record the write: %08b", b)
+	}
+}
+
+func TestUpdateMonotoneQuick(t *testing.T) {
+	// Shadow accumulation is monotone: bits other than LastWriterGPU are
+	// never cleared by further accesses.
+	err := quick.Check(func(start byte, devBit, kindSel uint8) bool {
+		dev := machine.Device(devBit % 2)
+		kind := memsim.AccessKind(kindSel % 3)
+		before := start &^ LastWriterGPU
+		after := Update(start, dev, kind)
+		return after&before == before
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func mkAlloc(t *testing.T, sp *memsim.Space, size int64, label string) *memsim.Alloc {
+	t.Helper()
+	a, err := sp.Alloc(size, memsim.Managed, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestInsertAndFind(t *testing.T) {
+	sp := memsim.NewSpace(4096)
+	tb := NewTable()
+	a := mkAlloc(t, sp, 100, "a")
+	e, err := tb.Insert(a, "cudaMallocManaged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Words() != 25 {
+		t.Errorf("Words = %d, want 25 for 100 bytes", e.Words())
+	}
+	if tb.Find(a.Base) != e || tb.Find(a.Base+99) != e {
+		t.Error("Find missed the entry")
+	}
+	if tb.Find(a.Base+100) != nil {
+		t.Error("Find matched beyond the entry")
+	}
+	if tb.Find(0) != nil {
+		t.Error("Find(0) matched")
+	}
+}
+
+func TestInsertRejectsOverlap(t *testing.T) {
+	sp := memsim.NewSpace(4096)
+	tb := NewTable()
+	a := mkAlloc(t, sp, 100, "a")
+	if _, err := tb.Insert(a, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(a, "f"); err == nil {
+		t.Error("duplicate insert succeeded")
+	}
+}
+
+func TestFindBinaryMatchesLinear(t *testing.T) {
+	// Above the cutoff the table switches to binary search; results must
+	// be identical to a linear reference.
+	sp := memsim.NewSpace(256)
+	tb := NewTable()
+	var allocs []*memsim.Alloc
+	for i := 0; i < linearCutoff+20; i++ {
+		a := mkAlloc(t, sp, int64(40+i%100), "x")
+		allocs = append(allocs, a)
+		if _, err := tb.Insert(a, "f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Len() <= linearCutoff {
+		t.Fatal("table not past the linear cutoff")
+	}
+	linear := func(addr memsim.Addr) *Entry {
+		for _, e := range tb.entries {
+			if e.Contains(addr) && !e.Freed {
+				return e
+			}
+		}
+		return nil
+	}
+	for _, a := range allocs {
+		for _, addr := range []memsim.Addr{a.Base, a.Base + 1, a.End() - 1, a.End()} {
+			if tb.Find(addr) != linear(addr) {
+				t.Fatalf("Find(%#x) diverges from linear reference", addr)
+			}
+		}
+	}
+}
+
+func TestRecordSpansWords(t *testing.T) {
+	sp := memsim.NewSpace(4096)
+	tb := NewTable()
+	a := mkAlloc(t, sp, 64, "a")
+	e, _ := tb.Insert(a, "f")
+	// An 8-byte access covers two shadow words.
+	if !tb.Record(machine.GPU, a.Base+8, 8, memsim.Write) {
+		t.Fatal("Record missed a traced address")
+	}
+	if e.Shadow[2]&GPUWrote == 0 || e.Shadow[3]&GPUWrote == 0 {
+		t.Errorf("8-byte write marked %08b %08b", e.Shadow[2], e.Shadow[3])
+	}
+	if e.Shadow[1] != 0 || e.Shadow[4] != 0 {
+		t.Error("write spilled into neighbouring words")
+	}
+}
+
+func TestRecordUntrackedIgnored(t *testing.T) {
+	tb := NewTable()
+	if tb.Record(machine.CPU, 0x999, 4, memsim.Read) {
+		t.Error("Record claimed success on an untracked address")
+	}
+}
+
+func TestFreedEntriesDelayedDrop(t *testing.T) {
+	sp := memsim.NewSpace(4096)
+	tb := NewTable()
+	a := mkAlloc(t, sp, 64, "a")
+	e, _ := tb.Insert(a, "f")
+	tb.Record(machine.GPU, a.Base, 4, memsim.Write)
+	tb.MarkFreed(a.ID)
+	if !e.Freed {
+		t.Fatal("MarkFreed missed")
+	}
+	// Freed entries stop matching lookups (memory may be reused)...
+	if tb.Find(a.Base) != nil {
+		t.Error("freed entry still matches Find")
+	}
+	// ...but remain in the table for the next diagnostic.
+	if tb.Len() != 1 {
+		t.Error("freed entry dropped too early")
+	}
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Error("Reset did not drop freed entries")
+	}
+}
+
+func TestResetPreservesLastWriter(t *testing.T) {
+	sp := memsim.NewSpace(4096)
+	tb := NewTable()
+	a := mkAlloc(t, sp, 64, "a")
+	e, _ := tb.Insert(a, "f")
+	tb.Record(machine.GPU, a.Base, 4, memsim.Write)
+	e.TransferredIn = 42
+	tb.Reset()
+	if e.Shadow[0] != LastWriterGPU {
+		t.Errorf("Reset shadow = %08b, want only last-writer bit", e.Shadow[0])
+	}
+	if e.TransferredIn != 0 {
+		t.Error("Reset did not clear transfer counters")
+	}
+	// A read after reset still knows the value's GPU origin (paper §III-D:
+	// origin is the last write "regardless if it occurred ... earlier").
+	tb.Record(machine.CPU, a.Base, 4, memsim.Read)
+	if e.Shadow[0]&ReadGC == 0 {
+		t.Errorf("post-reset read lost origin: %08b", e.Shadow[0])
+	}
+}
+
+func TestLookupsCounter(t *testing.T) {
+	tb := NewTable()
+	before := tb.Lookups()
+	tb.Find(1)
+	tb.Find(2)
+	if tb.Lookups() != before+2 {
+		t.Error("lookup counter not advancing")
+	}
+}

@@ -1,0 +1,157 @@
+// Package trace is XPlacer's runtime instrumentation layer (paper §III-B,
+// Table I). It implements the cuda.Tracer hook interface: every element
+// access funnels through TraceAccess (the analog of traceR / traceW /
+// traceRW), allocation wrappers maintain the shadow memory table, memcpy
+// wrappers record bulk CPU reads/writes, and kernel launches are counted.
+//
+// The tracer deliberately performs its own address-to-allocation lookup on
+// every access — the same SMT search the paper's prototype does — so the
+// instrumentation overhead characteristics of Table III carry over.
+package trace
+
+import (
+	"fmt"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+	"xplacer/internal/um"
+)
+
+// Stats counts instrumentation events.
+type Stats struct {
+	// Reads, Writes, ReadWrites count traced element accesses by kind.
+	Reads, Writes, ReadWrites int64
+	// Untracked counts accesses to addresses outside the SMT (ignored,
+	// §III-C).
+	Untracked int64
+	// Allocs and Frees count intercepted allocation calls.
+	Allocs, Frees int64
+	// TransfersH2D and TransfersD2H count intercepted memcpys.
+	TransfersH2D, TransfersD2H int64
+	// Kernels counts intercepted kernel launches.
+	Kernels int64
+}
+
+// Tracer records memory operations into shadow memory. The zero value is
+// not usable; call New.
+type Tracer struct {
+	table   *shadow.Table
+	enabled bool
+	stats   Stats
+}
+
+// New creates an enabled tracer with an empty shadow memory table.
+func New() *Tracer {
+	return &Tracer{table: shadow.NewTable(), enabled: true}
+}
+
+// Table exposes the shadow memory table for diagnostics.
+func (t *Tracer) Table() *shadow.Table { return t.table }
+
+// Stats returns cumulative instrumentation statistics.
+func (t *Tracer) Stats() Stats { return t.stats }
+
+// SetEnabled turns tracing on or off. Allocation bookkeeping continues
+// while disabled so that the SMT stays consistent; only access recording
+// stops.
+func (t *Tracer) SetEnabled(on bool) { t.enabled = on }
+
+// Enabled reports whether access recording is active.
+func (t *Tracer) Enabled() bool { return t.enabled }
+
+// allocFnName maps an allocation kind to the API function the wrapper
+// intercepted, for diagnostic messages.
+func allocFnName(k memsim.Kind) string {
+	switch k {
+	case memsim.Managed:
+		return "cudaMallocManaged"
+	case memsim.DeviceOnly:
+		return "cudaMalloc"
+	default:
+		return "malloc"
+	}
+}
+
+// TraceAlloc implements cuda.Tracer (the trcMalloc/trcMallocManaged
+// wrappers): it creates the SMT entry and shadow memory.
+func (t *Tracer) TraceAlloc(a *memsim.Alloc) {
+	t.stats.Allocs++
+	if _, err := t.table.Insert(a, allocFnName(a.Kind)); err != nil {
+		// An overlap means the simulated allocator handed out overlapping
+		// ranges — a bug worth failing loudly on.
+		panic(fmt.Sprintf("trace: %v", err))
+	}
+}
+
+// TraceFree implements cuda.Tracer (the trcFree wrapper): user memory is
+// released immediately, shadow memory is retained until the next
+// diagnostic (§III-C).
+func (t *Tracer) TraceFree(a *memsim.Alloc) {
+	t.stats.Frees++
+	t.table.MarkFreed(a.ID)
+}
+
+// TraceAccess implements cuda.Tracer; it is the runtime body of traceR,
+// traceW, and traceRW.
+func (t *Tracer) TraceAccess(dev machine.Device, _ *memsim.Alloc, addr memsim.Addr, size int64, kind memsim.AccessKind) {
+	if !t.enabled {
+		return
+	}
+	switch kind {
+	case memsim.Read:
+		t.stats.Reads++
+	case memsim.Write:
+		t.stats.Writes++
+	default:
+		t.stats.ReadWrites++
+	}
+	if !t.table.Record(dev, addr, size, kind) {
+		t.stats.Untracked++
+	}
+}
+
+// TraceTransfer implements cuda.Tracer: host-to-device copies are recorded
+// as CPU writes of the range, device-to-host copies as CPU reads (§III-C,
+// "Unnecessary data transfers").
+func (t *Tracer) TraceTransfer(a *memsim.Alloc, dir um.TransferDir, off, n int64) {
+	if !t.enabled {
+		return
+	}
+	e := t.findEntry(a)
+	if dir == um.HostToDevice {
+		t.stats.TransfersH2D++
+		t.table.Record(machine.CPU, a.Base+memsim.Addr(off), n, memsim.Write)
+		if e != nil {
+			e.TransferredIn += n
+		}
+	} else {
+		t.stats.TransfersD2H++
+		t.table.Record(machine.CPU, a.Base+memsim.Addr(off), n, memsim.Read)
+		if e != nil {
+			e.TransferredOut += n
+		}
+	}
+}
+
+// TraceKernelLaunch implements cuda.Tracer (the kernel-launch wrapper of
+// Table I).
+func (t *Tracer) TraceKernelLaunch(string) { t.stats.Kernels++ }
+
+// Name attaches a user-level label to the allocation's SMT entry — the
+// runtime effect of the XplAllocData argument expansion of
+// #pragma xpl diagnostic (§III-B).
+func (t *Tracer) Name(a *memsim.Alloc, label string) {
+	if e := t.findEntry(a); e != nil {
+		e.Label = label
+	}
+}
+
+func (t *Tracer) findEntry(a *memsim.Alloc) *shadow.Entry {
+	for _, e := range t.table.Entries() {
+		if e.AllocID == a.ID {
+			return e
+		}
+	}
+	return nil
+}

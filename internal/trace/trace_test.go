@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"testing"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+	"xplacer/internal/um"
+)
+
+func setup(t *testing.T) (*Tracer, *memsim.Space) {
+	t.Helper()
+	return New(), memsim.NewSpace(4096)
+}
+
+func alloc(t *testing.T, sp *memsim.Space, kind memsim.Kind, size int64, label string) *memsim.Alloc {
+	t.Helper()
+	a, err := sp.Alloc(size, kind, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestTraceAllocCreatesEntry(t *testing.T) {
+	tr, sp := setup(t)
+	a := alloc(t, sp, memsim.Managed, 128, "a")
+	tr.TraceAlloc(a)
+	if tr.Table().Len() != 1 {
+		t.Fatalf("table len = %d", tr.Table().Len())
+	}
+	e := tr.Table().Entries()[0]
+	if e.AllocFn != "cudaMallocManaged" {
+		t.Errorf("alloc fn = %q", e.AllocFn)
+	}
+	d := alloc(t, sp, memsim.DeviceOnly, 64, "d")
+	tr.TraceAlloc(d)
+	if fn := tr.Table().Entries()[1].AllocFn; fn != "cudaMalloc" {
+		t.Errorf("device alloc fn = %q", fn)
+	}
+	if tr.Stats().Allocs != 2 {
+		t.Errorf("alloc count = %d", tr.Stats().Allocs)
+	}
+}
+
+func TestTraceAccessRecordsAndCounts(t *testing.T) {
+	tr, sp := setup(t)
+	a := alloc(t, sp, memsim.Managed, 64, "a")
+	tr.TraceAlloc(a)
+	tr.TraceAccess(machine.CPU, a, a.Base, 4, memsim.Write)
+	tr.TraceAccess(machine.GPU, a, a.Base, 4, memsim.Read)
+	tr.TraceAccess(machine.GPU, a, a.Base, 4, memsim.ReadWrite)
+	st := tr.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.ReadWrites != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	b := tr.Table().Entries()[0].Shadow[0]
+	if b&shadow.CPUWrote == 0 || b&shadow.GPUWrote == 0 || b&shadow.ReadCG == 0 {
+		t.Errorf("shadow = %08b", b)
+	}
+}
+
+func TestUntrackedAccessCounted(t *testing.T) {
+	tr, sp := setup(t)
+	a := alloc(t, sp, memsim.Managed, 64, "a")
+	tr.TraceAlloc(a)
+	tr.TraceAccess(machine.CPU, a, a.End()+1000, 4, memsim.Read)
+	if tr.Stats().Untracked != 1 {
+		t.Errorf("untracked = %d", tr.Stats().Untracked)
+	}
+}
+
+func TestDisabledTracerSkipsAccesses(t *testing.T) {
+	tr, sp := setup(t)
+	a := alloc(t, sp, memsim.Managed, 64, "a")
+	tr.TraceAlloc(a)
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Fatal("still enabled")
+	}
+	tr.TraceAccess(machine.CPU, a, a.Base, 4, memsim.Write)
+	if tr.Stats().Writes != 0 {
+		t.Error("disabled tracer recorded an access")
+	}
+	if tr.Table().Entries()[0].Shadow[0] != 0 {
+		t.Error("disabled tracer touched shadow memory")
+	}
+}
+
+func TestTraceFreeDelaysShadowRelease(t *testing.T) {
+	tr, sp := setup(t)
+	a := alloc(t, sp, memsim.Managed, 64, "tmp")
+	tr.TraceAlloc(a)
+	tr.TraceAccess(machine.GPU, a, a.Base, 4, memsim.Write)
+	tr.TraceFree(a)
+	if tr.Stats().Frees != 1 {
+		t.Error("free not counted")
+	}
+	// Entry survives, marked freed, until the table reset (diagnostic).
+	if tr.Table().Len() != 1 || !tr.Table().Entries()[0].Freed {
+		t.Error("freed entry handling wrong")
+	}
+	tr.Table().Reset()
+	if tr.Table().Len() != 0 {
+		t.Error("freed entry survived the diagnostic")
+	}
+}
+
+func TestTraceTransferDirections(t *testing.T) {
+	tr, sp := setup(t)
+	d := alloc(t, sp, memsim.DeviceOnly, 256, "d")
+	tr.TraceAlloc(d)
+	tr.TraceTransfer(d, um.HostToDevice, 0, 128)
+	tr.TraceTransfer(d, um.DeviceToHost, 64, 64)
+	e := tr.Table().Entries()[0]
+	if e.TransferredIn != 128 || e.TransferredOut != 64 {
+		t.Errorf("transfers = %d in, %d out", e.TransferredIn, e.TransferredOut)
+	}
+	// H2D marks CPU writes on words 0..31; D2H marks CPU reads on 16..31.
+	if e.Shadow[0]&shadow.CPUWrote == 0 || e.Shadow[31]&shadow.CPUWrote == 0 {
+		t.Error("H2D range not marked as CPU writes")
+	}
+	if e.Shadow[32]&shadow.CPUWrote != 0 {
+		t.Error("H2D mark spilled past the range")
+	}
+	if e.Shadow[16]&shadow.ReadCC == 0 {
+		t.Error("D2H range not marked as CPU reads")
+	}
+	st := tr.Stats()
+	if st.TransfersH2D != 1 || st.TransfersD2H != 1 {
+		t.Errorf("transfer stats = %+v", st)
+	}
+}
+
+func TestTransferWhileDisabled(t *testing.T) {
+	tr, sp := setup(t)
+	d := alloc(t, sp, memsim.DeviceOnly, 64, "d")
+	tr.TraceAlloc(d)
+	tr.SetEnabled(false)
+	tr.TraceTransfer(d, um.HostToDevice, 0, 64)
+	if tr.Table().Entries()[0].TransferredIn != 0 {
+		t.Error("disabled tracer recorded a transfer")
+	}
+}
+
+func TestKernelLaunchCounted(t *testing.T) {
+	tr, _ := setup(t)
+	tr.TraceKernelLaunch("k1")
+	tr.TraceKernelLaunch("k2")
+	if tr.Stats().Kernels != 2 {
+		t.Errorf("kernels = %d", tr.Stats().Kernels)
+	}
+}
+
+func TestName(t *testing.T) {
+	tr, sp := setup(t)
+	a := alloc(t, sp, memsim.Managed, 64, "")
+	tr.TraceAlloc(a)
+	tr.Name(a, "(dom)->m_x")
+	if got := tr.Table().Entries()[0].Label; got != "(dom)->m_x" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestDoubleAllocPanics(t *testing.T) {
+	tr, sp := setup(t)
+	a := alloc(t, sp, memsim.Managed, 64, "a")
+	tr.TraceAlloc(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping TraceAlloc did not panic")
+		}
+	}()
+	tr.TraceAlloc(a)
+}

@@ -1,0 +1,40 @@
+package xplrt_test
+
+import (
+	"os"
+
+	"xplacer/xplrt"
+)
+
+// Example shows what instrumented code (or hand-written tracing) looks
+// like at runtime: traced allocations, device roles, and the diagnostic
+// that a //xpl:diagnostic pragma expands into.
+func Example() {
+	xplrt.Reset()
+	xs := xplrt.Slice[float64](8, "xs")
+
+	// CPU role: initialize (xplinstr writes these wrappers for you).
+	for i := range xs {
+		*xplrt.TraceW(&xs[i]) = float64(i)
+	}
+
+	// "GPU" role: consume two values.
+	xplrt.SetDevice(xplrt.GPU)
+	sum := *xplrt.TraceR(&xs[0]) + *xplrt.TraceR(&xs[1])
+	_ = sum
+	xplrt.SetDevice(xplrt.CPU)
+
+	xplrt.TracePrint(os.Stdout, xplrt.ExpandAll(xplrt.Arg(&xs[0], "xs"))...)
+	// Output:
+	// *** checking 1 named allocations
+	// xs
+	// write counts                    write>read counts
+	//        C        G          C>C      C>G      G>C      G>G
+	//       16        0            0        4        0        0
+	// access density (in %): 100
+	// 4 elements with alternating accesses
+	//
+	// --- 1 anti-pattern finding(s) ---
+	// [alternating-cpu-gpu-access] xs: 4 elements accessed by both CPU and GPU with at least one write
+	//     remedy: provide memory access hints (cudaMemAdvise) matching the access characteristics, or split the object into a CPU part and a GPU part
+}

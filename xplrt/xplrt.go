@@ -1,0 +1,308 @@
+// Package xplrt is the XPlacer runtime library for instrumented plain Go
+// programs — the analog of the runtime the paper's ROSE plugin links
+// against (§III-B, Table I).
+//
+// The companion source rewriter (cmd/xplinstr, internal/instr) wraps heap
+// reads and writes in TraceR / TraceW / TraceRW calls and expands
+// "//xpl:diagnostic" pragmas into TracePrint calls. The runtime keeps the
+// same shadow memory the simulated runtime uses — a sorted allocation
+// table plus one flag byte per 32-bit word — over *real* Go heap
+// addresses, and reuses the same anti-pattern detectors.
+//
+// Go has no device-annotated code, so the CPU/GPU split of the original
+// becomes an explicit execution-context annotation: code sections that
+// play the GPU's role (an offloaded worker phase, a coprocessor RPC stub)
+// run between SetDevice(GPU) and SetDevice(CPU). Everything else about the
+// analysis — write/read origin tracking, alternating-access, density, and
+// transfer diagnostics — is unchanged.
+package xplrt
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"unsafe"
+
+	"xplacer/internal/detect"
+	"xplacer/internal/diag"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+)
+
+// Device identifies the processor role of the executing code section.
+type Device = machine.Device
+
+// Device roles.
+const (
+	CPU = machine.CPU
+	GPU = machine.GPU
+)
+
+// runtime is the process-global tracer state.
+type runtime struct {
+	mu      sync.Mutex
+	table   *shadow.Table
+	dev     Device
+	enabled bool
+	opt     detect.Options
+}
+
+var rt = &runtime{table: shadow.NewTable(), enabled: true, opt: detect.DefaultOptions()}
+
+// Reset discards all registered allocations and recorded accesses;
+// intended for tests and for programs analyzing several phases
+// independently.
+func Reset() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.table = shadow.NewTable()
+	rt.dev = CPU
+	rt.enabled = true
+	rt.opt = detect.DefaultOptions()
+}
+
+// SetEnabled switches access recording on or off at runtime.
+func SetEnabled(on bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.enabled = on
+}
+
+// SetDevice declares which processor role the following code plays. The
+// instrumented original distinguishes CPU and GPU code at compile time via
+// __CUDA_ARCH__; a Go program marks its offloaded sections explicitly.
+func SetDevice(d Device) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.dev = d
+}
+
+// SetOptions adjusts the anti-pattern detector thresholds.
+func SetOptions(opt detect.Options) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.opt = opt
+}
+
+// Register makes an allocation visible to the tracer. v must be a pointer
+// or a slice; the covered byte range is derived from the element type.
+// Registering the same or an overlapping range twice is ignored (the first
+// registration wins), so helper constructors can call it unconditionally.
+func Register(v any, label string) {
+	base, size := rangeOf(reflect.ValueOf(v))
+	if size == 0 {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	// Registered Go heap memory is accessible from both execution roles,
+	// like CUDA managed memory — which also makes the alternating-access
+	// detector apply to it.
+	_, _ = rt.table.InsertRange(memsim.Addr(base), size, label, memsim.Managed, "xplrt.Register")
+}
+
+// Release marks an allocation's range as freed; its shadow memory survives
+// until the next diagnostic, as in the paper.
+func Release(v any) {
+	base, size := rangeOf(reflect.ValueOf(v))
+	if size == 0 {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, e := range rt.table.Entries() {
+		if e.Base == memsim.Addr(base) && !e.Freed {
+			e.Freed = true
+			return
+		}
+	}
+}
+
+// Slice allocates a traced slice of n elements.
+func Slice[T any](n int, label string) []T {
+	s := make([]T, n)
+	if n > 0 {
+		Register(s, label)
+	}
+	return s
+}
+
+// New allocates a traced value.
+func New[T any](label string) *T {
+	p := new(T)
+	Register(p, label)
+	return p
+}
+
+// rangeOf computes the (base, size) byte range of a pointer or slice value.
+func rangeOf(v reflect.Value) (uintptr, int64) {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			return 0, 0
+		}
+		return v.Pointer(), int64(v.Type().Elem().Size())
+	case reflect.Slice:
+		if v.Len() == 0 {
+			return 0, 0
+		}
+		return v.Pointer(), int64(v.Type().Elem().Size()) * int64(v.Len())
+	default:
+		return 0, 0
+	}
+}
+
+// record is the shared body of the trace functions.
+func record(addr uintptr, size int64, kind memsim.AccessKind) {
+	rt.mu.Lock()
+	if rt.enabled {
+		rt.table.Record(rt.dev, memsim.Addr(addr), size, kind)
+	}
+	rt.mu.Unlock()
+}
+
+// TraceR records a read through p and returns p, so that "*p" becomes
+// "*xplrt.TraceR(p)" (the Go rendering of the paper's traceR).
+func TraceR[T any](p *T) *T {
+	record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Read)
+	return p
+}
+
+// TraceW records a write through p and returns p, so that "*p = v" becomes
+// "*xplrt.TraceW(p) = v".
+func TraceW[T any](p *T) *T {
+	record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Write)
+	return p
+}
+
+// TraceRW records a read-modify-write through p and returns p, so that
+// "*p += v" becomes "*xplrt.TraceRW(p) += v".
+func TraceRW[T any](p *T) *T {
+	record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.ReadWrite)
+	return p
+}
+
+// AllocData names one traced allocation for the diagnostic output — the
+// runtime form of the paper's XplAllocData records.
+type AllocData struct {
+	Base     uintptr
+	Name     string
+	ElemSize int64
+}
+
+// NamedArg pairs a diagnostic argument with its source-level name; the
+// instrumentation pass generates these from the pragma's expanded
+// argument list.
+type NamedArg struct {
+	Value any
+	Name  string
+}
+
+// Arg builds a NamedArg (used by generated code).
+func Arg(v any, name string) NamedArg { return NamedArg{Value: v, Name: name} }
+
+// ExpandAll turns diagnostic arguments into AllocData records, recursively
+// following pointer-typed struct fields exactly like the paper's expansion
+// of "#pragma xpl diagnostic" arguments (§III-B): for a pointer to a
+// struct with pointer members, each member yields an additional record
+// named "name->field". Type repetition (linked lists) stops the recursion.
+func ExpandAll(args ...NamedArg) []AllocData {
+	var out []AllocData
+	for _, a := range args {
+		v := reflect.ValueOf(a.Value)
+		expand(v, a.Name, map[reflect.Type]bool{}, &out)
+	}
+	return out
+}
+
+func expand(v reflect.Value, name string, seen map[reflect.Type]bool, out *[]AllocData) {
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		return
+	}
+	t := v.Type()
+	if seen[t] {
+		return // type repetition: stop (linked lists, §III-B)
+	}
+	seen[t] = true
+	defer delete(seen, t)
+
+	*out = append(*out, AllocData{
+		Base:     v.Pointer(),
+		Name:     name,
+		ElemSize: int64(t.Elem().Size()),
+	})
+	elem := v.Elem()
+	if elem.Kind() != reflect.Struct {
+		return
+	}
+	for i := 0; i < elem.NumField(); i++ {
+		f := elem.Field(i)
+		fieldName := name + "->" + elem.Type().Field(i).Name
+		// Unexported fields are included: reflect allows reading their
+		// pointer values, and the paper's expansion covers all pointer
+		// members of the object.
+		switch f.Kind() {
+		case reflect.Pointer:
+			expand(f, fieldName, seen, out)
+		case reflect.Slice:
+			if f.Len() > 0 {
+				base, size := rangeOf(f)
+				*out = append(*out, AllocData{Base: base, Name: fieldName, ElemSize: size / int64(f.Len())})
+			}
+		}
+	}
+}
+
+// TracePrint is the diagnostic entry point the "//xpl:diagnostic" pragma
+// expands to: it (re)labels the allocations named by the expanded
+// arguments, prints the per-allocation summaries and anti-pattern findings
+// to w, and resets the interval state.
+func TracePrint(w io.Writer, data ...AllocData) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, d := range data {
+		for _, e := range rt.table.Entries() {
+			if e.Contains(memsim.Addr(d.Base)) {
+				e.Label = d.Name
+			}
+		}
+	}
+	r := report(rt.table, rt.opt)
+	if w != nil {
+		r.Text(w)
+	}
+	rt.table.Reset()
+}
+
+// Report analyzes without printing and resets the interval state.
+func Report() diag.Report {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	r := report(rt.table, rt.opt)
+	rt.table.Reset()
+	return r
+}
+
+// report assembles a diag.Report from the live table.
+func report(t *shadow.Table, opt detect.Options) diag.Report {
+	var r diag.Report
+	for _, e := range t.Entries() {
+		r.Allocs = append(r.Allocs, diag.Summarize(e))
+	}
+	r.Findings = detect.Scan(t.Entries(), opt)
+	return r
+}
+
+// Allocations reports the number of traced allocations (for tests).
+func Allocations() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.table.Len()
+}
+
+// String renders an AllocData for debugging.
+func (d AllocData) String() string {
+	return fmt.Sprintf("%s@%#x(elem %dB)", d.Name, d.Base, d.ElemSize)
+}

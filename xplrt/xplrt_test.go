@@ -1,0 +1,194 @@
+package xplrt
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"xplacer/internal/detect"
+)
+
+// Each test runs against the process-global runtime; reset first.
+
+func TestTraceRoundtrip(t *testing.T) {
+	Reset()
+	xs := Slice[int64](16, "xs")
+	*TraceW(&xs[0]) = 42
+	if got := *TraceR(&xs[0]); got != 42 {
+		t.Fatalf("read back %d", got)
+	}
+	*TraceRW(&xs[0]) += 8
+	if xs[0] != 50 {
+		t.Fatalf("xs[0] = %d", xs[0])
+	}
+	r := Report()
+	if len(r.Allocs) != 1 {
+		t.Fatalf("allocs = %d", len(r.Allocs))
+	}
+	s := r.Allocs[0]
+	if s.WriteC == 0 || s.ReadCC == 0 {
+		t.Errorf("summary did not record accesses: %+v", s)
+	}
+}
+
+func TestDeviceRoles(t *testing.T) {
+	Reset()
+	xs := Slice[int32](8, "xs")
+	*TraceW(&xs[3]) = 7 // CPU write
+	SetDevice(GPU)
+	_ = *TraceR(&xs[3]) // GPU read of a CPU value
+	SetDevice(CPU)
+	r := Report()
+	s := r.Allocs[0]
+	if s.ReadCG != 1 {
+		t.Errorf("C>G = %d, want 1", s.ReadCG)
+	}
+	if s.Alternating != 1 {
+		t.Errorf("alternating = %d, want 1", s.Alternating)
+	}
+	foundAlt := false
+	for _, f := range r.Findings {
+		if f.Kind == detect.AlternatingAccess {
+			foundAlt = true
+		}
+	}
+	if !foundAlt {
+		t.Error("no alternating finding")
+	}
+}
+
+func TestUntrackedAccessesIgnored(t *testing.T) {
+	Reset()
+	x := 5
+	_ = *TraceR(&x) // never registered: must not panic or record
+	r := Report()
+	if len(r.Allocs) != 0 {
+		t.Errorf("untracked access created an entry: %+v", r.Allocs)
+	}
+}
+
+func TestRegisterPointerAndRelease(t *testing.T) {
+	Reset()
+	type blob struct{ a, b, c int64 }
+	p := New[blob]("blob")
+	*TraceW(&p.a) = 1
+	Release(p)
+	var sb strings.Builder
+	TracePrint(&sb, ExpandAll(Arg(p, "p"))...)
+	if !strings.Contains(sb.String(), "[freed]") {
+		t.Errorf("released entry not marked freed:\n%s", sb.String())
+	}
+	// After the diagnostic, the freed entry is gone.
+	if Allocations() != 0 {
+		t.Errorf("allocations after diagnostic = %d", Allocations())
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	Reset()
+	xs := Slice[int8](4, "xs")
+	SetEnabled(false)
+	*TraceW(&xs[0]) = 1
+	SetEnabled(true)
+	r := Report()
+	if r.Allocs[0].WriteC != 0 {
+		t.Error("disabled tracer still recorded")
+	}
+}
+
+func TestExpandAllRecursion(t *testing.T) {
+	Reset()
+	type inner struct{ v float64 }
+	type outer struct {
+		first  *inner
+		second *inner
+		scalar *int64
+	}
+	o := &outer{first: &inner{}, second: &inner{}, scalar: new(int64)}
+	data := ExpandAll(Arg(o, "o"))
+	names := map[string]bool{}
+	for _, d := range data {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"o", "o->first", "o->second", "o->scalar"} {
+		if !names[want] {
+			t.Errorf("expansion missing %q; got %v", want, data)
+		}
+	}
+}
+
+func TestExpandAllStopsOnTypeRepetition(t *testing.T) {
+	type node struct{ next *node }
+	n3 := &node{}
+	n2 := &node{next: n3}
+	n1 := &node{next: n2}
+	data := ExpandAll(Arg(n1, "n"))
+	// The linked list stops after the first level (§III-B: "unless there
+	// is type repetition, for example in a linked list").
+	if len(data) != 1 {
+		t.Errorf("expansion = %v, want just the head", data)
+	}
+}
+
+func TestExpandAllNilAndNonPointer(t *testing.T) {
+	if data := ExpandAll(Arg((*int)(nil), "nil"), Arg(42, "int")); len(data) != 0 {
+		t.Errorf("nil/non-pointer expanded: %v", data)
+	}
+}
+
+func TestExpandAllSliceField(t *testing.T) {
+	type holder struct{ xs []int32 }
+	h := &holder{xs: make([]int32, 10)}
+	data := ExpandAll(Arg(h, "h"))
+	found := false
+	for _, d := range data {
+		if d.Name == "h->xs" && d.ElemSize == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("slice field not expanded: %v", data)
+	}
+}
+
+func TestTracePrintRelabels(t *testing.T) {
+	Reset()
+	xs := Slice[float64](8, "anonymous")
+	type dom struct{ data *float64 }
+	d := &dom{data: &xs[0]}
+	*TraceW(&xs[0]) = 1
+	var sb strings.Builder
+	TracePrint(&sb, ExpandAll(Arg(d, "d"))...)
+	if !strings.Contains(sb.String(), "d->data") {
+		t.Errorf("entry not relabeled:\n%s", sb.String())
+	}
+}
+
+func TestOverlappingRegisterIgnored(t *testing.T) {
+	Reset()
+	xs := Slice[int64](8, "first")
+	Register(xs, "second") // same range: first wins
+	if Allocations() != 1 {
+		t.Errorf("allocations = %d, want 1", Allocations())
+	}
+}
+
+func TestConcurrentAccessSafe(t *testing.T) {
+	Reset()
+	xs := Slice[int64](1024, "xs")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = *TraceR(&xs[(g*251+i)%1024])
+			}
+		}(g)
+	}
+	wg.Wait()
+	r := Report()
+	if r.Allocs[0].ReadCC == 0 {
+		t.Error("concurrent reads not recorded")
+	}
+}
