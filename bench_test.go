@@ -10,6 +10,7 @@ package xplacer_test
 
 import (
 	"io"
+	"math"
 	"strings"
 	"testing"
 
@@ -150,6 +151,37 @@ func BenchmarkTable2RodiniaFindings(b *testing.B) {
 		total += len(r.Findings)
 	}
 	b.ReportMetric(float64(total), "findings")
+}
+
+// reportHotPath runs both recorders b.N times and reports each path's
+// best (minimum) per-access cost — the standard noise-robust estimate —
+// plus their ratio.
+func reportHotPath(b *testing.B, goroutines, total int) {
+	sharded, global := math.Inf(1), math.Inf(1)
+	for i := 0; i < b.N; i++ {
+		sharded = math.Min(sharded, bench.TraceHotPath(goroutines, total))
+		global = math.Min(global, bench.GlobalLockHotPath(goroutines, total))
+	}
+	b.ReportMetric(sharded, "sharded_ns_per_access")
+	b.ReportMetric(global, "globallock_ns_per_access")
+	if sharded > 0 {
+		b.ReportMetric(global/sharded, "speedup_x")
+	}
+}
+
+// BenchmarkTraceOverheadParallel compares the buffered recording hot path
+// against the pre-change global-lock design at 8 concurrent goroutines.
+// The acceptance bar is speedup_x >= 2.
+func BenchmarkTraceOverheadParallel(b *testing.B) {
+	reportHotPath(b, 8, 1<<20)
+}
+
+// BenchmarkTraceOverheadSingle is the single-goroutine regression guard:
+// the buffered path must not cost more than ~10% over the global-lock
+// design without concurrency (in practice the batch apply's lookup cache
+// makes it faster).
+func BenchmarkTraceOverheadSingle(b *testing.B) {
+	reportHotPath(b, 1, 1<<20)
 }
 
 // BenchmarkTable3Overhead measures the instrumentation overhead on one

@@ -47,14 +47,17 @@ func main() {
 	}
 	*xplrt.TraceW(wt.scale) = 0.5
 
-	// Worker ("GPU") role: read the table and inputs, write outputs.
-	xplrt.SetDevice(xplrt.GPU)
-	for i := range wt.input {
-		in := *xplrt.TraceR(&wt.input[i])
-		s := *xplrt.TraceR(wt.scale)
-		*xplrt.TraceW(&wt.output[i]) = in * s
-	}
-	xplrt.SetDevice(xplrt.CPU)
+	// Worker ("GPU") role: read the table and inputs, write outputs. The
+	// device scope is goroutine-local, so several workers could run phases
+	// like this concurrently with CPU-role code (xplinstr emits the Scope
+	// forms inside functions carrying an //xpl:scope pragma).
+	xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) {
+		for i := range wt.input {
+			in := *xplrt.ScopeR(s, &wt.input[i])
+			sc := *xplrt.ScopeR(s, wt.scale)
+			*xplrt.ScopeW(s, &wt.output[i]) = in * sc
+		}
+	})
 
 	// CPU role again: consume a few outputs and nudge the scale — the
 	// alternating-access pattern.
@@ -71,10 +74,10 @@ func main() {
 
 	// Re-run traced (TracePrint reset the interval) to feed the advisor a
 	// steady-state picture of the alternating allocation.
-	xplrt.SetDevice(xplrt.GPU)
-	_ = *xplrt.TraceR(wt.scale)
-	_ = *xplrt.TraceR(&wt.input[1])
-	xplrt.SetDevice(xplrt.CPU)
+	xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) {
+		_ = *xplrt.ScopeR(s, wt.scale)
+		_ = *xplrt.ScopeR(s, &wt.input[1])
+	})
 	*xplrt.TraceW(wt.scale) = 0.4
 	report := xplrt.Report()
 	recs := advisor.Recommend(report, advisor.DefaultOptions(machine.IntelPascal()))

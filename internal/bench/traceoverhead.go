@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+	"unsafe"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+	"xplacer/xplrt"
+)
+
+// This file measures the recording hot path itself: xplrt's buffered
+// device-scope path against a reference recorder built the way the runtime
+// used to work — one process-global mutex and a full SMT lookup on every
+// access. The workload is the scaling regime the ROADMAP targets: a few
+// hundred live allocations (past the SMT's linear cutoff, so every
+// unbatched Find is a binary search) with each goroutine streaming
+// sequentially through allocations, the access pattern kernels actually
+// produce. The buffered path replaces those per-access lock/search pairs
+// with a local append plus a per-batch last-entry cache hit; on multicore
+// hardware it additionally removes the global serialization.
+
+const (
+	hotPathAllocs = 256  // past the SMT's linear cutoff: binary search per Find
+	hotPathWords  = 2048 // float64 elements per allocation (16 KiB)
+)
+
+// hotPathSlices registers the shared slice set with xplrt.
+func hotPathSlices() [][]float64 {
+	slices := make([][]float64, hotPathAllocs)
+	for i := range slices {
+		slices[i] = xplrt.Slice[float64](hotPathWords, fmt.Sprintf("a%d", i))
+	}
+	return slices
+}
+
+// TraceHotPath measures xplrt's scope-buffered recorded-access throughput:
+// ns per access over `total` accesses from `goroutines` concurrent GPU-role
+// workers, including the final flush.
+func TraceHotPath(goroutines, total int) float64 {
+	if goroutines < 1 {
+		goroutines = 1
+	}
+	xplrt.Reset()
+	slices := hotPathSlices()
+	per := total / goroutines
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) {
+				block := g % len(slices)
+				for i := 0; i < per; block = (block + 1) % len(slices) {
+					xs := slices[block]
+					n := hotPathWords
+					if per-i < n {
+						n = per - i
+					}
+					for j := 0; j < n; j++ {
+						_ = *xplrt.ScopeR(s, &xs[j])
+					}
+					i += n
+				}
+			})
+		}(g)
+	}
+	wg.Wait()
+	xplrt.Flush()
+	elapsed := time.Since(start)
+	xplrt.Reset()
+	return float64(elapsed.Nanoseconds()) / float64(per*goroutines)
+}
+
+// globalLockRecorder reproduces the pre-sharding runtime design: one
+// process-global mutex around a per-access SMT lookup and shadow update.
+// It is kept as the comparison baseline for BenchmarkTraceOverheadParallel.
+type globalLockRecorder struct {
+	mu    sync.Mutex
+	table *shadow.Table
+}
+
+func (r *globalLockRecorder) access(dev machine.Device, addr uintptr, size int64, kind memsim.AccessKind) {
+	r.mu.Lock()
+	r.table.Record(dev, memsim.Addr(addr), size, kind)
+	r.mu.Unlock()
+}
+
+// GlobalLockHotPath measures the old global-lock design on the same
+// workload and memory layout as TraceHotPath: ns per access.
+func GlobalLockHotPath(goroutines, total int) float64 {
+	if goroutines < 1 {
+		goroutines = 1
+	}
+	r := &globalLockRecorder{table: shadow.NewTable()}
+	slices := make([][]float64, hotPathAllocs)
+	for i := range slices {
+		xs := make([]float64, hotPathWords)
+		base := memsim.Addr(uintptr(unsafe.Pointer(&xs[0])))
+		if _, err := r.table.InsertRange(base, int64(hotPathWords*8), fmt.Sprintf("a%d", i), memsim.Managed, "bench"); err != nil {
+			panic(err)
+		}
+		slices[i] = xs
+	}
+	per := total / goroutines
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var sink float64
+			block := g % len(slices)
+			for i := 0; i < per; block = (block + 1) % len(slices) {
+				xs := slices[block]
+				n := hotPathWords
+				if per-i < n {
+					n = per - i
+				}
+				for j := 0; j < n; j++ {
+					p := &xs[j]
+					r.access(machine.GPU, uintptr(unsafe.Pointer(p)), 8, memsim.Read)
+					sink += *p // the program access being traced, like TraceHotPath's
+				}
+				i += n
+			}
+			_ = sink
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(per*goroutines)
+}

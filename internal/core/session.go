@@ -32,6 +32,10 @@ type Session struct {
 }
 
 // Config adjusts session construction.
+//
+// Deprecated: Config survives for NewSessionConfig callers; new code
+// configures sessions with Option values (WithoutInstrumentation,
+// WithDetect) passed to NewSession.
 type Config struct {
 	// Instrument enables the tracer (default in NewSession).
 	Instrument bool
@@ -39,19 +43,54 @@ type Config struct {
 	Detect detect.Options
 }
 
-// NewSession creates an instrumented session on the platform.
-func NewSession(plat *machine.Platform) (*Session, error) {
-	return NewSessionConfig(plat, Config{Instrument: true})
+// Option adjusts session construction; see NewSession.
+type Option func(*Config)
+
+// WithoutInstrumentation creates the session without a tracer — the
+// "original version" baseline of Table III.
+func WithoutInstrumentation() Option {
+	return func(c *Config) { c.Instrument = false }
+}
+
+// WithInstrumentation (re-)enables the tracer; it is the default and
+// exists to make intent explicit at call sites that compute options.
+func WithInstrumentation() Option {
+	return func(c *Config) { c.Instrument = true }
+}
+
+// WithDetect overrides the anti-pattern detector thresholds.
+func WithDetect(opt detect.Options) Option {
+	return func(c *Config) { c.Detect = opt }
+}
+
+// NewSession creates a session on the platform — instrumented by default,
+// adjusted by options:
+//
+//	s, err := core.NewSession(plat, core.WithoutInstrumentation())
+//	s, err := core.NewSession(plat, core.WithDetect(opt))
+func NewSession(plat *machine.Platform, opts ...Option) (*Session, error) {
+	cfg := Config{Instrument: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newSession(plat, cfg)
 }
 
 // NewPlainSession creates an uninstrumented session (no tracer), used as
-// the overhead baseline of Table III.
+// the overhead baseline of Table III. It is shorthand for
+// NewSession(plat, WithoutInstrumentation()).
 func NewPlainSession(plat *machine.Platform) (*Session, error) {
-	return NewSessionConfig(plat, Config{Instrument: false})
+	return NewSession(plat, WithoutInstrumentation())
 }
 
-// NewSessionConfig creates a session with explicit configuration.
+// NewSessionConfig creates a session with an explicit Config.
+//
+// Deprecated: use NewSession with options.
 func NewSessionConfig(plat *machine.Platform, cfg Config) (*Session, error) {
+	return newSession(plat, cfg)
+}
+
+func newSession(plat *machine.Platform, cfg Config) (*Session, error) {
 	ctx, err := cuda.NewContext(plat)
 	if err != nil {
 		return nil, err
@@ -122,8 +161,7 @@ type RunResult struct {
 // Run executes app within a fresh session on plat and measures it.
 // instrument selects a traced or plain session.
 func Run(plat *machine.Platform, instrument bool, app func(*Session) error) (RunResult, error) {
-	cfg := Config{Instrument: instrument}
-	s, err := NewSessionConfig(plat, cfg)
+	s, err := newSession(plat, Config{Instrument: instrument})
 	if err != nil {
 		return RunResult{}, err
 	}

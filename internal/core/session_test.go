@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"xplacer/internal/cuda"
+	"xplacer/internal/detect"
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
 )
@@ -100,6 +101,47 @@ func TestRunPropagatesError(t *testing.T) {
 	sentinel := errors.New("boom")
 	if _, err := Run(machine.IntelPascal(), true, func(*Session) error { return sentinel }); !errors.Is(err, sentinel) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSessionOptions(t *testing.T) {
+	s, err := NewSession(machine.IntelPascal(), WithoutInstrumentation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Instrumented() {
+		t.Error("WithoutInstrumentation left a tracer")
+	}
+
+	opt := detect.DefaultOptions()
+	opt.DensityThresholdPct = 75
+	s, err = NewSession(machine.IntelPascal(), WithDetect(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Instrumented() {
+		t.Error("options default should instrument")
+	}
+	if s.Opt.DensityThresholdPct != 75 {
+		t.Errorf("WithDetect not applied: %+v", s.Opt)
+	}
+
+	s, err = NewSession(machine.IntelPascal(), WithoutInstrumentation(), WithInstrumentation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Instrumented() {
+		t.Error("later option should win")
+	}
+}
+
+func TestNewSessionConfigShim(t *testing.T) {
+	s, err := NewSessionConfig(machine.IntelPascal(), Config{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Instrumented() {
+		t.Error("deprecated NewSessionConfig broken")
 	}
 }
 

@@ -93,7 +93,8 @@ type Report struct {
 }
 
 // Analyze computes a report over the tracer's shadow memory without
-// resetting it.
+// resetting it. Table() flushes the tracer's buffered accesses first, so
+// every access recorded before this call is visible to the analysis.
 func Analyze(t *trace.Tracer, title string, opt detect.Options) Report {
 	entries := t.Table().Entries()
 	r := Report{Title: title}
@@ -324,12 +325,8 @@ func MapCSV(w io.Writer, e *shadow.Entry) {
 	}
 }
 
-// EntryOf finds the shadow entry for an allocation (for map rendering).
+// EntryOf finds the shadow entry for an allocation (for map rendering),
+// flushing buffered accesses first.
 func EntryOf(t *trace.Tracer, a *memsim.Alloc) *shadow.Entry {
-	for _, e := range t.Table().Entries() {
-		if e.AllocID == a.ID {
-			return e
-		}
-	}
-	return nil
+	return t.Table().FindByID(a.ID)
 }

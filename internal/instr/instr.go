@@ -25,6 +25,11 @@
 //	    semicolon are copied verbatim, each pointer variable after it is
 //	    expanded into named allocation records (XplAllocData analogs) via
 //	    xplrt.ExpandAll/xplrt.Arg.
+//	//xpl:scope s
+//	    in a function's doc comment: the function body runs under the
+//	    device scope held by its parameter s (*xplrt.DeviceScope), so its
+//	    accesses are emitted as xplrt.ScopeR(s, ptr) / ScopeW / ScopeRW
+//	    instead of the process-default TraceR / TraceW / TraceRW forms.
 //
 // The pass type-checks the input (go/types) to decide which expressions
 // touch the heap.
@@ -179,7 +184,13 @@ func rewriteOne(fset *token.FileSet, f *ast.File, info *types.Info, opt Options)
 	}
 	for _, d := range f.Decls {
 		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			sc, err := scopePragma(fset, fd)
+			if err != nil {
+				return nil, err
+			}
+			r.scope = sc
 			r.block(fd.Body)
+			r.scope = ""
 		}
 	}
 	for _, d := range r.diags {
@@ -207,6 +218,31 @@ type rewriter struct {
 	replaces    map[string]string
 	diags       []*diagPragma
 	usedRuntime bool
+	// scope is the //xpl:scope identifier of the enclosing function ("" =
+	// none): accesses trace through ScopeR/W/RW with it instead of the
+	// process-default TraceR/W/RW.
+	scope string
+}
+
+// scopePragma extracts the //xpl:scope identifier from a function's doc
+// comment, or "" when absent.
+func scopePragma(fset *token.FileSet, fd *ast.FuncDecl) (string, error) {
+	if fd.Doc == nil {
+		return "", nil
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "xpl:scope") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, "xpl:scope"))
+		if len(fields) != 1 {
+			return "", fmt.Errorf("instr: %s: want //xpl:scope ident, got %q",
+				fset.Position(c.Pos()), c.Text)
+		}
+		return fields[0], nil
+	}
+	return "", nil
 }
 
 // collectPragmas scans the file's comments for xpl pragmas.
@@ -342,15 +378,22 @@ func (m mode) traceFn() string {
 	}
 }
 
-// trace builds xplrt.TraceX(ptr).
+// trace builds xplrt.TraceX(ptr) — or, inside an //xpl:scope function,
+// xplrt.ScopeX(scope, ptr).
 func (r *rewriter) trace(m mode, ptr ast.Expr) ast.Expr {
 	r.usedRuntime = true
+	fn := m.traceFn()
+	args := []ast.Expr{ptr}
+	if r.scope != "" {
+		fn = "Scope" + strings.TrimPrefix(fn, "Trace")
+		args = []ast.Expr{ast.NewIdent(r.scope), ptr}
+	}
 	return &ast.CallExpr{
 		Fun: &ast.SelectorExpr{
 			X:   ast.NewIdent(r.opt.RuntimeAlias),
-			Sel: ast.NewIdent(m.traceFn()),
+			Sel: ast.NewIdent(fn),
 		},
-		Args: []ast.Expr{ptr},
+		Args: args,
 	}
 }
 
@@ -780,11 +823,34 @@ func (r *rewriter) diagStmt(d *diagPragma) ast.Stmt {
 	return &ast.ExprStmt{X: &ast.CallExpr{Fun: d.fn, Args: args}}
 }
 
-// addImport inserts the runtime import into the file.
+// addImport inserts the runtime import into the file. Source that uses
+// the scope API (//xpl:scope functions name *xplrt.DeviceScope) already
+// imports the runtime; if it is present under the alias the emitted
+// calls use, nothing is inserted.
 func addImport(f *ast.File, alias, path string) {
+	quoted := fmt.Sprintf("%q", path)
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		for _, s := range gd.Specs {
+			is, ok := s.(*ast.ImportSpec)
+			if !ok || is.Path.Value != quoted {
+				continue
+			}
+			name := path[strings.LastIndex(path, "/")+1:]
+			if is.Name != nil {
+				name = is.Name.Name
+			}
+			if name == alias {
+				return
+			}
+		}
+	}
 	spec := &ast.ImportSpec{
 		Name: ast.NewIdent(alias),
-		Path: &ast.BasicLit{Kind: token.STRING, Value: fmt.Sprintf("%q", path)},
+		Path: &ast.BasicLit{Kind: token.STRING, Value: quoted},
 	}
 	for _, d := range f.Decls {
 		if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {

@@ -235,6 +235,52 @@ func sum(head *node, out []int) int {
 	}
 }
 
+func TestScopePragma(t *testing.T) {
+	out := instrument(t, `package p
+
+type sc struct{}
+
+//xpl:scope s
+func kernel(s *sc, xs []int, p *int) {
+	xs[0] = *p
+	xs[1] += 1
+}
+
+func plain(xs []int) { xs[0] = 1 }
+`)
+	for _, want := range []string{
+		"*xplrt.ScopeW(s, &xs[0]) = *xplrt.ScopeR(s, p)",
+		"*xplrt.ScopeRW(s, &xs[1]) += 1",
+		"*xplrt.TraceW(&xs[0]) = 1", // unscoped function keeps Trace forms
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestScopePragmaAppliesToFuncLits(t *testing.T) {
+	out := instrument(t, `package p
+
+type sc struct{}
+
+//xpl:scope s
+func kernel(s *sc, xs []int) {
+	f := func() { xs[2] = 9 }
+	f()
+}
+`)
+	if !strings.Contains(out, "*xplrt.ScopeW(s, &xs[2]) = 9") {
+		t.Errorf("func literal inside scoped function not scoped:\n%s", out)
+	}
+}
+
+func TestBadScopePragma(t *testing.T) {
+	if _, err := File("x.go", []byte("package p\n\n//xpl:scope\nfunc f() {}\n"), Options{}); err == nil {
+		t.Error("//xpl:scope without an identifier accepted")
+	}
+}
+
 // TestEndToEnd instruments a small program, compiles it against this
 // repository's xplrt, runs it, and checks the diagnostic output — the full
 // Fig. 1 pipeline (instrument -> backend compile -> link runtime -> run).
@@ -263,17 +309,22 @@ func main() {
 		xs[i] = float64(i)
 	}
 
-	// "GPU" phase reads a few values and writes one.
-	beginGPU()
-	s := 0.0
-	for i := 0; i < 8; i++ {
-		s += xs[i]
-	}
-	xs[0] = s
-	endGPU()
+	// GPU phase: a scoped kernel reads a few values and writes one.
+	onGPU(func(s *gpuScope) {
+		gpuPhase(s, xs)
+	})
 
 	_ = d
 	//xpl:diagnostic report(os.Stdout; d)
+}
+
+//xpl:scope s
+func gpuPhase(s *gpuScope, xs []float64) {
+	acc := 0.0
+	for i := 0; i < 8; i++ {
+		acc += xs[i]
+	}
+	xs[0] = acc
 }
 `
 	support := `package main
@@ -284,9 +335,10 @@ import (
 	xplrt "xplacer/xplrt"
 )
 
+type gpuScope = xplrt.DeviceScope
+
 func newSlice(n int) []float64 { return xplrt.Slice[float64](n, "xs") }
-func beginGPU()                { xplrt.SetDevice(xplrt.GPU) }
-func endGPU()                  { xplrt.SetDevice(xplrt.CPU) }
+func onGPU(fn func(*gpuScope)) { xplrt.OnDevice(xplrt.GPU, fn) }
 func report(w io.Writer, data ...xplrt.AllocData) {
 	xplrt.TracePrint(w, data...)
 }
@@ -294,26 +346,23 @@ func report(w io.Writer, data ...xplrt.AllocData) {
 	// For type checking, the helpers are declared with stdlib-only
 	// signatures; the real implementations (using xplrt) are compiled into
 	// the temp module below.
-	stub := `package main
-
-import "io"
-
-func newSliceStub() {}
-`
-	_ = stub
 	instrumented, err := File("main.go", []byte(src), Options{
 		Support: []NamedSource{{Name: "support_stub.go", Src: []byte(`package main
 
 import "io"
 
+type gpuScope struct{}
+
 func newSlice(n int) []float64 { return nil }
-func beginGPU()                {}
-func endGPU()                  {}
+func onGPU(fn func(*gpuScope)) {}
 func report(w io.Writer, args ...any) { _ = w }
 `)}},
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(string(instrumented), "xplrt.ScopeR(s, &xs[i])") {
+		t.Fatalf("scoped kernel not instrumented with Scope forms:\n%s", instrumented)
 	}
 	dir := t.TempDir()
 	write := func(name, content string) {

@@ -68,6 +68,22 @@ func Update(b byte, dev machine.Device, kind memsim.AccessKind) byte {
 	return b
 }
 
+// updateTab precomputes Update for every (device, kind, shadow byte)
+// triple. The batch path applies one access to a run of shadow bytes, so
+// a single L1-resident table lookup per byte replaces Update's branches;
+// Update stays the reference definition the table is built from.
+var updateTab [int(machine.NumDevices)][int(memsim.ReadWrite) + 1][256]byte
+
+func init() {
+	for dev := range updateTab {
+		for kind := range updateTab[dev] {
+			for b := range updateTab[dev][kind] {
+				updateTab[dev][kind][b] = Update(byte(b), machine.Device(dev), memsim.AccessKind(kind))
+			}
+		}
+	}
+}
+
 // Entry is one traced allocation's shadow state.
 type Entry struct {
 	// Base and End delimit the traced address range.
@@ -105,14 +121,19 @@ func (e *Entry) Contains(addr memsim.Addr) bool { return addr >= e.Base && addr 
 // wordIndex maps an address to its shadow byte index.
 func (e *Entry) wordIndex(addr memsim.Addr) int { return int(addr-e.Base) / WordSize }
 
-// Table is the shadow memory table: entries sorted by base address.
+// Table is the shadow memory table: entries sorted by base address, plus
+// an AllocID index for O(1) allocation-to-entry lookups. The table itself
+// is not goroutine-safe; concurrent recording front ends (xplrt's shards,
+// trace.Tracer) buffer accesses and apply them in batches under their own
+// lock via RecordAll.
 type Table struct {
 	entries []*Entry
-	lookups int64 // total lookup operations (overhead accounting)
+	byID    map[int]*Entry // AllocID -> entry, simulated allocations only
+	lookups int64          // total lookup operations (overhead accounting)
 }
 
 // NewTable returns an empty SMT.
-func NewTable() *Table { return &Table{} }
+func NewTable() *Table { return &Table{byID: map[int]*Entry{}} }
 
 // Len returns the number of entries (live and freed-but-retained).
 func (t *Table) Len() int { return len(t.entries) }
@@ -133,6 +154,7 @@ func (t *Table) Insert(a *memsim.Alloc, allocFn string) (*Entry, error) {
 		return nil, err
 	}
 	e.AllocID = a.ID
+	t.byID[a.ID] = e
 	return e, nil
 }
 
@@ -167,34 +189,45 @@ func (t *Table) InsertRange(base memsim.Addr, size int64, label string, kind mem
 // traced (untracked accesses are ignored, §III-C). Freed entries no longer
 // match: their memory may be reused.
 func (t *Table) Find(addr memsim.Addr) *Entry {
+	if e := t.find(addr); e != nil && !e.Freed {
+		return e
+	}
+	return nil
+}
+
+// FindAny is Find including freed-but-retained entries — diagnostics
+// relabel and summarize those until the next reset (§III-C delayed shadow
+// free).
+func (t *Table) FindAny(addr memsim.Addr) *Entry { return t.find(addr) }
+
+func (t *Table) find(addr memsim.Addr) *Entry {
 	t.lookups++
 	n := len(t.entries)
 	if n < linearCutoff {
 		for _, e := range t.entries {
 			if e.Contains(addr) {
-				if e.Freed {
-					return nil
-				}
 				return e
 			}
 		}
 		return nil
 	}
 	i := sort.Search(n, func(i int) bool { return t.entries[i].End > addr })
-	if i < n && t.entries[i].Contains(addr) && !t.entries[i].Freed {
+	if i < n && t.entries[i].Contains(addr) {
 		return t.entries[i]
 	}
 	return nil
 }
 
+// FindByID returns the entry for a simulated allocation id via the AllocID
+// index, or nil. Freed entries are still returned (transfer counters and
+// labels apply until the next diagnostic drops them).
+func (t *Table) FindByID(allocID int) *Entry { return t.byID[allocID] }
+
 // MarkFreed flags the entry for the allocation as freed; the shadow bytes
 // survive until DropFreed (called after the next diagnostic).
 func (t *Table) MarkFreed(allocID int) {
-	for _, e := range t.entries {
-		if e.AllocID == allocID && !e.Freed {
-			e.Freed = true
-			return
-		}
+	if e := t.byID[allocID]; e != nil {
+		e.Freed = true
 	}
 }
 
@@ -205,6 +238,8 @@ func (t *Table) DropFreed() {
 	for _, e := range t.entries {
 		if !e.Freed {
 			kept = append(kept, e)
+		} else if e.AllocID >= 0 {
+			delete(t.byID, e.AllocID)
 		}
 	}
 	// Zero the tail so dropped entries can be collected.
@@ -222,6 +257,12 @@ func (t *Table) Record(dev machine.Device, addr memsim.Addr, size int64, kind me
 	if e == nil {
 		return false
 	}
+	e.record(addr, size, dev, kind)
+	return true
+}
+
+// record applies one access to the entry's shadow words.
+func (e *Entry) record(addr memsim.Addr, size int64, dev machine.Device, kind memsim.AccessKind) {
 	e.EverTouched = true
 	first := e.wordIndex(addr)
 	last := e.wordIndex(addr + memsim.Addr(size) - 1)
@@ -231,7 +272,53 @@ func (t *Table) Record(dev machine.Device, addr memsim.Addr, size int64, kind me
 	for i := first; i <= last; i++ {
 		e.Shadow[i] = Update(e.Shadow[i], dev, kind)
 	}
-	return true
+}
+
+// Access is one buffered element access. Concurrent recording front ends
+// (xplrt's address shards, trace.Tracer) append these to per-shard buffers
+// on the hot path and apply them in batch at flush points.
+type Access struct {
+	Dev  machine.Device
+	Kind memsim.AccessKind
+	Addr memsim.Addr
+	Size int64
+}
+
+// RecordAll applies a batch of buffered accesses in order. hint seeds the
+// last-entry lookup cache: consecutive accesses into the same allocation
+// skip the SMT search entirely, which is what makes batched draining
+// cheaper than per-access Find calls. It returns the final cache value
+// (for the caller to carry across batches, per shard) and the number of
+// accesses that hit no traced entry. Cache hits do not count as Lookups.
+func (t *Table) RecordAll(batch []Access, hint *Entry) (last *Entry, untracked int) {
+	last = hint
+	for i := range batch {
+		a := &batch[i]
+		e := last
+		if e == nil || e.Freed || !e.Contains(a.Addr) {
+			e = t.Find(a.Addr)
+			if e == nil {
+				untracked++
+				continue
+			}
+			last = e
+		}
+		if int(a.Dev) >= len(updateTab) || int(a.Kind) >= len(updateTab[0]) {
+			e.record(a.Addr, a.Size, a.Dev, a.Kind)
+			continue
+		}
+		e.EverTouched = true
+		tab := &updateTab[a.Dev][a.Kind]
+		first := e.wordIndex(a.Addr)
+		lw := e.wordIndex(a.Addr + memsim.Addr(a.Size) - 1)
+		if lw >= len(e.Shadow) {
+			lw = len(e.Shadow) - 1
+		}
+		for w := first; w <= lw; w++ {
+			e.Shadow[w] = tab[e.Shadow[w]]
+		}
+	}
+	return last, untracked
 }
 
 // Reset clears the per-interval shadow bits and transfer counters

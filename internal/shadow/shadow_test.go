@@ -226,3 +226,117 @@ func TestLookupsCounter(t *testing.T) {
 		t.Error("lookup counter not advancing")
 	}
 }
+
+func TestFindByIDIndex(t *testing.T) {
+	sp := memsim.NewSpace(4096)
+	tb := NewTable()
+	a := mkAlloc(t, sp, 64, "a")
+	b := mkAlloc(t, sp, 64, "b")
+	ea, _ := tb.Insert(a, "f")
+	eb, _ := tb.Insert(b, "f")
+	if tb.FindByID(a.ID) != ea || tb.FindByID(b.ID) != eb {
+		t.Error("FindByID missed an inserted entry")
+	}
+	if tb.FindByID(a.ID+b.ID+99) != nil {
+		t.Error("FindByID matched an unknown id")
+	}
+	// Freed entries stay indexed (labels/transfer counters apply until the
+	// diagnostic drops them), then leave the index with DropFreed.
+	tb.MarkFreed(a.ID)
+	if tb.FindByID(a.ID) != ea {
+		t.Error("freed entry left the index before DropFreed")
+	}
+	tb.DropFreed()
+	if tb.FindByID(a.ID) != nil {
+		t.Error("dropped entry still indexed")
+	}
+	if tb.FindByID(b.ID) != eb {
+		t.Error("DropFreed evicted a live entry")
+	}
+}
+
+func TestFindAnyIncludesFreed(t *testing.T) {
+	sp := memsim.NewSpace(4096)
+	tb := NewTable()
+	a := mkAlloc(t, sp, 64, "a")
+	e, _ := tb.Insert(a, "f")
+	tb.MarkFreed(a.ID)
+	if tb.Find(a.Base) != nil {
+		t.Error("Find matched a freed entry")
+	}
+	if tb.FindAny(a.Base) != e {
+		t.Error("FindAny missed the freed-but-retained entry")
+	}
+}
+
+func TestRecordAllMatchesSequentialRecord(t *testing.T) {
+	sp := memsim.NewSpace(4096)
+	ref, batch := NewTable(), NewTable()
+	var accesses []Access
+	var allocs []*memsim.Alloc
+	for i := 0; i < 3; i++ {
+		a := mkAlloc(t, sp, 256, "a")
+		allocs = append(allocs, a)
+		if _, err := ref.Insert(a, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := batch.Insert(a, "f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A mixed sequence: CPU writes, GPU reads/writes, an untracked access,
+	// and an 8-byte access spanning two words. Applying it word by word and
+	// in one batch must produce identical shadow bytes.
+	for i := 0; i < 200; i++ {
+		a := allocs[i%len(allocs)]
+		dev, kind := machine.CPU, memsim.Write
+		if i%3 == 1 {
+			dev, kind = machine.GPU, memsim.Read
+		} else if i%3 == 2 {
+			dev, kind = machine.GPU, memsim.ReadWrite
+		}
+		accesses = append(accesses, Access{Dev: dev, Kind: kind, Addr: a.Base + memsim.Addr((i*8)%248), Size: 8})
+	}
+	accesses = append(accesses, Access{Dev: machine.CPU, Kind: memsim.Read, Addr: 0xdead0000, Size: 4})
+	tracked := 0
+	for _, ac := range accesses {
+		if ref.Record(ac.Dev, ac.Addr, ac.Size, ac.Kind) {
+			tracked++
+		}
+	}
+	last, untracked := batch.RecordAll(accesses, nil)
+	if untracked != len(accesses)-tracked {
+		t.Errorf("untracked = %d, want %d", untracked, len(accesses)-tracked)
+	}
+	if last == nil {
+		t.Error("RecordAll returned no cache entry")
+	}
+	for i := range ref.Entries() {
+		re, be := ref.Entries()[i], batch.Entries()[i]
+		for w := range re.Shadow {
+			if re.Shadow[w] != be.Shadow[w] {
+				t.Fatalf("entry %d word %d: batch %08b != sequential %08b", i, w, be.Shadow[w], re.Shadow[w])
+			}
+		}
+		if be.EverTouched != re.EverTouched {
+			t.Errorf("entry %d EverTouched diverged", i)
+		}
+	}
+}
+
+func TestRecordAllHintSkipsStaleEntries(t *testing.T) {
+	sp := memsim.NewSpace(4096)
+	tb := NewTable()
+	a := mkAlloc(t, sp, 64, "a")
+	e, _ := tb.Insert(a, "f")
+	tb.MarkFreed(a.ID)
+	// A freed hint must not swallow accesses: the lookup runs and reports
+	// the access untracked (the memory may be reused).
+	_, untracked := tb.RecordAll([]Access{{Dev: machine.CPU, Kind: memsim.Write, Addr: a.Base, Size: 4}}, e)
+	if untracked != 1 {
+		t.Errorf("untracked = %d, want 1 (freed entry)", untracked)
+	}
+	if e.Shadow[0] != 0 {
+		t.Error("RecordAll wrote through a freed hint")
+	}
+}

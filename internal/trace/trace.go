@@ -6,11 +6,19 @@
 //
 // The tracer deliberately performs its own address-to-allocation lookup on
 // every access — the same SMT search the paper's prototype does — so the
-// instrumentation overhead characteristics of Table III carry over.
+// instrumentation overhead characteristics of Table III carry over. To keep
+// that lookup off the per-access critical path, TraceAccess buffers records
+// into address-sharded buffers (same word, same shard — per-word order is
+// preserved) and drains them into the shadow table in batch, with a
+// per-shard last-entry lookup cache, when a buffer fills and at flush
+// points: Table(), Stats(), transfers, frees, and explicit Flush calls.
+// This makes TraceAccess safe for concurrent simulated kernels.
 package trace
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
@@ -23,7 +31,8 @@ type Stats struct {
 	// Reads, Writes, ReadWrites count traced element accesses by kind.
 	Reads, Writes, ReadWrites int64
 	// Untracked counts accesses to addresses outside the SMT (ignored,
-	// §III-C).
+	// §III-C). Untracked accesses are detected when their batch drains, so
+	// the count is exact only after a flush — Stats() flushes for you.
 	Untracked int64
 	// Allocs and Frees count intercepted allocation calls.
 	Allocs, Frees int64
@@ -33,32 +42,118 @@ type Stats struct {
 	Kernels int64
 }
 
+// counters is the concurrent form of Stats.
+type counters struct {
+	reads, writes, readWrites, untracked atomic.Int64
+	allocs, frees                        atomic.Int64
+	h2d, d2h, kernels                    atomic.Int64
+}
+
+const (
+	// numShards fixes the number of access-buffer shards; an access goes
+	// to shard (addr>>shardShift)%numShards. The 64-byte granularity keeps
+	// each shadow word on a single shard, preserving per-word order.
+	numShards  = 64
+	shardShift = 6
+	// shardCap is the per-shard buffer capacity; a full shard drains
+	// immediately.
+	shardCap = 1024
+)
+
+// traceShard is one access buffer plus its SMT lookup cache. The kind
+// counters are plain fields updated under mu — cheaper than per-access
+// atomics — and merged into the tracer's totals when the shard drains.
+type traceShard struct {
+	mu                        sync.Mutex
+	buf                       []shadow.Access
+	last                      *shadow.Entry
+	reads, writes, readWrites int64
+}
+
 // Tracer records memory operations into shadow memory. The zero value is
-// not usable; call New.
+// not usable; call New. TraceAccess may be called from concurrent
+// goroutines (parallel simulated kernels); diagnostics and the other
+// wrappers flush the access buffers before touching the table.
 type Tracer struct {
-	table   *shadow.Table
-	enabled bool
-	stats   Stats
+	// mu protects table. Lock order is always shard.mu -> mu.
+	mu       sync.Mutex
+	table    *shadow.Table
+	disabled atomic.Bool
+	stats    counters
+	shards   [numShards]traceShard
 }
 
 // New creates an enabled tracer with an empty shadow memory table.
 func New() *Tracer {
-	return &Tracer{table: shadow.NewTable(), enabled: true}
+	return &Tracer{table: shadow.NewTable()}
 }
 
-// Table exposes the shadow memory table for diagnostics.
-func (t *Tracer) Table() *shadow.Table { return t.table }
+// Table flushes buffered accesses and exposes the shadow memory table for
+// diagnostics. The table itself is not goroutine-safe: callers must not
+// use it while simulated kernels are still tracing.
+func (t *Tracer) Table() *shadow.Table {
+	t.Flush()
+	return t.table
+}
 
-// Stats returns cumulative instrumentation statistics.
-func (t *Tracer) Stats() Stats { return t.stats }
+// Stats flushes buffered accesses and returns cumulative instrumentation
+// statistics.
+func (t *Tracer) Stats() Stats {
+	t.Flush()
+	return Stats{
+		Reads:        t.stats.reads.Load(),
+		Writes:       t.stats.writes.Load(),
+		ReadWrites:   t.stats.readWrites.Load(),
+		Untracked:    t.stats.untracked.Load(),
+		Allocs:       t.stats.allocs.Load(),
+		Frees:        t.stats.frees.Load(),
+		TransfersH2D: t.stats.h2d.Load(),
+		TransfersD2H: t.stats.d2h.Load(),
+		Kernels:      t.stats.kernels.Load(),
+	}
+}
 
 // SetEnabled turns tracing on or off. Allocation bookkeeping continues
 // while disabled so that the SMT stays consistent; only access recording
 // stops.
-func (t *Tracer) SetEnabled(on bool) { t.enabled = on }
+func (t *Tracer) SetEnabled(on bool) { t.disabled.Store(!on) }
 
 // Enabled reports whether access recording is active.
-func (t *Tracer) Enabled() bool { return t.enabled }
+func (t *Tracer) Enabled() bool { return !t.disabled.Load() }
+
+// apply drains one shard into the shadow table; the caller holds sh.mu.
+func (t *Tracer) apply(sh *traceShard) {
+	if sh.reads|sh.writes|sh.readWrites != 0 {
+		t.stats.reads.Add(sh.reads)
+		t.stats.writes.Add(sh.writes)
+		t.stats.readWrites.Add(sh.readWrites)
+		sh.reads, sh.writes, sh.readWrites = 0, 0, 0
+	}
+	if len(sh.buf) == 0 {
+		return
+	}
+	t.mu.Lock()
+	// The tracer's table is never replaced, so the cached entry can only go
+	// stale by being freed — which RecordAll's hint check rejects.
+	last, untracked := t.table.RecordAll(sh.buf, sh.last)
+	t.mu.Unlock()
+	sh.last = last
+	if untracked > 0 {
+		t.stats.untracked.Add(int64(untracked))
+	}
+	sh.buf = sh.buf[:0]
+}
+
+// Flush drains every buffered access into the shadow table. Table() and
+// Stats() flush implicitly, as do the free and transfer wrappers.
+func (t *Tracer) Flush() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		t.apply(sh)
+		sh.mu.Unlock()
+	}
+}
 
 // allocFnName maps an allocation kind to the API function the wrapper
 // intercepted, for diagnostic messages.
@@ -76,8 +171,11 @@ func allocFnName(k memsim.Kind) string {
 // TraceAlloc implements cuda.Tracer (the trcMalloc/trcMallocManaged
 // wrappers): it creates the SMT entry and shadow memory.
 func (t *Tracer) TraceAlloc(a *memsim.Alloc) {
-	t.stats.Allocs++
-	if _, err := t.table.Insert(a, allocFnName(a.Kind)); err != nil {
+	t.stats.allocs.Add(1)
+	t.mu.Lock()
+	_, err := t.table.Insert(a, allocFnName(a.Kind))
+	t.mu.Unlock()
+	if err != nil {
 		// An overlap means the simulated allocator handed out overlapping
 		// ranges — a bug worth failing loudly on.
 		panic(fmt.Sprintf("trace: %v", err))
@@ -86,47 +184,63 @@ func (t *Tracer) TraceAlloc(a *memsim.Alloc) {
 
 // TraceFree implements cuda.Tracer (the trcFree wrapper): user memory is
 // released immediately, shadow memory is retained until the next
-// diagnostic (§III-C).
+// diagnostic (§III-C). Accesses buffered before the free are drained first
+// so they still land in the entry.
 func (t *Tracer) TraceFree(a *memsim.Alloc) {
-	t.stats.Frees++
+	t.stats.frees.Add(1)
+	t.Flush()
+	t.mu.Lock()
 	t.table.MarkFreed(a.ID)
+	t.mu.Unlock()
 }
 
 // TraceAccess implements cuda.Tracer; it is the runtime body of traceR,
-// traceW, and traceRW.
+// traceW, and traceRW. It only appends to an address shard — safe for
+// concurrent simulated kernels.
 func (t *Tracer) TraceAccess(dev machine.Device, _ *memsim.Alloc, addr memsim.Addr, size int64, kind memsim.AccessKind) {
-	if !t.enabled {
+	if t.disabled.Load() {
 		return
 	}
+	sh := &t.shards[(uint64(addr)>>shardShift)%numShards]
+	sh.mu.Lock()
 	switch kind {
 	case memsim.Read:
-		t.stats.Reads++
+		sh.reads++
 	case memsim.Write:
-		t.stats.Writes++
+		sh.writes++
 	default:
-		t.stats.ReadWrites++
+		sh.readWrites++
 	}
-	if !t.table.Record(dev, addr, size, kind) {
-		t.stats.Untracked++
+	if cap(sh.buf) == 0 {
+		sh.buf = make([]shadow.Access, 0, shardCap)
 	}
+	sh.buf = append(sh.buf, shadow.Access{Dev: dev, Kind: kind, Addr: addr, Size: size})
+	if len(sh.buf) >= shardCap {
+		t.apply(sh)
+	}
+	sh.mu.Unlock()
 }
 
 // TraceTransfer implements cuda.Tracer: host-to-device copies are recorded
 // as CPU writes of the range, device-to-host copies as CPU reads (§III-C,
-// "Unnecessary data transfers").
+// "Unnecessary data transfers"). Buffered accesses are flushed first so
+// the transfer's bulk access lands after them.
 func (t *Tracer) TraceTransfer(a *memsim.Alloc, dir um.TransferDir, off, n int64) {
-	if !t.enabled {
+	if t.disabled.Load() {
 		return
 	}
-	e := t.findEntry(a)
+	t.Flush()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.table.FindByID(a.ID)
 	if dir == um.HostToDevice {
-		t.stats.TransfersH2D++
+		t.stats.h2d.Add(1)
 		t.table.Record(machine.CPU, a.Base+memsim.Addr(off), n, memsim.Write)
 		if e != nil {
 			e.TransferredIn += n
 		}
 	} else {
-		t.stats.TransfersD2H++
+		t.stats.d2h.Add(1)
 		t.table.Record(machine.CPU, a.Base+memsim.Addr(off), n, memsim.Read)
 		if e != nil {
 			e.TransferredOut += n
@@ -136,22 +250,15 @@ func (t *Tracer) TraceTransfer(a *memsim.Alloc, dir um.TransferDir, off, n int64
 
 // TraceKernelLaunch implements cuda.Tracer (the kernel-launch wrapper of
 // Table I).
-func (t *Tracer) TraceKernelLaunch(string) { t.stats.Kernels++ }
+func (t *Tracer) TraceKernelLaunch(string) { t.stats.kernels.Add(1) }
 
 // Name attaches a user-level label to the allocation's SMT entry — the
 // runtime effect of the XplAllocData argument expansion of
 // #pragma xpl diagnostic (§III-B).
 func (t *Tracer) Name(a *memsim.Alloc, label string) {
-	if e := t.findEntry(a); e != nil {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.table.FindByID(a.ID); e != nil {
 		e.Label = label
 	}
-}
-
-func (t *Tracer) findEntry(a *memsim.Alloc) *shadow.Entry {
-	for _, e := range t.table.Entries() {
-		if e.AllocID == a.ID {
-			return e
-		}
-	}
-	return nil
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sync"
 	"testing"
 
 	"xplacer/internal/machine"
@@ -160,6 +161,55 @@ func TestName(t *testing.T) {
 	tr.Name(a, "(dom)->m_x")
 	if got := tr.Table().Entries()[0].Label; got != "(dom)->m_x" {
 		t.Errorf("label = %q", got)
+	}
+}
+
+// driveKernelPhases simulates a CPU-init / GPU-kernel / CPU-readback
+// sequence over the allocation, each phase striped over `workers`
+// goroutines (1 = sequential reference). Barriers between phases keep the
+// per-word access order identical in both modes.
+func driveKernelPhases(tr *Tracer, a *memsim.Alloc, workers int) {
+	words := int(a.Size) / shadow.WordSize
+	phase := func(dev machine.Device, kind memsim.AccessKind, every int) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < words; i += workers {
+					if i%every == 0 {
+						tr.TraceAccess(dev, a, a.Base+memsim.Addr(i*shadow.WordSize), shadow.WordSize, kind)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	phase(machine.CPU, memsim.Write, 1)
+	phase(machine.GPU, memsim.Read, 1)
+	phase(machine.GPU, memsim.Write, 2)
+	phase(machine.CPU, memsim.ReadWrite, 3)
+}
+
+func TestConcurrentKernelsMatchSequential(t *testing.T) {
+	run := func(workers int) []byte {
+		tr := New()
+		sp := memsim.NewSpace(1 << 20)
+		a := alloc(t, sp, memsim.Managed, 64*1024, "a")
+		tr.TraceAlloc(a)
+		driveKernelPhases(tr, a, workers)
+		e := tr.Table().Entries()[0] // Table() flushes
+		return append([]byte(nil), e.Shadow...)
+	}
+	want := run(1)
+	got := run(4)
+	if len(want) != len(got) {
+		t.Fatalf("shadow sizes differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("shadow[%d]: sequential %#08b, parallel %#08b", i, want[i], got[i])
+		}
 	}
 }
 

@@ -10,11 +10,35 @@
 // addresses, and reuses the same anti-pattern detectors.
 //
 // Go has no device-annotated code, so the CPU/GPU split of the original
-// becomes an explicit execution-context annotation: code sections that
+// becomes an explicit execution-context annotation. Code sections that
 // play the GPU's role (an offloaded worker phase, a coprocessor RPC stub)
-// run between SetDevice(GPU) and SetDevice(CPU). Everything else about the
-// analysis — write/read origin tracking, alternating-access, density, and
-// transfer diagnostics — is unchanged.
+// run under a goroutine-scoped DeviceScope:
+//
+//	xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) {
+//		v := *xplrt.ScopeR(s, &xs[i]) // a GPU read
+//	})
+//
+// which lets concurrent goroutines play different roles at once. The
+// process-global SetDevice remains as a deprecated shim for
+// single-goroutine programs. Everything else about the analysis —
+// write/read origin tracking, alternating-access, density, and transfer
+// diagnostics — is unchanged.
+//
+// # Recording hot path and flush semantics
+//
+// Trace calls do not touch the shadow table directly. Scope-less
+// TraceR/W/RW calls append, under a briefly-held local lock, to one of a
+// fixed set of buffers sharded by address (same word, same shard — so the
+// per-word access order the detectors depend on is preserved even under
+// concurrent tracing). ScopeR/W/RW calls append to the scope's private
+// buffer with no locking at all. Buffers drain into the shadow table in
+// batch, reusing a last-entry SMT lookup cache, when they fill and at
+// flush points: TracePrint, Report, OnDevice return, and explicit Flush
+// calls (process-wide xplrt.Flush for the shards, DeviceScope.Flush for a
+// scope). Buffered accesses become visible to diagnostics only at those
+// flush points; a scope drain flushes the shards first, so accesses
+// recorded before the device section are applied before the section's
+// own.
 package xplrt
 
 import (
@@ -22,6 +46,7 @@ import (
 	"io"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"xplacer/internal/detect"
@@ -40,50 +65,261 @@ const (
 	GPU = machine.GPU
 )
 
-// runtime is the process-global tracer state.
+// runtime is the process-global analysis state: the shadow table and the
+// detector options. The mutex is taken only at batch boundaries (shard
+// drains, registration, diagnostics), never per access.
 type runtime struct {
-	mu      sync.Mutex
-	table   *shadow.Table
-	dev     Device
-	enabled bool
-	opt     detect.Options
+	mu    sync.Mutex
+	table *shadow.Table
+	opt   detect.Options
+	gen   uint64 // bumped when the table is replaced; invalidates shard caches
 }
 
-var rt = &runtime{table: shadow.NewTable(), enabled: true, opt: detect.DefaultOptions()}
+var rt = &runtime{table: shadow.NewTable(), opt: detect.DefaultOptions()}
+
+// disabled is the recording switch; the zero value means enabled, so the
+// hot path pays one atomic load and no initialization check.
+var disabled atomic.Bool
+
+// defaultDev is the process-wide role used by the scope-less TraceR/W/RW
+// entry points (and set by the deprecated SetDevice). Goroutine-scoped
+// code uses a DeviceScope instead.
+var defaultDev atomic.Uint32
+
+const (
+	// numShards fixes the number of access-buffer shards. An access at
+	// addr goes to shard (addr>>shardShift)%numShards: 64-byte granularity
+	// keeps every shadow word (and any small access spanning words) on one
+	// shard, so per-word ordering survives concurrent recording.
+	numShards  = 64
+	shardShift = 6
+	// shardCap is the per-shard buffer capacity; a full shard drains into
+	// the shadow table immediately.
+	shardCap = 1024
+	// scopeCap is the per-DeviceScope buffer capacity. Scope buffers are
+	// goroutine-private; the capacity stays modest (24 KiB of records) so
+	// that the buffers of many concurrent scopes stay cache-resident.
+	scopeCap = 1024
+)
+
+// shard is one access buffer plus its SMT lookup cache.
+type shard struct {
+	mu   sync.Mutex
+	buf  []shadow.Access
+	last *shadow.Entry // last-entry cache carried across batch applies
+	gen  uint64        // rt.gen the cache was filled under
+}
+
+var shards [numShards]shard
+
+// apply drains the shard into the shadow table; the caller holds sh.mu.
+// Lock order is always shard.mu -> rt.mu, never the reverse.
+func (sh *shard) apply() {
+	if len(sh.buf) == 0 {
+		return
+	}
+	rt.mu.Lock()
+	if sh.gen != rt.gen {
+		sh.last, sh.gen = nil, rt.gen
+	}
+	sh.last, _ = rt.table.RecordAll(sh.buf, sh.last)
+	rt.mu.Unlock()
+	sh.buf = sh.buf[:0]
+}
+
+// flushAll drains every shard.
+func flushAll() {
+	for i := range shards {
+		sh := &shards[i]
+		sh.mu.Lock()
+		sh.apply()
+		sh.mu.Unlock()
+	}
+}
+
+// record is the shared body of the trace functions: append to the
+// address's shard, draining it if full.
+func record(dev Device, addr uintptr, size int64, kind memsim.AccessKind) {
+	if disabled.Load() {
+		return
+	}
+	sh := &shards[(addr>>shardShift)%numShards]
+	sh.mu.Lock()
+	if cap(sh.buf) == 0 {
+		sh.buf = make([]shadow.Access, 0, shardCap)
+	}
+	sh.buf = append(sh.buf, shadow.Access{Dev: dev, Kind: kind, Addr: memsim.Addr(addr), Size: size})
+	if len(sh.buf) >= shardCap {
+		sh.apply()
+	}
+	sh.mu.Unlock()
+}
 
 // Reset discards all registered allocations and recorded accesses;
 // intended for tests and for programs analyzing several phases
 // independently.
 func Reset() {
+	for i := range shards {
+		sh := &shards[i]
+		sh.mu.Lock()
+		sh.buf = sh.buf[:0]
+		sh.last = nil
+		sh.mu.Unlock()
+	}
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	rt.table = shadow.NewTable()
-	rt.dev = CPU
-	rt.enabled = true
 	rt.opt = detect.DefaultOptions()
+	rt.gen++
+	rt.mu.Unlock()
+	disabled.Store(false)
+	defaultDev.Store(uint32(CPU))
 }
 
-// SetEnabled switches access recording on or off at runtime.
-func SetEnabled(on bool) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.enabled = on
-}
+// SetEnabled switches access recording on or off at runtime. Already
+// buffered accesses still drain at the next flush point.
+func SetEnabled(on bool) { disabled.Store(!on) }
 
-// SetDevice declares which processor role the following code plays. The
-// instrumented original distinguishes CPU and GPU code at compile time via
-// __CUDA_ARCH__; a Go program marks its offloaded sections explicitly.
-func SetDevice(d Device) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.dev = d
-}
+// Flush drains every buffered access into the shadow table. Diagnostics
+// (TracePrint, Report) flush implicitly; an explicit Flush is only needed
+// before inspecting the table through other means, or as a barrier before
+// handing the analysis to another package.
+func Flush() { flushAll() }
+
+// SetDevice declares which processor role the following code plays.
+//
+// Deprecated: SetDevice sets the process-wide default role read by the
+// scope-less TraceR/W/RW, which cannot express concurrent goroutines
+// playing different roles. New code should run device sections under
+// OnDevice (or an explicit NewScope handle) and trace through
+// ScopeR/ScopeW/ScopeRW.
+func SetDevice(d Device) { defaultDev.Store(uint32(d)) }
 
 // SetOptions adjusts the anti-pattern detector thresholds.
 func SetOptions(opt detect.Options) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.opt = opt
+}
+
+// DeviceScope is a goroutine-scoped execution role: the handle instrumented
+// code threads through functions that play a fixed device role. Unlike the
+// deprecated process-global SetDevice, scopes let concurrent goroutines
+// play the CPU and the GPU at the same time.
+//
+// A scope also carries its own private access buffer, so the ScopeR/W/RW
+// hot path appends with no locking at all. The buffer drains into the
+// shadow table when it fills, at OnDevice return, and on Flush. A scope
+// belongs to the goroutine using it — create one scope per goroutine
+// (nested OnDevice calls are fine) instead of sharing one across
+// goroutines. Interleaving a live scope's accesses with scope-less
+// TraceR/W/RW accesses to the same words is ordered only at flush
+// boundaries.
+type DeviceScope struct {
+	dev  Device
+	buf  []shadow.Access
+	last *shadow.Entry // last-entry lookup cache carried across batches
+	gen  uint64        // rt.gen the cache was filled under
+}
+
+// NewScope returns a handle for code playing role d. Callers managing the
+// handle themselves (rather than through OnDevice) must call Flush before
+// the recorded accesses are analyzed.
+func NewScope(d Device) *DeviceScope { return &DeviceScope{dev: d} }
+
+// Device returns the scope's role.
+func (s *DeviceScope) Device() Device {
+	if s == nil {
+		return Device(defaultDev.Load())
+	}
+	return s.dev
+}
+
+// record appends one access to the scope's private buffer.
+func (s *DeviceScope) record(addr uintptr, size int64, kind memsim.AccessKind) {
+	if disabled.Load() {
+		return
+	}
+	if cap(s.buf) == 0 {
+		s.buf = make([]shadow.Access, 0, scopeCap)
+	}
+	s.buf = append(s.buf, shadow.Access{Dev: s.dev, Kind: kind, Addr: memsim.Addr(addr), Size: size})
+	if len(s.buf) >= scopeCap {
+		s.apply()
+	}
+}
+
+// apply drains the scope's buffer. The global shards drain first: accesses
+// recorded before this scope's (e.g. the CPU initialization preceding a
+// GPU section) must reach the shadow table before the scope's batch, or
+// per-word ordering would invert.
+func (s *DeviceScope) apply() {
+	if len(s.buf) == 0 {
+		return
+	}
+	flushAll()
+	rt.mu.Lock()
+	if s.gen != rt.gen {
+		s.last, s.gen = nil, rt.gen
+	}
+	s.last, _ = rt.table.RecordAll(s.buf, s.last)
+	rt.mu.Unlock()
+	s.buf = s.buf[:0]
+}
+
+// Flush drains the scope's buffered accesses into the shadow table.
+// OnDevice flushes automatically when fn returns; explicit NewScope users
+// call this themselves.
+func (s *DeviceScope) Flush() {
+	if s != nil {
+		s.apply()
+	}
+}
+
+// OnDevice runs fn with a scope playing role d — the structured form of a
+// device section, replacing SetDevice(d) / SetDevice(CPU) pairs:
+//
+//	xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) { ... })
+//
+// fn may hand its scope to helper functions (instrumented with the
+// //xpl:scope pragma). The scope's buffered accesses are flushed when fn
+// returns. Goroutines spawned inside fn should open their own scope with a
+// nested OnDevice call rather than share s.
+func OnDevice(d Device, fn func(*DeviceScope)) {
+	s := NewScope(d)
+	defer s.Flush()
+	fn(s)
+}
+
+// ScopeR records a read through p in the scope's role and returns p, so
+// that "*p" becomes "*xplrt.ScopeR(s, p)" in scoped code. A nil scope
+// falls back to the process-default role via TraceR.
+func ScopeR[T any](s *DeviceScope, p *T) *T {
+	if s == nil {
+		return TraceR(p)
+	}
+	s.record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Read)
+	return p
+}
+
+// ScopeW records a write through p in the scope's role and returns p, so
+// that "*p = v" becomes "*xplrt.ScopeW(s, p) = v" in scoped code.
+func ScopeW[T any](s *DeviceScope, p *T) *T {
+	if s == nil {
+		return TraceW(p)
+	}
+	s.record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Write)
+	return p
+}
+
+// ScopeRW records a read-modify-write through p in the scope's role and
+// returns p, so that "*p += v" becomes "*xplrt.ScopeRW(s, p) += v" in
+// scoped code.
+func ScopeRW[T any](s *DeviceScope, p *T) *T {
+	if s == nil {
+		return TraceRW(p)
+	}
+	s.record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.ReadWrite)
+	return p
 }
 
 // Register makes an allocation visible to the tracer. v must be a pointer
@@ -104,19 +340,19 @@ func Register(v any, label string) {
 }
 
 // Release marks an allocation's range as freed; its shadow memory survives
-// until the next diagnostic, as in the paper.
+// until the next diagnostic, as in the paper. Accesses buffered before the
+// release still drain into the entry, so the last interval's summary stays
+// complete.
 func Release(v any) {
 	base, size := rangeOf(reflect.ValueOf(v))
 	if size == 0 {
 		return
 	}
+	flushAll()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	for _, e := range rt.table.Entries() {
-		if e.Base == memsim.Addr(base) && !e.Freed {
-			e.Freed = true
-			return
-		}
+	if e := rt.table.Find(memsim.Addr(base)); e != nil {
+		e.Freed = true
 	}
 }
 
@@ -154,33 +390,25 @@ func rangeOf(v reflect.Value) (uintptr, int64) {
 	}
 }
 
-// record is the shared body of the trace functions.
-func record(addr uintptr, size int64, kind memsim.AccessKind) {
-	rt.mu.Lock()
-	if rt.enabled {
-		rt.table.Record(rt.dev, memsim.Addr(addr), size, kind)
-	}
-	rt.mu.Unlock()
-}
-
 // TraceR records a read through p and returns p, so that "*p" becomes
-// "*xplrt.TraceR(p)" (the Go rendering of the paper's traceR).
+// "*xplrt.TraceR(p)" (the Go rendering of the paper's traceR). It charges
+// the access to the process-wide default role; scoped code uses ScopeR.
 func TraceR[T any](p *T) *T {
-	record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Read)
+	record(Device(defaultDev.Load()), uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Read)
 	return p
 }
 
 // TraceW records a write through p and returns p, so that "*p = v" becomes
 // "*xplrt.TraceW(p) = v".
 func TraceW[T any](p *T) *T {
-	record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Write)
+	record(Device(defaultDev.Load()), uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Write)
 	return p
 }
 
 // TraceRW records a read-modify-write through p and returns p, so that
 // "*p += v" becomes "*xplrt.TraceRW(p) += v".
 func TraceRW[T any](p *T) *T {
-	record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.ReadWrite)
+	record(Device(defaultDev.Load()), uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.ReadWrite)
 	return p
 }
 
@@ -256,17 +484,18 @@ func expand(v reflect.Value, name string, seen map[reflect.Type]bool, out *[]All
 }
 
 // TracePrint is the diagnostic entry point the "//xpl:diagnostic" pragma
-// expands to: it (re)labels the allocations named by the expanded
-// arguments, prints the per-allocation summaries and anti-pattern findings
-// to w, and resets the interval state.
+// expands to: it flushes the access buffers, (re)labels the allocations
+// named by the expanded arguments, prints the per-allocation summaries and
+// anti-pattern findings to w, and resets the interval state.
 func TracePrint(w io.Writer, data ...AllocData) {
+	flushAll()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for _, d := range data {
-		for _, e := range rt.table.Entries() {
-			if e.Contains(memsim.Addr(d.Base)) {
-				e.Label = d.Name
-			}
+		// FindAny: freed-but-retained entries are still part of this
+		// interval's report and deserve their user-facing name.
+		if e := rt.table.FindAny(memsim.Addr(d.Base)); e != nil {
+			e.Label = d.Name
 		}
 	}
 	r := report(rt.table, rt.opt)
@@ -276,8 +505,10 @@ func TracePrint(w io.Writer, data ...AllocData) {
 	rt.table.Reset()
 }
 
-// Report analyzes without printing and resets the interval state.
+// Report flushes the access buffers, analyzes without printing, and resets
+// the interval state.
 func Report() diag.Report {
+	flushAll()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	r := report(rt.table, rt.opt)

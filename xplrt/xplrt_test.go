@@ -4,8 +4,11 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"unsafe"
 
 	"xplacer/internal/detect"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
 )
 
 // Each test runs against the process-global runtime; reset first.
@@ -173,6 +176,68 @@ func TestOverlappingRegisterIgnored(t *testing.T) {
 	}
 }
 
+func TestOnDeviceScopes(t *testing.T) {
+	Reset()
+	xs := Slice[int32](8, "xs")
+	*TraceW(&xs[3]) = 7 // CPU write via the default role
+	OnDevice(GPU, func(s *DeviceScope) {
+		_ = *ScopeR(s, &xs[3]) // GPU read of a CPU value
+	})
+	r := Report()
+	s := r.Allocs[0]
+	if s.ReadCG != 1 {
+		t.Errorf("C>G = %d, want 1", s.ReadCG)
+	}
+	if s.Alternating != 1 {
+		t.Errorf("alternating = %d, want 1", s.Alternating)
+	}
+}
+
+func TestScopeReadWriteKinds(t *testing.T) {
+	Reset()
+	xs := Slice[int64](4, "xs")
+	OnDevice(GPU, func(s *DeviceScope) {
+		*ScopeW(s, &xs[0]) = 2
+		*ScopeRW(s, &xs[0]) += 3
+	})
+	if xs[0] != 5 {
+		t.Fatalf("xs[0] = %d", xs[0])
+	}
+	r := Report()
+	sum := r.Allocs[0]
+	if sum.WriteG == 0 || sum.ReadGG == 0 {
+		t.Errorf("scoped GPU accesses not recorded: %+v", sum)
+	}
+}
+
+func TestNilScopeUsesDefaultDevice(t *testing.T) {
+	Reset()
+	xs := Slice[int64](2, "xs")
+	SetDevice(GPU)
+	var s *DeviceScope
+	*ScopeW(s, &xs[0]) = 1
+	SetDevice(CPU)
+	r := Report()
+	if r.Allocs[0].WriteG == 0 {
+		t.Errorf("nil scope did not fall back to default device: %+v", r.Allocs[0])
+	}
+}
+
+func TestFlushMakesBufferedAccessesVisible(t *testing.T) {
+	Reset()
+	xs := Slice[int64](4, "xs")
+	*TraceW(&xs[0]) = 1
+	Flush()
+	rt.mu.Lock()
+	e := rt.table.Find(memsim.Addr(uintptr(unsafe.Pointer(&xs[0]))))
+	recorded := e != nil && e.Shadow[0]&shadow.CPUWrote != 0
+	rt.mu.Unlock()
+	if !recorded {
+		t.Error("flushed write not visible in shadow table")
+	}
+	Report()
+}
+
 func TestConcurrentAccessSafe(t *testing.T) {
 	Reset()
 	xs := Slice[int64](1024, "xs")
@@ -190,5 +255,88 @@ func TestConcurrentAccessSafe(t *testing.T) {
 	r := Report()
 	if r.Allocs[0].ReadCC == 0 {
 		t.Error("concurrent reads not recorded")
+	}
+}
+
+// runRolePhases drives three ordered phases over xs — CPU writes all
+// elements, the GPU reads all and writes the evens, the CPU reads every
+// third — with each phase either sequential or striped over `workers`
+// goroutines playing the phase's role via a DeviceScope. Phases are
+// separated by barriers, so the per-word access order is identical in
+// both modes and the flushed shadow bytes must match exactly.
+func runRolePhases(xs []int64, workers int) {
+	phase := func(dev Device, body func(s *DeviceScope, i int), stride func(i int) bool) {
+		if workers <= 1 {
+			OnDevice(dev, func(s *DeviceScope) {
+				for i := range xs {
+					if stride(i) {
+						body(s, i)
+					}
+				}
+			})
+			return
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				OnDevice(dev, func(s *DeviceScope) {
+					for i := w; i < len(xs); i += workers {
+						if stride(i) {
+							body(s, i)
+						}
+					}
+				})
+			}(w)
+		}
+		wg.Wait()
+	}
+	all := func(int) bool { return true }
+	phase(CPU, func(s *DeviceScope, i int) { *ScopeW(s, &xs[i]) = int64(i) }, all)
+	phase(GPU, func(s *DeviceScope, i int) {
+		_ = *ScopeR(s, &xs[i])
+		if i%2 == 0 {
+			*ScopeW(s, &xs[i]) = int64(2 * i)
+		}
+	}, all)
+	phase(CPU, func(s *DeviceScope, i int) { _ = *ScopeR(s, &xs[i]) }, func(i int) bool { return i%3 == 0 })
+}
+
+// shadowBytesOf flushes and snapshots the shadow bytes of every entry.
+func shadowBytesOf(t *testing.T) [][]byte {
+	t.Helper()
+	Flush()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out [][]byte
+	for _, e := range rt.table.Entries() {
+		out = append(out, append([]byte(nil), e.Shadow...))
+	}
+	return out
+}
+
+func TestParallelRolesMatchSequential(t *testing.T) {
+	const n = 4096
+
+	Reset()
+	seq := Slice[int64](n, "xs")
+	runRolePhases(seq, 1)
+	want := shadowBytesOf(t)
+	Report()
+
+	Reset()
+	par := Slice[int64](n, "xs")
+	runRolePhases(par, 4)
+	got := shadowBytesOf(t)
+	Report()
+
+	if len(want) != 1 || len(got) != 1 {
+		t.Fatalf("entries: sequential %d, parallel %d", len(want), len(got))
+	}
+	for i := range want[0] {
+		if want[0][i] != got[0][i] {
+			t.Fatalf("shadow[%d]: sequential %#08b, parallel %#08b", i, want[0][i], got[0][i])
+		}
 	}
 }
