@@ -9,8 +9,9 @@
 //	xplacer -app pathfinder [-cols 1024] [-rows 101] [-pyramid 20] [-overlap]
 //	xplacer -app backprop|gaussian|lud|nn|cfd [-size N] [-optimize]
 //
-// The final diagnostic (summaries, access maps for -maps, anti-pattern
-// findings with remedies) is printed to stdout.
+// The final diagnostic (summaries, access maps for -maps, a per-word
+// access-frequency heat map for -heatmap, anti-pattern findings with
+// remedies) is printed to stdout.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"xplacer/internal/core"
 	"xplacer/internal/diag"
 	"xplacer/internal/machine"
+	"xplacer/internal/record"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit the final report as CSV")
 		jsonOut   = flag.Bool("json", false, "emit the final report as JSON")
 		maps      = flag.String("maps", "", "also print access maps for this allocation label")
+		heatmap   = flag.Bool("heatmap", false, "record per-word access frequencies and include the heat map in the final report")
 		advise    = flag.Bool("advise", false, "derive placement recommendations from the final report")
 		profile   = flag.Bool("profile", false, "print the per-kernel profile (faults, migrations, stalls)")
 		seed      = flag.Int64("seed", 1, "input seed")
@@ -60,6 +63,13 @@ func main() {
 	}
 	if *profile {
 		s.Ctx.SetProfiling(true)
+	}
+	var hm *record.HeatmapSink
+	if *heatmap {
+		// Observe access frequencies against the tracer's table; the sink
+		// sees every batch the recording engine drains from here on.
+		hm = record.NewHeatmapSink(s.Tracer.Table())
+		s.Tracer.AddSink(hm)
 	}
 
 	switch *app {
@@ -147,6 +157,10 @@ func main() {
 	}
 
 	rep := s.Diagnostic(nil, "end of run")
+	if hm != nil {
+		// Diagnostic flushed the tracer, so the heat counts are complete.
+		rep.Heatmap = diag.SummarizeHeatmap(hm, 64)
+	}
 	switch {
 	case *jsonOut:
 		if err := rep.JSON(os.Stdout); err != nil {

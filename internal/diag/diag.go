@@ -90,6 +90,10 @@ type Report struct {
 	Allocs []AllocSummary
 	// Findings lists detected anti-patterns.
 	Findings []detect.Finding
+	// Heatmap holds the access-frequency summary when a
+	// record.HeatmapSink observed the run (see SummarizeHeatmap); nil
+	// otherwise.
+	Heatmap *HeatmapSummary
 }
 
 // Analyze computes a report over the tracer's shadow memory without
@@ -156,6 +160,9 @@ func (r *Report) Text(w io.Writer) {
 		for _, f := range r.Findings {
 			fmt.Fprintf(w, "%s\n    remedy: %s\n", f, f.Kind.Remedy())
 		}
+	}
+	if r.Heatmap != nil {
+		r.Heatmap.Text(w)
 	}
 }
 

@@ -1,0 +1,92 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/record"
+	"xplacer/internal/shadow"
+)
+
+func TestHeatRow(t *testing.T) {
+	if got := HeatRow(nil, 8); got != "" {
+		t.Errorf("empty counts -> %q", got)
+	}
+	// Fewer words than buckets: one glyph per word, max gets the last glyph.
+	if got := HeatRow([]uint32{0, 1, 8}, 8); got != ".:@" {
+		t.Errorf("row = %q, want .:@", got)
+	}
+	// Downsampling: 8 words into 4 buckets of 2.
+	got := HeatRow([]uint32{0, 0, 1, 0, 0, 0, 4, 4}, 4)
+	if len(got) != 4 || got[0] != '.' || got[3] != '@' {
+		t.Errorf("row = %q", got)
+	}
+	if got[1] == '.' || got[2] != '.' {
+		t.Errorf("bucket intensities wrong: %q", got)
+	}
+}
+
+func TestSummarizeHeatmap(t *testing.T) {
+	table := shadow.NewTable()
+	if _, err := table.InsertRange(0x1000, 32, "xs", memsim.Managed, "test"); err != nil {
+		t.Fatal(err)
+	}
+	hm := record.NewHeatmapSink(table)
+	cur := &record.Cursor{}
+	batch := []shadow.Access{
+		{Dev: machine.CPU, Addr: 0x1000, Size: 4, Kind: memsim.Read},
+		{Dev: machine.CPU, Addr: 0x1008, Size: 4, Kind: memsim.Read},
+		{Dev: machine.CPU, Addr: 0x1008, Size: 4, Kind: memsim.Write},
+		{Dev: machine.GPU, Addr: 0x1008, Size: 4, Kind: memsim.Write},
+	}
+	hm.Apply(batch, cur)
+	hm.Rotate()
+	hm.Apply(batch[:1], cur)
+
+	sum := SummarizeHeatmap(hm, 8)
+	if sum.Epoch != 1 || len(sum.Allocs) != 1 {
+		t.Fatalf("epoch %d, allocs %d", sum.Epoch, len(sum.Allocs))
+	}
+	a := sum.Allocs[0]
+	if a.Label != "xs" || a.Words != 8 {
+		t.Errorf("alloc = %+v", a)
+	}
+	if a.CPUAccesses != 1 || a.GPUAccesses != 0 {
+		t.Errorf("open-epoch totals = %d CPU / %d GPU", a.CPUAccesses, a.GPUAccesses)
+	}
+	if a.HotWord != 0 || a.HotCount != 1 {
+		t.Errorf("hot = word %d x%d", a.HotWord, a.HotCount)
+	}
+	if len(sum.History) != 1 || sum.History[0].CPUAccesses != 3 || sum.History[0].GPUAccesses != 1 {
+		t.Errorf("history = %+v", sum.History)
+	}
+
+	var b strings.Builder
+	sum.Text(&b)
+	out := b.String()
+	for _, want := range []string{
+		"access heat map (epoch 1, 1 allocations)",
+		"xs (8 words): 1 CPU / 0 GPU word accesses",
+		"closed epochs:",
+		"epoch 0 xs: 3 CPU / 1 GPU word accesses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeHeatmapUnlabeled(t *testing.T) {
+	table := shadow.NewTable()
+	if _, err := table.InsertRange(0x2000, 8, "", memsim.Managed, "test"); err != nil {
+		t.Fatal(err)
+	}
+	hm := record.NewHeatmapSink(table)
+	hm.Apply([]shadow.Access{{Dev: machine.GPU, Addr: 0x2000, Size: 4, Kind: memsim.Write}}, &record.Cursor{})
+	sum := SummarizeHeatmap(hm, 0)
+	if len(sum.Allocs) != 1 || sum.Allocs[0].Label != "alloc@0x2000" {
+		t.Fatalf("allocs = %+v", sum.Allocs)
+	}
+}

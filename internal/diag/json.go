@@ -11,9 +11,10 @@ import (
 // tooling that post-processes diagnostics (the structured counterpart of
 // the paper's raw CSV output).
 type jsonReport struct {
-	Title    string        `json:"title,omitempty"`
-	Allocs   []jsonAlloc   `json:"allocations"`
-	Findings []jsonFinding `json:"findings"`
+	Title    string          `json:"title,omitempty"`
+	Allocs   []jsonAlloc     `json:"allocations"`
+	Findings []jsonFinding   `json:"findings"`
+	Heatmap  *HeatmapSummary `json:"heatmap,omitempty"`
 }
 
 type jsonAlloc struct {
@@ -46,7 +47,7 @@ type jsonFinding struct {
 
 // JSON writes the report as indented JSON.
 func (r *Report) JSON(w io.Writer) error {
-	out := jsonReport{Title: r.Title}
+	out := jsonReport{Title: r.Title, Heatmap: r.Heatmap}
 	for _, s := range r.Allocs {
 		out.Allocs = append(out.Allocs, jsonAlloc{
 			Label:          s.Label,

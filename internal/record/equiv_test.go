@@ -1,0 +1,164 @@
+// Cross-front-end equivalence: one random access stream, fed through
+// (1) direct per-access shadow.Table.Record calls (the unbatched
+// reference), (2) trace.Tracer (the simulated-runtime front end), and
+// (3) xplrt's sharded path (the plain-Go front end). All three must
+// produce byte-identical shadow state and identical untracked counts —
+// the property that lets both front ends share one recording engine.
+package record_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+	"xplacer/internal/trace"
+	"xplacer/xplrt"
+)
+
+type step struct {
+	alloc int // -1: untracked address
+	elem  int
+	dev   machine.Device
+	kind  memsim.AccessKind
+}
+
+func TestCrossFrontEndEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 42, 20260805} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			testEquivalence(t, seed)
+		})
+	}
+}
+
+func testEquivalence(t *testing.T, seed int64) {
+	const (
+		numAllocs = 5
+		numSteps  = 6000
+		elemSize  = 8 // int64 elements: every access spans two shadow words
+	)
+	rng := rand.New(rand.NewSource(seed))
+	elems := make([]int, numAllocs)
+	for i := range elems {
+		elems[i] = 16 + rng.Intn(500)
+	}
+	steps := make([]step, numSteps)
+	for i := range steps {
+		s := step{
+			alloc: rng.Intn(numAllocs+1) - 1,
+			dev:   machine.Device(rng.Intn(int(machine.NumDevices))),
+			kind:  memsim.AccessKind(rng.Intn(3)),
+		}
+		if s.alloc >= 0 {
+			s.elem = rng.Intn(elems[s.alloc])
+		}
+		steps[i] = s
+	}
+
+	// (1) Reference: a bare table, one Record (Find + shadow update) per
+	// access — no batching, no cache.
+	refTable := shadow.NewTable()
+	bases := make([]memsim.Addr, numAllocs)
+	for i := range bases {
+		bases[i] = memsim.Addr(0x100000 * (i + 1))
+		if _, err := refTable.InsertRange(bases[i], int64(elems[i])*elemSize, fmt.Sprintf("a%d", i), memsim.Managed, "test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var refUntracked int64
+	for _, s := range steps {
+		addr := memsim.Addr(0x50) // in no registered range
+		if s.alloc >= 0 {
+			addr = bases[s.alloc] + memsim.Addr(s.elem*elemSize)
+		}
+		if !refTable.Record(s.dev, addr, elemSize, s.kind) {
+			refUntracked++
+		}
+	}
+
+	// (2) trace.Tracer over synthetic allocations at the same addresses.
+	tr := trace.New()
+	for i := range bases {
+		tr.TraceAlloc(&memsim.Alloc{ID: i, Base: bases[i], Size: int64(elems[i]) * elemSize, Kind: memsim.Managed})
+	}
+	for _, s := range steps {
+		addr := memsim.Addr(0x50)
+		if s.alloc >= 0 {
+			addr = bases[s.alloc] + memsim.Addr(s.elem*elemSize)
+		}
+		tr.TraceAccess(s.dev, nil, addr, elemSize, s.kind)
+	}
+	st := tr.Stats() // flushes
+
+	// (3) xplrt over real heap slices, through the scope-less shard path.
+	xplrt.Reset()
+	defer xplrt.Reset()
+	slices := make([][]int64, numAllocs)
+	for i := range slices {
+		slices[i] = xplrt.Slice[int64](elems[i], fmt.Sprintf("a%d", i))
+	}
+	junk := new(int64) // never registered: the untracked target
+	for _, s := range steps {
+		xplrt.SetDevice(s.dev)
+		p := junk
+		if s.alloc >= 0 {
+			p = &slices[s.alloc][s.elem]
+		}
+		switch s.kind {
+		case memsim.Read:
+			_ = *xplrt.TraceR(p)
+		case memsim.Write:
+			*xplrt.TraceW(p) = 1
+		default:
+			*xplrt.TraceRW(p)++
+		}
+	}
+	xplrt.SetDevice(machine.CPU)
+	xplrtUntracked := xplrt.Untracked() // flushes
+
+	// Shadow state must be byte-identical across all three.
+	traceEntries := tr.Table().Entries() // base order == bases order
+	if len(traceEntries) != numAllocs {
+		t.Fatalf("trace entries = %d", len(traceEntries))
+	}
+	for i := range bases {
+		ref := refTable.Find(bases[i]).Shadow
+		if got := traceEntries[i].Shadow; !bytesEqual(ref, got) {
+			t.Errorf("alloc %d: trace shadow differs from reference at word %d", i, firstDiff(ref, got))
+		}
+		if got := xplrt.ShadowOf(slices[i]); !bytesEqual(ref, got) {
+			t.Errorf("alloc %d: xplrt shadow differs from reference at word %d", i, firstDiff(ref, got))
+		}
+	}
+
+	// Untracked counts must agree.
+	if st.Untracked != refUntracked || xplrtUntracked != refUntracked {
+		t.Errorf("untracked: reference %d, trace %d, xplrt %d", refUntracked, st.Untracked, xplrtUntracked)
+	}
+	if refUntracked == 0 {
+		t.Error("stream exercised no untracked accesses; weaken the generator check")
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

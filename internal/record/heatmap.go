@@ -1,0 +1,127 @@
+package record
+
+import (
+	"sort"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+)
+
+// HeatmapSink accumulates per-word access counts split by device — the
+// access-frequency observability layer the shadow bits alone cannot
+// provide (they saturate after the first access; a heat map shows *how
+// often* each word is touched, CUTHERMO-style). It resolves accesses
+// against the same shadow table the TableSink maintains, so the heat map
+// rows line up word-for-word with the access maps of internal/diag.
+//
+// Counts accumulate into the current interval epoch; Rotate closes an
+// epoch (folding its per-device totals into each allocation's History)
+// and starts the next, mirroring the reset-at-diagnostic interval
+// semantics of the shadow memory. Apply runs under the engine lock;
+// Heats and Rotate must be called with recording quiescent or inside
+// Engine.Locked.
+type HeatmapSink struct {
+	table *shadow.Table
+	last  *shadow.Entry // find cache, independent of the engine cursor
+	heats map[*shadow.Entry]*Heat
+	order []*Heat
+	epoch int
+}
+
+// Heat is one allocation's access-frequency state: per-word counts for
+// the current epoch plus closed-epoch totals.
+type Heat struct {
+	// Base anchors word 0; Words is the allocation's shadow word count.
+	Base  memsim.Addr
+	Words int
+	// Counts holds the current epoch's per-word access counts, one slice
+	// per device. An access spanning several words counts once per word.
+	Counts [machine.NumDevices][]uint32
+	// Totals are the current epoch's per-device word-access totals.
+	Totals [machine.NumDevices]uint64
+	// History holds the totals of closed epochs, oldest first.
+	History []EpochTotals
+
+	entry *shadow.Entry
+}
+
+// EpochTotals is one closed epoch's per-device access total.
+type EpochTotals struct {
+	Epoch int
+	Total [machine.NumDevices]uint64
+}
+
+// Label returns the allocation's current user-facing label (labels can be
+// attached after the first access, e.g. by diagnostic relabeling).
+func (h *Heat) Label() string { return h.entry.Label }
+
+// NewHeatmapSink observes accesses resolved against t.
+func NewHeatmapSink(t *shadow.Table) *HeatmapSink {
+	return &HeatmapSink{table: t, heats: map[*shadow.Entry]*Heat{}}
+}
+
+// Apply implements Sink.
+func (h *HeatmapSink) Apply(batch []shadow.Access, _ *Cursor) {
+	for i := range batch {
+		a := &batch[i]
+		e := h.last
+		if e == nil || e.Freed || !e.Contains(a.Addr) {
+			e = h.table.Find(a.Addr)
+			if e == nil {
+				continue // untracked: the TableSink tallies these
+			}
+			h.last = e
+		}
+		ht := h.heats[e]
+		if ht == nil {
+			ht = &Heat{Base: e.Base, Words: e.Words(), entry: e}
+			for d := range ht.Counts {
+				ht.Counts[d] = make([]uint32, ht.Words)
+			}
+			h.heats[e] = ht
+			h.order = append(h.order, ht)
+		}
+		d := a.Dev
+		if int(d) >= len(ht.Counts) {
+			continue
+		}
+		first := int(a.Addr-e.Base) / shadow.WordSize
+		last := int(a.Addr+memsim.Addr(a.Size)-1-e.Base) / shadow.WordSize
+		if last >= ht.Words {
+			last = ht.Words - 1
+		}
+		for w := first; w <= last; w++ {
+			ht.Counts[d][w]++
+		}
+		ht.Totals[d] += uint64(last - first + 1)
+	}
+}
+
+// Epoch returns the current (open) epoch index.
+func (h *HeatmapSink) Epoch() int { return h.epoch }
+
+// Rotate closes the current epoch: each allocation's per-device totals
+// move into its History and the per-word counts restart at zero. Heats
+// seen only in closed epochs survive (like freed-but-retained shadow
+// entries, the history outlives the interval).
+func (h *HeatmapSink) Rotate() {
+	for _, ht := range h.order {
+		if ht.Totals != ([machine.NumDevices]uint64{}) {
+			ht.History = append(ht.History, EpochTotals{Epoch: h.epoch, Total: ht.Totals})
+			ht.Totals = [machine.NumDevices]uint64{}
+			for d := range ht.Counts {
+				clear(ht.Counts[d])
+			}
+		}
+	}
+	h.epoch++
+}
+
+// Heats returns every observed allocation's heat state in base-address
+// order. The returned slices alias live sink state.
+func (h *HeatmapSink) Heats() []*Heat {
+	out := append([]*Heat(nil), h.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}

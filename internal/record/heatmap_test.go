@@ -1,0 +1,88 @@
+package record
+
+import (
+	"testing"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+)
+
+func newHeatEngine(t *testing.T) (*Engine, *HeatmapSink) {
+	t.Helper()
+	sink := NewTableSink(shadow.NewTable())
+	if _, err := sink.Table().InsertRange(0x1000, 64, "a", memsim.Managed, "test"); err != nil {
+		t.Fatal(err)
+	}
+	hm := NewHeatmapSink(sink.Table())
+	return NewEngine(sink, hm), hm
+}
+
+func TestHeatmapCountsPerWordPerDevice(t *testing.T) {
+	eng, hm := newHeatEngine(t)
+	for i := 0; i < 3; i++ {
+		eng.Record(machine.CPU, 0x1008, 4, memsim.Read) // word 2
+	}
+	eng.Record(machine.GPU, 0x1008, 4, memsim.Write)
+	eng.Record(machine.GPU, 0x1004, 8, memsim.Write) // spans words 1-2
+	eng.Record(machine.CPU, 0x9000, 4, memsim.Read)  // untracked: ignored
+	eng.Flush()
+
+	heats := hm.Heats()
+	if len(heats) != 1 {
+		t.Fatalf("heats = %d, want 1", len(heats))
+	}
+	h := heats[0]
+	if h.Label() != "a" || h.Words != 16 {
+		t.Fatalf("heat = %q/%d words", h.Label(), h.Words)
+	}
+	if got := h.Counts[machine.CPU][2]; got != 3 {
+		t.Errorf("CPU count word 2 = %d, want 3", got)
+	}
+	if got := h.Counts[machine.GPU][2]; got != 2 {
+		t.Errorf("GPU count word 2 = %d, want 2 (write + spanning write)", got)
+	}
+	if got := h.Counts[machine.GPU][1]; got != 1 {
+		t.Errorf("GPU count word 1 = %d, want 1", got)
+	}
+	if h.Totals[machine.CPU] != 3 || h.Totals[machine.GPU] != 3 {
+		t.Errorf("totals = %v", h.Totals)
+	}
+}
+
+func TestHeatmapRotateClosesEpoch(t *testing.T) {
+	eng, hm := newHeatEngine(t)
+	eng.Record(machine.CPU, 0x1000, 4, memsim.Write)
+	eng.Flush()
+	if hm.Epoch() != 0 {
+		t.Fatalf("epoch = %d", hm.Epoch())
+	}
+	hm.Rotate()
+	if hm.Epoch() != 1 {
+		t.Fatalf("epoch after rotate = %d", hm.Epoch())
+	}
+	h := hm.Heats()[0]
+	if h.Counts[machine.CPU][0] != 0 || h.Totals[machine.CPU] != 0 {
+		t.Error("rotate did not zero the open-epoch counts")
+	}
+	if len(h.History) != 1 || h.History[0].Epoch != 0 || h.History[0].Total[machine.CPU] != 1 {
+		t.Errorf("history = %+v", h.History)
+	}
+	// A second rotate with no accesses records nothing.
+	hm.Rotate()
+	if len(h.History) != 1 {
+		t.Errorf("empty epoch recorded: %+v", h.History)
+	}
+}
+
+func TestHeatmapLateLabel(t *testing.T) {
+	eng, hm := newHeatEngine(t)
+	eng.Record(machine.CPU, 0x1000, 4, memsim.Write)
+	eng.Flush()
+	eng.Locked(func() {
+		hm.table.Find(0x1000).Label = "renamed"
+	})
+	if got := hm.Heats()[0].Label(); got != "renamed" {
+		t.Errorf("label = %q, want the relabeled name", got)
+	}
+}

@@ -1,0 +1,345 @@
+// Package record is the shared recording engine behind XPlacer's two
+// instrumentation front ends: the simulated runtime (internal/trace) and
+// the plain-Go runtime (xplrt). Both front ends used to carry their own
+// copy of the same machinery — address-sharded access buffers, batched
+// drains with a last-entry SMT lookup cache, enable/disable, flush
+// semantics. The engine owns exactly one implementation of it,
+// parameterized by a small Sink interface, so every observer of the access
+// stream (the canonical shadow-table sink, access heat maps, future
+// pattern visualizers) plugs in once and works for every front end.
+//
+// # Hot path
+//
+// Record appends, under a briefly-held per-shard lock, to one of a fixed
+// set of buffers sharded by address: same word, same shard, so the
+// per-word access order the detectors depend on is preserved even under
+// concurrent recording. A Buffer is the lock-free variant for
+// single-owner (goroutine-private) recording, used by xplrt's
+// DeviceScope. Neither path touches a sink until a buffer fills or a
+// flush point is reached.
+//
+// # Flush ordering guarantees
+//
+// These are the engine-wide ordering rules every front end inherits
+// (previously documented separately, and slightly differently, in xplrt
+// and trace):
+//
+//  1. Within one shard (and therefore for any single word), accesses
+//     apply to the sinks in recording order.
+//  2. Flush drains every shard; after it returns, everything recorded
+//     through Record before the call is visible to the sinks.
+//  3. A Buffer drain flushes the shared shards first, so accesses
+//     recorded through Record before a buffer section (e.g. CPU
+//     initialization preceding a GPU scope) apply before the buffer's
+//     own batch.
+//  4. Sink applications are serialized by the engine's lock; front ends
+//     run their own sink inspections (diagnostics, table mutation) under
+//     Locked to order them against concurrent drains.
+//
+// Front-end flush points (diagnostics, transfers, frees, scope exits)
+// are implemented as Flush followed by a Locked inspection, which is
+// what makes "flush, then the bulk effect" sequences like TraceTransfer
+// land after all buffered element accesses.
+package record
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+)
+
+const (
+	// NumShards fixes the number of access-buffer shards. An access at
+	// addr goes to shard (addr>>shardShift)%NumShards: 64-byte granularity
+	// keeps every shadow word (and any small access spanning words) on one
+	// shard, so per-word ordering survives concurrent recording.
+	NumShards  = 64
+	shardShift = 6
+	// shardCap is the per-shard buffer capacity; a full shard drains into
+	// the sinks immediately.
+	shardCap = 1024
+	// bufferCap is the per-Buffer capacity. Buffers are goroutine-private;
+	// the capacity stays modest (24 KiB of records) so that the buffers of
+	// many concurrent owners stay cache-resident.
+	bufferCap = 1024
+)
+
+// Cursor carries per-buffer sink state across batch applies: the
+// last-entry SMT lookup cache TableSink seeds RecordAll with, and the
+// engine generation the cache was filled under. The engine keeps one
+// cursor per shard and one per Buffer, and nils the cached entry whenever
+// the generation moved (Invalidate) so a front end that swaps its table
+// can never apply a batch against a stale *shadow.Entry.
+type Cursor struct {
+	// Last is the last shadow entry the sink resolved; nil after an
+	// invalidation.
+	Last *shadow.Entry
+	gen  uint64
+}
+
+// Sink consumes drained access batches. Apply calls are serialized by the
+// engine's lock and receive batches in per-shard (per-word) recording
+// order. cur is the batch's cursor; only the table-backed sink uses it,
+// so an engine should host at most one cursor-consuming sink.
+type Sink interface {
+	Apply(batch []shadow.Access, cur *Cursor)
+}
+
+// Counts tallies recorded accesses by kind. Counts are merged from
+// per-shard counters at drain time, so they are exact only after a Flush.
+type Counts struct {
+	Reads, Writes, ReadWrites int64
+}
+
+// kindCounts is the per-shard/per-buffer tally, indexed by AccessKind so
+// the hot path pays one branch-free increment instead of a switch; slot 3
+// (out-of-range kinds) merges into ReadWrites like the sinks treat them.
+type kindCounts [4]int64
+
+func (c *kindCounts) add(kind memsim.AccessKind) { c[kind&3]++ }
+
+func (c *kindCounts) empty() bool { return *c == kindCounts{} }
+
+// mergeInto folds the tally into the engine's totals and zeroes it.
+func (c *kindCounts) mergeInto(e *Engine) {
+	e.reads.Add(c[memsim.Read])
+	e.writes.Add(c[memsim.Write])
+	e.readWrites.Add(c[memsim.ReadWrite] + c[3])
+	*c = kindCounts{}
+}
+
+// shard is one access buffer plus its cursor and kind counters. The
+// counters are plain fields updated under mu — cheaper than per-access
+// atomics — and merged into the engine totals when the shard drains.
+type shard struct {
+	mu  sync.Mutex
+	buf []shadow.Access
+	cur Cursor
+	cnt kindCounts
+}
+
+// Engine is the concurrency-safe recording engine. Record may be called
+// from concurrent goroutines; sink application happens in batches under
+// the engine lock. The zero value is not usable; call NewEngine.
+type Engine struct {
+	// mu serializes sink application and guards the sink list; front ends
+	// take it through Locked for their own sink-state inspections.
+	// Lock order is always flushMu -> shard.mu -> mu, never the reverse;
+	// nothing acquires flushMu while holding a shard lock or mu (which is
+	// why Locked's fn must not call Flush).
+	mu    sync.Mutex
+	sinks []Sink
+	// flushMu serializes whole-engine shard sweeps (see Flush).
+	flushMu sync.Mutex
+
+	// disabled is the recording switch; the zero value means enabled, so
+	// the hot path pays one atomic load and no initialization check.
+	disabled atomic.Bool
+	// gen is the cache generation; Invalidate bumps it and every cursor
+	// re-syncs (dropping its cached entry) at its next apply.
+	gen atomic.Uint64
+	// dirty is set by Record whenever a shard takes an access (or a kind
+	// count), and cleared by the Flush that sweeps the shards. While it is
+	// clear, Flush is a no-op — so Buffer drains in scope-only workloads
+	// (no shard-path recording at all) skip the 64 idle shard locks of
+	// ordering guarantee 3 instead of paying them on every drain.
+	dirty atomic.Bool
+
+	reads, writes, readWrites atomic.Int64
+
+	shards [NumShards]shard
+}
+
+// NewEngine returns an enabled engine draining into the given sinks.
+func NewEngine(sinks ...Sink) *Engine {
+	return &Engine{sinks: sinks}
+}
+
+// AddSink attaches another sink. Accesses already buffered are flushed to
+// the existing sinks first, so the new sink observes only batches
+// recorded after AddSink returns.
+func (e *Engine) AddSink(s Sink) {
+	e.Flush()
+	e.mu.Lock()
+	e.sinks = append(e.sinks, s)
+	e.mu.Unlock()
+}
+
+// SetEnabled switches access recording on or off. Already buffered
+// accesses still drain at the next flush point.
+func (e *Engine) SetEnabled(on bool) { e.disabled.Store(!on) }
+
+// Enabled reports whether access recording is active.
+func (e *Engine) Enabled() bool { return !e.disabled.Load() }
+
+// Record buffers one access, draining the address's shard into the sinks
+// if it fills. Safe for concurrent callers.
+func (e *Engine) Record(dev machine.Device, addr memsim.Addr, size int64, kind memsim.AccessKind) {
+	if e.disabled.Load() {
+		return
+	}
+	sh := &e.shards[(uint64(addr)>>shardShift)%NumShards]
+	sh.mu.Lock()
+	if !e.dirty.Load() {
+		e.dirty.Store(true)
+	}
+	sh.cnt.add(kind)
+	if cap(sh.buf) == 0 {
+		sh.buf = make([]shadow.Access, 0, shardCap)
+	}
+	sh.buf = append(sh.buf, shadow.Access{Dev: dev, Kind: kind, Addr: addr, Size: size})
+	if len(sh.buf) >= shardCap {
+		e.drain(sh)
+	}
+	sh.mu.Unlock()
+}
+
+// drain applies one shard's buffer to the sinks; the caller holds sh.mu.
+func (e *Engine) drain(sh *shard) {
+	if !sh.cnt.empty() {
+		sh.cnt.mergeInto(e)
+	}
+	if len(sh.buf) == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.applyLocked(sh.buf, &sh.cur)
+	e.mu.Unlock()
+	sh.buf = sh.buf[:0]
+}
+
+// applyLocked re-syncs the cursor against the current generation and
+// feeds the batch to every sink; the caller holds e.mu.
+func (e *Engine) applyLocked(batch []shadow.Access, cur *Cursor) {
+	if g := e.gen.Load(); cur.gen != g {
+		cur.Last, cur.gen = nil, g
+	}
+	for _, s := range e.sinks {
+		s.Apply(batch, cur)
+	}
+}
+
+// Flush drains every shard into the sinks (ordering guarantee 2). When no
+// shard has taken an access since the last sweep the call is one
+// uncontended lock. flushMu serializes sweeps, so a Flush returning
+// cheaply has still waited out any in-flight sweep — without it a second
+// Flush could observe the cleared dirty flag and return while the first
+// was mid-sweep, with undrained shards still ahead of it. A Record racing
+// with the sweep either gets drained by it or re-marks the engine dirty
+// for the next Flush.
+func (e *Engine) Flush() {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	if !e.dirty.Swap(false) {
+		return
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		e.drain(sh)
+		sh.mu.Unlock()
+	}
+}
+
+// Locked runs fn while holding the engine's sink lock, ordering fn
+// against concurrent batch applies (ordering guarantee 4). Front ends use
+// it for everything that reads or mutates sink state: diagnostics, SMT
+// registration, table swaps. fn must not call Flush, Record, or Locked.
+func (e *Engine) Locked(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn()
+}
+
+// Invalidate bumps the cache generation: every cursor drops its cached
+// shadow entry before its next apply. Callers replacing sink state (e.g.
+// installing a fresh shadow table) must call it inside the same Locked
+// section as the swap, so no batch can apply a stale cache against the
+// new state.
+func (e *Engine) Invalidate() { e.gen.Add(1) }
+
+// Reset discards all buffered accesses without applying them, zeroes the
+// kind counters, drops every shard cache, and re-enables recording.
+// Buffers created before the reset re-sync their cursors via the
+// generation bump on their next drain.
+func (e *Engine) Reset() {
+	// Serialize against sweeps so a concurrent Flush cannot interleave
+	// drained and discarded shards. dirty stays as-is: a Record racing the
+	// reset may land in an already-cleared shard, and its mark must survive.
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		sh.buf = sh.buf[:0]
+		sh.cur.Last = nil
+		sh.cnt = kindCounts{}
+		sh.mu.Unlock()
+	}
+	e.reads.Store(0)
+	e.writes.Store(0)
+	e.readWrites.Store(0)
+	e.Invalidate()
+	e.disabled.Store(false)
+}
+
+// Counts returns the accesses drained so far by kind. Flush first for an
+// exact tally.
+func (e *Engine) Counts() Counts {
+	return Counts{
+		Reads:      e.reads.Load(),
+		Writes:     e.writes.Load(),
+		ReadWrites: e.readWrites.Load(),
+	}
+}
+
+// Buffer is a single-owner access buffer draining into the same engine:
+// the lock-free hot path used by goroutine-scoped recording (xplrt's
+// DeviceScope). Record and Flush must be called by one goroutine at a
+// time; the engine-side apply is synchronized like any shard drain.
+type Buffer struct {
+	e   *Engine
+	buf []shadow.Access
+	cur Cursor
+	cnt kindCounts
+}
+
+// NewBuffer returns an empty buffer owned by the caller.
+func (e *Engine) NewBuffer() *Buffer { return &Buffer{e: e} }
+
+// Record appends one access with no locking, draining if the buffer
+// filled.
+func (b *Buffer) Record(dev machine.Device, addr memsim.Addr, size int64, kind memsim.AccessKind) {
+	if b.e.disabled.Load() {
+		return
+	}
+	b.cnt.add(kind)
+	if cap(b.buf) == 0 {
+		b.buf = make([]shadow.Access, 0, bufferCap)
+	}
+	b.buf = append(b.buf, shadow.Access{Dev: dev, Kind: kind, Addr: addr, Size: size})
+	if len(b.buf) >= bufferCap {
+		b.Flush()
+	}
+}
+
+// Flush drains the buffer into the sinks. The shared shards drain first
+// (ordering guarantee 3): accesses recorded through Engine.Record before
+// this buffer's must reach the sinks before the buffer's batch, or
+// per-word ordering would invert.
+func (b *Buffer) Flush() {
+	if !b.cnt.empty() {
+		b.cnt.mergeInto(b.e)
+	}
+	if len(b.buf) == 0 {
+		return
+	}
+	b.e.Flush()
+	b.e.mu.Lock()
+	b.e.applyLocked(b.buf, &b.cur)
+	b.e.mu.Unlock()
+	b.buf = b.buf[:0]
+}

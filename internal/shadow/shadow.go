@@ -261,13 +261,23 @@ func (t *Table) Record(dev machine.Device, addr memsim.Addr, size int64, kind me
 	return true
 }
 
-// record applies one access to the entry's shadow words.
+// record applies one access to the entry's shadow words. It is the single
+// shadow-update loop shared by Record and RecordAll: the precomputed
+// updateTab replaces Update's branches for in-range (device, kind) pairs,
+// with Update itself as the fallback for values outside the table.
 func (e *Entry) record(addr memsim.Addr, size int64, dev machine.Device, kind memsim.AccessKind) {
 	e.EverTouched = true
 	first := e.wordIndex(addr)
 	last := e.wordIndex(addr + memsim.Addr(size) - 1)
 	if last >= len(e.Shadow) {
 		last = len(e.Shadow) - 1
+	}
+	if int(dev) < len(updateTab) && int(kind) < len(updateTab[0]) {
+		tab := &updateTab[dev][kind]
+		for i := first; i <= last; i++ {
+			e.Shadow[i] = tab[e.Shadow[i]]
+		}
+		return
 	}
 	for i := first; i <= last; i++ {
 		e.Shadow[i] = Update(e.Shadow[i], dev, kind)
@@ -303,20 +313,7 @@ func (t *Table) RecordAll(batch []Access, hint *Entry) (last *Entry, untracked i
 			}
 			last = e
 		}
-		if int(a.Dev) >= len(updateTab) || int(a.Kind) >= len(updateTab[0]) {
-			e.record(a.Addr, a.Size, a.Dev, a.Kind)
-			continue
-		}
-		e.EverTouched = true
-		tab := &updateTab[a.Dev][a.Kind]
-		first := e.wordIndex(a.Addr)
-		lw := e.wordIndex(a.Addr + memsim.Addr(a.Size) - 1)
-		if lw >= len(e.Shadow) {
-			lw = len(e.Shadow) - 1
-		}
-		for w := first; w <= lw; w++ {
-			e.Shadow[w] = tab[e.Shadow[w]]
-		}
+		e.record(a.Addr, a.Size, a.Dev, a.Kind)
 	}
 	return last, untracked
 }

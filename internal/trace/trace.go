@@ -1,27 +1,29 @@
-// Package trace is XPlacer's runtime instrumentation layer (paper §III-B,
-// Table I). It implements the cuda.Tracer hook interface: every element
-// access funnels through TraceAccess (the analog of traceR / traceW /
-// traceRW), allocation wrappers maintain the shadow memory table, memcpy
-// wrappers record bulk CPU reads/writes, and kernel launches are counted.
+// Package trace is XPlacer's runtime instrumentation layer for the
+// simulated platform (paper §III-B, Table I). It implements the
+// cuda.Tracer hook interface: every element access funnels through
+// TraceAccess (the analog of traceR / traceW / traceRW), allocation
+// wrappers maintain the shadow memory table, memcpy wrappers record bulk
+// CPU reads/writes, and kernel launches are counted.
 //
 // The tracer deliberately performs its own address-to-allocation lookup on
 // every access — the same SMT search the paper's prototype does — so the
-// instrumentation overhead characteristics of Table III carry over. To keep
-// that lookup off the per-access critical path, TraceAccess buffers records
-// into address-sharded buffers (same word, same shard — per-word order is
-// preserved) and drains them into the shadow table in batch, with a
-// per-shard last-entry lookup cache, when a buffer fills and at flush
-// points: Table(), Stats(), transfers, frees, and explicit Flush calls.
-// This makes TraceAccess safe for concurrent simulated kernels.
+// instrumentation overhead characteristics of Table III carry over. The
+// buffering, sharding, and batch-drain machinery that keeps that lookup
+// off the per-access critical path lives in the shared recording engine
+// (internal/record); the tracer is a thin front end wiring the engine's
+// canonical TableSink to the CUDA-like wrappers. Flush ordering (why a
+// transfer's bulk access lands after every buffered element access, and
+// what concurrent simulated kernels may assume) is documented once, in
+// package record.
 package trace
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/record"
 	"xplacer/internal/shadow"
 	"xplacer/internal/um"
 )
@@ -31,8 +33,9 @@ type Stats struct {
 	// Reads, Writes, ReadWrites count traced element accesses by kind.
 	Reads, Writes, ReadWrites int64
 	// Untracked counts accesses to addresses outside the SMT (ignored,
-	// §III-C). Untracked accesses are detected when their batch drains, so
-	// the count is exact only after a flush — Stats() flushes for you.
+	// §III-C), including transfers whose range misses the SMT. Untracked
+	// accesses are detected when their batch drains, so the count is
+	// exact only after a flush — Stats() flushes for you.
 	Untracked int64
 	// Allocs and Frees count intercepted allocation calls.
 	Allocs, Frees int64
@@ -42,118 +45,67 @@ type Stats struct {
 	Kernels int64
 }
 
-// counters is the concurrent form of Stats.
-type counters struct {
-	reads, writes, readWrites, untracked atomic.Int64
-	allocs, frees                        atomic.Int64
-	h2d, d2h, kernels                    atomic.Int64
-}
-
-const (
-	// numShards fixes the number of access-buffer shards; an access goes
-	// to shard (addr>>shardShift)%numShards. The 64-byte granularity keeps
-	// each shadow word on a single shard, preserving per-word order.
-	numShards  = 64
-	shardShift = 6
-	// shardCap is the per-shard buffer capacity; a full shard drains
-	// immediately.
-	shardCap = 1024
-)
-
-// traceShard is one access buffer plus its SMT lookup cache. The kind
-// counters are plain fields updated under mu — cheaper than per-access
-// atomics — and merged into the tracer's totals when the shard drains.
-type traceShard struct {
-	mu                        sync.Mutex
-	buf                       []shadow.Access
-	last                      *shadow.Entry
-	reads, writes, readWrites int64
-}
-
-// Tracer records memory operations into shadow memory. The zero value is
-// not usable; call New. TraceAccess may be called from concurrent
-// goroutines (parallel simulated kernels); diagnostics and the other
-// wrappers flush the access buffers before touching the table.
+// Tracer records memory operations into shadow memory through the shared
+// recording engine. The zero value is not usable; call New. TraceAccess
+// may be called from concurrent goroutines (parallel simulated kernels);
+// diagnostics and the other wrappers flush the access buffers before
+// touching the table.
 type Tracer struct {
-	// mu protects table. Lock order is always shard.mu -> mu.
-	mu       sync.Mutex
-	table    *shadow.Table
-	disabled atomic.Bool
-	stats    counters
-	shards   [numShards]traceShard
+	sink *record.TableSink
+	eng  *record.Engine
+
+	// Wrapper event counters; element-access kind counts live in the
+	// engine, untracked counts in the sink.
+	allocs, frees, h2d, d2h, kernels atomic.Int64
 }
 
 // New creates an enabled tracer with an empty shadow memory table.
 func New() *Tracer {
-	return &Tracer{table: shadow.NewTable()}
+	sink := record.NewTableSink(shadow.NewTable())
+	return &Tracer{sink: sink, eng: record.NewEngine(sink)}
 }
+
+// AddSink attaches an additional observer (e.g. a record.HeatmapSink) to
+// the tracer's engine; it sees every batch drained from now on.
+func (t *Tracer) AddSink(s record.Sink) { t.eng.AddSink(s) }
 
 // Table flushes buffered accesses and exposes the shadow memory table for
 // diagnostics. The table itself is not goroutine-safe: callers must not
 // use it while simulated kernels are still tracing.
 func (t *Tracer) Table() *shadow.Table {
-	t.Flush()
-	return t.table
+	t.eng.Flush()
+	return t.sink.Table()
 }
 
 // Stats flushes buffered accesses and returns cumulative instrumentation
 // statistics.
 func (t *Tracer) Stats() Stats {
-	t.Flush()
+	t.eng.Flush()
+	c := t.eng.Counts()
 	return Stats{
-		Reads:        t.stats.reads.Load(),
-		Writes:       t.stats.writes.Load(),
-		ReadWrites:   t.stats.readWrites.Load(),
-		Untracked:    t.stats.untracked.Load(),
-		Allocs:       t.stats.allocs.Load(),
-		Frees:        t.stats.frees.Load(),
-		TransfersH2D: t.stats.h2d.Load(),
-		TransfersD2H: t.stats.d2h.Load(),
-		Kernels:      t.stats.kernels.Load(),
+		Reads:        c.Reads,
+		Writes:       c.Writes,
+		ReadWrites:   c.ReadWrites,
+		Untracked:    t.sink.Untracked(),
+		Allocs:       t.allocs.Load(),
+		Frees:        t.frees.Load(),
+		TransfersH2D: t.h2d.Load(),
+		TransfersD2H: t.d2h.Load(),
+		Kernels:      t.kernels.Load(),
 	}
 }
 
 // SetEnabled turns tracing on or off. Allocation bookkeeping continues
 // while disabled so that the SMT stays consistent; only access recording
 // stops.
-func (t *Tracer) SetEnabled(on bool) { t.disabled.Store(!on) }
+func (t *Tracer) SetEnabled(on bool) { t.eng.SetEnabled(on) }
 
 // Enabled reports whether access recording is active.
-func (t *Tracer) Enabled() bool { return !t.disabled.Load() }
-
-// apply drains one shard into the shadow table; the caller holds sh.mu.
-func (t *Tracer) apply(sh *traceShard) {
-	if sh.reads|sh.writes|sh.readWrites != 0 {
-		t.stats.reads.Add(sh.reads)
-		t.stats.writes.Add(sh.writes)
-		t.stats.readWrites.Add(sh.readWrites)
-		sh.reads, sh.writes, sh.readWrites = 0, 0, 0
-	}
-	if len(sh.buf) == 0 {
-		return
-	}
-	t.mu.Lock()
-	// The tracer's table is never replaced, so the cached entry can only go
-	// stale by being freed — which RecordAll's hint check rejects.
-	last, untracked := t.table.RecordAll(sh.buf, sh.last)
-	t.mu.Unlock()
-	sh.last = last
-	if untracked > 0 {
-		t.stats.untracked.Add(int64(untracked))
-	}
-	sh.buf = sh.buf[:0]
-}
+func (t *Tracer) Enabled() bool { return t.eng.Enabled() }
 
 // Flush drains every buffered access into the shadow table. Table() and
 // Stats() flush implicitly, as do the free and transfer wrappers.
-func (t *Tracer) Flush() {
-	for i := range t.shards {
-		sh := &t.shards[i]
-		sh.mu.Lock()
-		t.apply(sh)
-		sh.mu.Unlock()
-	}
-}
+func (t *Tracer) Flush() { t.eng.Flush() }
 
 // allocFnName maps an allocation kind to the API function the wrapper
 // intercepted, for diagnostic messages.
@@ -171,10 +123,11 @@ func allocFnName(k memsim.Kind) string {
 // TraceAlloc implements cuda.Tracer (the trcMalloc/trcMallocManaged
 // wrappers): it creates the SMT entry and shadow memory.
 func (t *Tracer) TraceAlloc(a *memsim.Alloc) {
-	t.stats.allocs.Add(1)
-	t.mu.Lock()
-	_, err := t.table.Insert(a, allocFnName(a.Kind))
-	t.mu.Unlock()
+	t.allocs.Add(1)
+	var err error
+	t.eng.Locked(func() {
+		_, err = t.sink.Table().Insert(a, allocFnName(a.Kind))
+	})
 	if err != nil {
 		// An overlap means the simulated allocator handed out overlapping
 		// ranges — a bug worth failing loudly on.
@@ -187,78 +140,64 @@ func (t *Tracer) TraceAlloc(a *memsim.Alloc) {
 // diagnostic (§III-C). Accesses buffered before the free are drained first
 // so they still land in the entry.
 func (t *Tracer) TraceFree(a *memsim.Alloc) {
-	t.stats.frees.Add(1)
-	t.Flush()
-	t.mu.Lock()
-	t.table.MarkFreed(a.ID)
-	t.mu.Unlock()
+	t.frees.Add(1)
+	t.eng.Flush()
+	t.eng.Locked(func() {
+		t.sink.Table().MarkFreed(a.ID)
+	})
 }
 
 // TraceAccess implements cuda.Tracer; it is the runtime body of traceR,
-// traceW, and traceRW. It only appends to an address shard — safe for
+// traceW, and traceRW. It only appends to an engine shard — safe for
 // concurrent simulated kernels.
 func (t *Tracer) TraceAccess(dev machine.Device, _ *memsim.Alloc, addr memsim.Addr, size int64, kind memsim.AccessKind) {
-	if t.disabled.Load() {
-		return
-	}
-	sh := &t.shards[(uint64(addr)>>shardShift)%numShards]
-	sh.mu.Lock()
-	switch kind {
-	case memsim.Read:
-		sh.reads++
-	case memsim.Write:
-		sh.writes++
-	default:
-		sh.readWrites++
-	}
-	if cap(sh.buf) == 0 {
-		sh.buf = make([]shadow.Access, 0, shardCap)
-	}
-	sh.buf = append(sh.buf, shadow.Access{Dev: dev, Kind: kind, Addr: addr, Size: size})
-	if len(sh.buf) >= shardCap {
-		t.apply(sh)
-	}
-	sh.mu.Unlock()
+	t.eng.Record(dev, addr, size, kind)
 }
 
 // TraceTransfer implements cuda.Tracer: host-to-device copies are recorded
 // as CPU writes of the range, device-to-host copies as CPU reads (§III-C,
 // "Unnecessary data transfers"). Buffered accesses are flushed first so
-// the transfer's bulk access lands after them.
+// the transfer's bulk access lands after them. A transfer whose range is
+// not in the SMT counts as untracked, like any other missed access.
 func (t *Tracer) TraceTransfer(a *memsim.Alloc, dir um.TransferDir, off, n int64) {
-	if t.disabled.Load() {
+	if !t.eng.Enabled() {
 		return
 	}
-	t.Flush()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.table.FindByID(a.ID)
-	if dir == um.HostToDevice {
-		t.stats.h2d.Add(1)
-		t.table.Record(machine.CPU, a.Base+memsim.Addr(off), n, memsim.Write)
-		if e != nil {
-			e.TransferredIn += n
+	t.eng.Flush()
+	t.eng.Locked(func() {
+		table := t.sink.Table()
+		e := table.FindByID(a.ID)
+		var tracked bool
+		if dir == um.HostToDevice {
+			t.h2d.Add(1)
+			tracked = table.Record(machine.CPU, a.Base+memsim.Addr(off), n, memsim.Write)
+			if e != nil {
+				e.TransferredIn += n
+			}
+		} else {
+			t.d2h.Add(1)
+			tracked = table.Record(machine.CPU, a.Base+memsim.Addr(off), n, memsim.Read)
+			if e != nil {
+				e.TransferredOut += n
+			}
 		}
-	} else {
-		t.stats.d2h.Add(1)
-		t.table.Record(machine.CPU, a.Base+memsim.Addr(off), n, memsim.Read)
-		if e != nil {
-			e.TransferredOut += n
+		if !tracked {
+			t.sink.AddUntracked(1)
 		}
-	}
+	})
 }
 
 // TraceKernelLaunch implements cuda.Tracer (the kernel-launch wrapper of
 // Table I).
-func (t *Tracer) TraceKernelLaunch(string) { t.stats.kernels.Add(1) }
+func (t *Tracer) TraceKernelLaunch(string) { t.kernels.Add(1) }
 
 // Name attaches a user-level label to the allocation's SMT entry — the
 // runtime effect of the XplAllocData argument expansion of
 // #pragma xpl diagnostic (§III-B).
 func (t *Tracer) Name(a *memsim.Alloc, label string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if e := t.table.FindByID(a.ID); e != nil {
-		e.Label = label
-	}
+	t.eng.Locked(func() {
+		if e := t.sink.Table().FindByID(a.ID); e != nil {
+			e.Label = label
+		}
+	})
 }

@@ -134,6 +134,28 @@ func TestTraceTransferDirections(t *testing.T) {
 	}
 }
 
+// TestTransferMissCountsUntracked: a transfer whose range is not in the
+// SMT used to be dropped silently; it must count as untracked.
+func TestTransferMissCountsUntracked(t *testing.T) {
+	tr, sp := setup(t)
+	d := alloc(t, sp, memsim.DeviceOnly, 64, "d")
+	// Not TraceAlloc'd: the SMT has no entry for the range.
+	tr.TraceTransfer(d, um.HostToDevice, 0, 64)
+	st := tr.Stats()
+	if st.TransfersH2D != 1 {
+		t.Errorf("transfers = %+v", st)
+	}
+	if st.Untracked != 1 {
+		t.Errorf("untracked = %d, want 1 (transfer range missed the SMT)", st.Untracked)
+	}
+	// A tracked transfer does not inflate the count.
+	tr.TraceAlloc(d)
+	tr.TraceTransfer(d, um.DeviceToHost, 0, 64)
+	if got := tr.Stats().Untracked; got != 1 {
+		t.Errorf("untracked after tracked transfer = %d, want 1", got)
+	}
+}
+
 func TestTransferWhileDisabled(t *testing.T) {
 	tr, sp := setup(t)
 	d := alloc(t, sp, memsim.DeviceOnly, 64, "d")

@@ -26,26 +26,24 @@
 //
 // # Recording hot path and flush semantics
 //
-// Trace calls do not touch the shadow table directly. Scope-less
-// TraceR/W/RW calls append, under a briefly-held local lock, to one of a
-// fixed set of buffers sharded by address (same word, same shard — so the
-// per-word access order the detectors depend on is preserved even under
-// concurrent tracing). ScopeR/W/RW calls append to the scope's private
-// buffer with no locking at all. Buffers drain into the shadow table in
-// batch, reusing a last-entry SMT lookup cache, when they fill and at
-// flush points: TracePrint, Report, OnDevice return, and explicit Flush
-// calls (process-wide xplrt.Flush for the shards, DeviceScope.Flush for a
-// scope). Buffered accesses become visible to diagnostics only at those
-// flush points; a scope drain flushes the shards first, so accesses
-// recorded before the device section are applied before the section's
-// own.
+// Trace calls do not touch the shadow table directly: the package is a
+// front end over the shared recording engine (internal/record), which
+// owns the address-sharded buffers, the batched drain with its last-entry
+// SMT cache, and the flush-ordering guarantees (see the package record
+// documentation). Scope-less TraceR/W/RW calls record through the
+// engine's sharded path; ScopeR/W/RW calls append to the scope's private
+// engine Buffer with no locking at all. Buffered accesses become visible
+// to diagnostics only at flush points: TracePrint, Report, OnDevice
+// return, and explicit Flush calls (process-wide xplrt.Flush for the
+// shards, DeviceScope.Flush for a scope); a scope drain flushes the
+// shards first, so accesses recorded before the device section are
+// applied before the section's own.
 package xplrt
 
 import (
 	"fmt"
 	"io"
 	"reflect"
-	"sync"
 	"sync/atomic"
 	"unsafe"
 
@@ -53,6 +51,7 @@ import (
 	"xplacer/internal/diag"
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/record"
 	"xplacer/internal/shadow"
 )
 
@@ -65,125 +64,81 @@ const (
 	GPU = machine.GPU
 )
 
-// runtime is the process-global analysis state: the shadow table and the
-// detector options. The mutex is taken only at batch boundaries (shard
-// drains, registration, diagnostics), never per access.
+// runtime is the process-global analysis state: the recording engine, its
+// canonical table sink, and the detector options. The engine lock is
+// taken only at batch boundaries (drains, registration, diagnostics),
+// never per access; opt is guarded by it too.
 type runtime struct {
-	mu    sync.Mutex
-	table *shadow.Table
-	opt   detect.Options
-	gen   uint64 // bumped when the table is replaced; invalidates shard caches
+	sink *record.TableSink
+	eng  *record.Engine
+	opt  detect.Options
 }
 
-var rt = &runtime{table: shadow.NewTable(), opt: detect.DefaultOptions()}
+func newRuntime() *runtime {
+	sink := record.NewTableSink(shadow.NewTable())
+	return &runtime{sink: sink, eng: record.NewEngine(sink), opt: detect.DefaultOptions()}
+}
 
-// disabled is the recording switch; the zero value means enabled, so the
-// hot path pays one atomic load and no initialization check.
-var disabled atomic.Bool
+var rt = newRuntime()
 
 // defaultDev is the process-wide role used by the scope-less TraceR/W/RW
 // entry points (and set by the deprecated SetDevice). Goroutine-scoped
 // code uses a DeviceScope instead.
 var defaultDev atomic.Uint32
 
-const (
-	// numShards fixes the number of access-buffer shards. An access at
-	// addr goes to shard (addr>>shardShift)%numShards: 64-byte granularity
-	// keeps every shadow word (and any small access spanning words) on one
-	// shard, so per-word ordering survives concurrent recording.
-	numShards  = 64
-	shardShift = 6
-	// shardCap is the per-shard buffer capacity; a full shard drains into
-	// the shadow table immediately.
-	shardCap = 1024
-	// scopeCap is the per-DeviceScope buffer capacity. Scope buffers are
-	// goroutine-private; the capacity stays modest (24 KiB of records) so
-	// that the buffers of many concurrent scopes stay cache-resident.
-	scopeCap = 1024
-)
-
-// shard is one access buffer plus its SMT lookup cache.
-type shard struct {
-	mu   sync.Mutex
-	buf  []shadow.Access
-	last *shadow.Entry // last-entry cache carried across batch applies
-	gen  uint64        // rt.gen the cache was filled under
-}
-
-var shards [numShards]shard
-
-// apply drains the shard into the shadow table; the caller holds sh.mu.
-// Lock order is always shard.mu -> rt.mu, never the reverse.
-func (sh *shard) apply() {
-	if len(sh.buf) == 0 {
-		return
-	}
-	rt.mu.Lock()
-	if sh.gen != rt.gen {
-		sh.last, sh.gen = nil, rt.gen
-	}
-	sh.last, _ = rt.table.RecordAll(sh.buf, sh.last)
-	rt.mu.Unlock()
-	sh.buf = sh.buf[:0]
-}
-
-// flushAll drains every shard.
-func flushAll() {
-	for i := range shards {
-		sh := &shards[i]
-		sh.mu.Lock()
-		sh.apply()
-		sh.mu.Unlock()
-	}
-}
-
-// record is the shared body of the trace functions: append to the
-// address's shard, draining it if full.
-func record(dev Device, addr uintptr, size int64, kind memsim.AccessKind) {
-	if disabled.Load() {
-		return
-	}
-	sh := &shards[(addr>>shardShift)%numShards]
-	sh.mu.Lock()
-	if cap(sh.buf) == 0 {
-		sh.buf = make([]shadow.Access, 0, shardCap)
-	}
-	sh.buf = append(sh.buf, shadow.Access{Dev: dev, Kind: kind, Addr: memsim.Addr(addr), Size: size})
-	if len(sh.buf) >= shardCap {
-		sh.apply()
-	}
-	sh.mu.Unlock()
+// recordAccess is the shared body of the trace functions: append to the
+// address's engine shard, draining it if full.
+func recordAccess(dev Device, addr uintptr, size int64, kind memsim.AccessKind) {
+	rt.eng.Record(dev, memsim.Addr(addr), size, kind)
 }
 
 // Reset discards all registered allocations and recorded accesses;
 // intended for tests and for programs analyzing several phases
 // independently.
 func Reset() {
-	for i := range shards {
-		sh := &shards[i]
-		sh.mu.Lock()
-		sh.buf = sh.buf[:0]
-		sh.last = nil
-		sh.mu.Unlock()
-	}
-	rt.mu.Lock()
-	rt.table = shadow.NewTable()
-	rt.opt = detect.DefaultOptions()
-	rt.gen++
-	rt.mu.Unlock()
-	disabled.Store(false)
+	rt.eng.Reset()
+	rt.eng.Locked(func() {
+		rt.sink.SetTable(shadow.NewTable())
+		rt.opt = detect.DefaultOptions()
+		// Invalidate inside the same locked section as the table swap: no
+		// batch may apply a cached *shadow.Entry against the new table.
+		rt.eng.Invalidate()
+	})
 	defaultDev.Store(uint32(CPU))
 }
 
 // SetEnabled switches access recording on or off at runtime. Already
 // buffered accesses still drain at the next flush point.
-func SetEnabled(on bool) { disabled.Store(!on) }
+func SetEnabled(on bool) { rt.eng.SetEnabled(on) }
 
 // Flush drains every buffered access into the shadow table. Diagnostics
 // (TracePrint, Report) flush implicitly; an explicit Flush is only needed
 // before inspecting the table through other means, or as a barrier before
 // handing the analysis to another package.
-func Flush() { flushAll() }
+func Flush() { rt.eng.Flush() }
+
+// AddSink attaches an additional observer to the runtime's engine; it
+// sees every access batch drained from now on.
+func AddSink(s record.Sink) { rt.eng.AddSink(s) }
+
+// EnableHeatmap attaches a per-word access-frequency observer (a
+// record.HeatmapSink) over the current shadow table and returns it. The
+// sink observes accesses recorded from now on; a later Reset replaces the
+// table and orphans the sink, so enable it again after resetting.
+func EnableHeatmap() *record.HeatmapSink {
+	var hm *record.HeatmapSink
+	rt.eng.Locked(func() { hm = record.NewHeatmapSink(rt.sink.Table()) })
+	rt.eng.AddSink(hm)
+	return hm
+}
+
+// Untracked reports how many recorded accesses hit no registered
+// allocation so far (flushing buffered accesses first). It resets with
+// Reset.
+func Untracked() int64 {
+	rt.eng.Flush()
+	return rt.sink.Untracked()
+}
 
 // SetDevice declares which processor role the following code plays.
 //
@@ -196,9 +151,7 @@ func SetDevice(d Device) { defaultDev.Store(uint32(d)) }
 
 // SetOptions adjusts the anti-pattern detector thresholds.
 func SetOptions(opt detect.Options) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.opt = opt
+	rt.eng.Locked(func() { rt.opt = opt })
 }
 
 // DeviceScope is a goroutine-scoped execution role: the handle instrumented
@@ -206,25 +159,24 @@ func SetOptions(opt detect.Options) {
 // deprecated process-global SetDevice, scopes let concurrent goroutines
 // play the CPU and the GPU at the same time.
 //
-// A scope also carries its own private access buffer, so the ScopeR/W/RW
-// hot path appends with no locking at all. The buffer drains into the
-// shadow table when it fills, at OnDevice return, and on Flush. A scope
-// belongs to the goroutine using it — create one scope per goroutine
-// (nested OnDevice calls are fine) instead of sharing one across
-// goroutines. Interleaving a live scope's accesses with scope-less
-// TraceR/W/RW accesses to the same words is ordered only at flush
-// boundaries.
+// A scope also carries a private engine Buffer, so the ScopeR/W/RW hot
+// path appends with no locking at all. The buffer drains into the shadow
+// table when it fills, at OnDevice return, and on Flush. A scope belongs
+// to the goroutine using it — create one scope per goroutine (nested
+// OnDevice calls are fine) instead of sharing one across goroutines.
+// Interleaving a live scope's accesses with scope-less TraceR/W/RW
+// accesses to the same words is ordered only at flush boundaries.
 type DeviceScope struct {
-	dev  Device
-	buf  []shadow.Access
-	last *shadow.Entry // last-entry lookup cache carried across batches
-	gen  uint64        // rt.gen the cache was filled under
+	dev Device
+	buf *record.Buffer
 }
 
 // NewScope returns a handle for code playing role d. Callers managing the
 // handle themselves (rather than through OnDevice) must call Flush before
 // the recorded accesses are analyzed.
-func NewScope(d Device) *DeviceScope { return &DeviceScope{dev: d} }
+func NewScope(d Device) *DeviceScope {
+	return &DeviceScope{dev: d, buf: rt.eng.NewBuffer()}
+}
 
 // Device returns the scope's role.
 func (s *DeviceScope) Device() Device {
@@ -234,44 +186,12 @@ func (s *DeviceScope) Device() Device {
 	return s.dev
 }
 
-// record appends one access to the scope's private buffer.
-func (s *DeviceScope) record(addr uintptr, size int64, kind memsim.AccessKind) {
-	if disabled.Load() {
-		return
-	}
-	if cap(s.buf) == 0 {
-		s.buf = make([]shadow.Access, 0, scopeCap)
-	}
-	s.buf = append(s.buf, shadow.Access{Dev: s.dev, Kind: kind, Addr: memsim.Addr(addr), Size: size})
-	if len(s.buf) >= scopeCap {
-		s.apply()
-	}
-}
-
-// apply drains the scope's buffer. The global shards drain first: accesses
-// recorded before this scope's (e.g. the CPU initialization preceding a
-// GPU section) must reach the shadow table before the scope's batch, or
-// per-word ordering would invert.
-func (s *DeviceScope) apply() {
-	if len(s.buf) == 0 {
-		return
-	}
-	flushAll()
-	rt.mu.Lock()
-	if s.gen != rt.gen {
-		s.last, s.gen = nil, rt.gen
-	}
-	s.last, _ = rt.table.RecordAll(s.buf, s.last)
-	rt.mu.Unlock()
-	s.buf = s.buf[:0]
-}
-
 // Flush drains the scope's buffered accesses into the shadow table.
 // OnDevice flushes automatically when fn returns; explicit NewScope users
 // call this themselves.
 func (s *DeviceScope) Flush() {
 	if s != nil {
-		s.apply()
+		s.buf.Flush()
 	}
 }
 
@@ -297,7 +217,7 @@ func ScopeR[T any](s *DeviceScope, p *T) *T {
 	if s == nil {
 		return TraceR(p)
 	}
-	s.record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Read)
+	s.buf.Record(s.dev, memsim.Addr(uintptr(unsafe.Pointer(p))), int64(unsafe.Sizeof(*p)), memsim.Read)
 	return p
 }
 
@@ -307,7 +227,7 @@ func ScopeW[T any](s *DeviceScope, p *T) *T {
 	if s == nil {
 		return TraceW(p)
 	}
-	s.record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Write)
+	s.buf.Record(s.dev, memsim.Addr(uintptr(unsafe.Pointer(p))), int64(unsafe.Sizeof(*p)), memsim.Write)
 	return p
 }
 
@@ -318,7 +238,7 @@ func ScopeRW[T any](s *DeviceScope, p *T) *T {
 	if s == nil {
 		return TraceRW(p)
 	}
-	s.record(uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.ReadWrite)
+	s.buf.Record(s.dev, memsim.Addr(uintptr(unsafe.Pointer(p))), int64(unsafe.Sizeof(*p)), memsim.ReadWrite)
 	return p
 }
 
@@ -331,12 +251,12 @@ func Register(v any, label string) {
 	if size == 0 {
 		return
 	}
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	// Registered Go heap memory is accessible from both execution roles,
-	// like CUDA managed memory — which also makes the alternating-access
-	// detector apply to it.
-	_, _ = rt.table.InsertRange(memsim.Addr(base), size, label, memsim.Managed, "xplrt.Register")
+	rt.eng.Locked(func() {
+		// Registered Go heap memory is accessible from both execution roles,
+		// like CUDA managed memory — which also makes the alternating-access
+		// detector apply to it.
+		_, _ = rt.sink.Table().InsertRange(memsim.Addr(base), size, label, memsim.Managed, "xplrt.Register")
+	})
 }
 
 // Release marks an allocation's range as freed; its shadow memory survives
@@ -348,12 +268,12 @@ func Release(v any) {
 	if size == 0 {
 		return
 	}
-	flushAll()
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if e := rt.table.Find(memsim.Addr(base)); e != nil {
-		e.Freed = true
-	}
+	rt.eng.Flush()
+	rt.eng.Locked(func() {
+		if e := rt.sink.Table().Find(memsim.Addr(base)); e != nil {
+			e.Freed = true
+		}
+	})
 }
 
 // Slice allocates a traced slice of n elements.
@@ -394,21 +314,21 @@ func rangeOf(v reflect.Value) (uintptr, int64) {
 // "*xplrt.TraceR(p)" (the Go rendering of the paper's traceR). It charges
 // the access to the process-wide default role; scoped code uses ScopeR.
 func TraceR[T any](p *T) *T {
-	record(Device(defaultDev.Load()), uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Read)
+	recordAccess(Device(defaultDev.Load()), uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Read)
 	return p
 }
 
 // TraceW records a write through p and returns p, so that "*p = v" becomes
 // "*xplrt.TraceW(p) = v".
 func TraceW[T any](p *T) *T {
-	record(Device(defaultDev.Load()), uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Write)
+	recordAccess(Device(defaultDev.Load()), uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.Write)
 	return p
 }
 
 // TraceRW records a read-modify-write through p and returns p, so that
 // "*p += v" becomes "*xplrt.TraceRW(p) += v".
 func TraceRW[T any](p *T) *T {
-	record(Device(defaultDev.Load()), uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.ReadWrite)
+	recordAccess(Device(defaultDev.Load()), uintptr(unsafe.Pointer(p)), int64(unsafe.Sizeof(*p)), memsim.ReadWrite)
 	return p
 }
 
@@ -488,31 +408,34 @@ func expand(v reflect.Value, name string, seen map[reflect.Type]bool, out *[]All
 // named by the expanded arguments, prints the per-allocation summaries and
 // anti-pattern findings to w, and resets the interval state.
 func TracePrint(w io.Writer, data ...AllocData) {
-	flushAll()
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	for _, d := range data {
-		// FindAny: freed-but-retained entries are still part of this
-		// interval's report and deserve their user-facing name.
-		if e := rt.table.FindAny(memsim.Addr(d.Base)); e != nil {
-			e.Label = d.Name
+	rt.eng.Flush()
+	rt.eng.Locked(func() {
+		table := rt.sink.Table()
+		for _, d := range data {
+			// FindAny: freed-but-retained entries are still part of this
+			// interval's report and deserve their user-facing name.
+			if e := table.FindAny(memsim.Addr(d.Base)); e != nil {
+				e.Label = d.Name
+			}
 		}
-	}
-	r := report(rt.table, rt.opt)
-	if w != nil {
-		r.Text(w)
-	}
-	rt.table.Reset()
+		r := report(table, rt.opt)
+		if w != nil {
+			r.Text(w)
+		}
+		table.Reset()
+	})
 }
 
 // Report flushes the access buffers, analyzes without printing, and resets
 // the interval state.
 func Report() diag.Report {
-	flushAll()
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	r := report(rt.table, rt.opt)
-	rt.table.Reset()
+	rt.eng.Flush()
+	var r diag.Report
+	rt.eng.Locked(func() {
+		table := rt.sink.Table()
+		r = report(table, rt.opt)
+		table.Reset()
+	})
 	return r
 }
 
@@ -526,11 +449,30 @@ func report(t *shadow.Table, opt detect.Options) diag.Report {
 	return r
 }
 
+// ShadowOf returns a copy of the shadow bytes of the traced allocation
+// covering v (a pointer or slice), flushing buffered accesses first, or
+// nil if v's range is not registered — a debugging and testing aid for
+// comparing shadow state across runtimes.
+func ShadowOf(v any) []byte {
+	base, size := rangeOf(reflect.ValueOf(v))
+	if size == 0 {
+		return nil
+	}
+	rt.eng.Flush()
+	var out []byte
+	rt.eng.Locked(func() {
+		if e := rt.sink.Table().FindAny(memsim.Addr(base)); e != nil {
+			out = append([]byte(nil), e.Shadow...)
+		}
+	})
+	return out
+}
+
 // Allocations reports the number of traced allocations (for tests).
 func Allocations() int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.table.Len()
+	var n int
+	rt.eng.Locked(func() { n = rt.sink.Table().Len() })
+	return n
 }
 
 // String renders an AllocData for debugging.

@@ -228,10 +228,11 @@ func TestFlushMakesBufferedAccessesVisible(t *testing.T) {
 	xs := Slice[int64](4, "xs")
 	*TraceW(&xs[0]) = 1
 	Flush()
-	rt.mu.Lock()
-	e := rt.table.Find(memsim.Addr(uintptr(unsafe.Pointer(&xs[0]))))
-	recorded := e != nil && e.Shadow[0]&shadow.CPUWrote != 0
-	rt.mu.Unlock()
+	var recorded bool
+	rt.eng.Locked(func() {
+		e := rt.sink.Table().Find(memsim.Addr(uintptr(unsafe.Pointer(&xs[0]))))
+		recorded = e != nil && e.Shadow[0]&shadow.CPUWrote != 0
+	})
 	if !recorded {
 		t.Error("flushed write not visible in shadow table")
 	}
@@ -307,12 +308,12 @@ func runRolePhases(xs []int64, workers int) {
 func shadowBytesOf(t *testing.T) [][]byte {
 	t.Helper()
 	Flush()
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	var out [][]byte
-	for _, e := range rt.table.Entries() {
-		out = append(out, append([]byte(nil), e.Shadow...))
-	}
+	rt.eng.Locked(func() {
+		for _, e := range rt.sink.Table().Entries() {
+			out = append(out, append([]byte(nil), e.Shadow...))
+		}
+	})
 	return out
 }
 
@@ -339,4 +340,55 @@ func TestParallelRolesMatchSequential(t *testing.T) {
 			t.Fatalf("shadow[%d]: sequential %#08b, parallel %#08b", i, want[0][i], got[0][i])
 		}
 	}
+}
+
+func TestUntrackedCounter(t *testing.T) {
+	Reset()
+	xs := Slice[int64](8, "xs")
+	junk := new(int64) // never registered
+	_ = *TraceR(&xs[0])
+	_ = *TraceR(junk)
+	*TraceW(junk) = 1
+	if got := Untracked(); got != 2 {
+		t.Errorf("untracked = %d, want 2", got)
+	}
+	// Scoped accesses to unregistered memory count too.
+	OnDevice(GPU, func(s *DeviceScope) { _ = *ScopeR(s, junk) })
+	if got := Untracked(); got != 3 {
+		t.Errorf("untracked after scope = %d, want 3", got)
+	}
+	Reset()
+	if got := Untracked(); got != 0 {
+		t.Errorf("untracked after Reset = %d, want 0", got)
+	}
+}
+
+func TestEnableHeatmap(t *testing.T) {
+	Reset()
+	hm := EnableHeatmap()
+	xs := Slice[int64](8, "xs")
+	_ = *TraceR(&xs[2])
+	_ = *TraceR(&xs[2])
+	_ = *TraceR(&xs[2])
+	OnDevice(GPU, func(s *DeviceScope) { *ScopeW(s, &xs[2]) = 7 })
+	Flush()
+	heats := hm.Heats()
+	if len(heats) != 1 {
+		t.Fatalf("heats = %d, want 1", len(heats))
+	}
+	h := heats[0]
+	if h.Label() != "xs" {
+		t.Errorf("label = %q", h.Label())
+	}
+	// xs[2] is one int64 = words 4 and 5; 3 CPU reads + 1 GPU write each.
+	if h.Counts[CPU][4] != 3 || h.Counts[CPU][5] != 3 {
+		t.Errorf("CPU counts = %v", h.Counts[CPU])
+	}
+	if h.Counts[GPU][4] != 1 || h.Counts[GPU][5] != 1 {
+		t.Errorf("GPU counts = %v", h.Counts[GPU])
+	}
+	if h.Totals[CPU] != 6 || h.Totals[GPU] != 2 {
+		t.Errorf("totals = %v", h.Totals)
+	}
+	Report()
 }
