@@ -11,22 +11,28 @@
 //
 // The final diagnostic (summaries, access maps for -maps, a per-word
 // access-frequency heat map for -heatmap, anti-pattern findings with
-// remedies) is printed to stdout.
+// remedies) is printed to stdout. -timeline exports the run's simulated
+// event timeline as Chrome trace-format JSON (loadable in Perfetto or
+// chrome://tracing); -fail-on makes the exit status reflect selected
+// finding kinds, for CI gates.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"xplacer/internal/advisor"
 	"xplacer/internal/apps/lulesh"
 	"xplacer/internal/apps/rodinia"
 	"xplacer/internal/apps/sw"
 	"xplacer/internal/core"
+	"xplacer/internal/detect"
 	"xplacer/internal/diag"
 	"xplacer/internal/machine"
 	"xplacer/internal/record"
+	"xplacer/internal/timeline"
 )
 
 func main() {
@@ -48,10 +54,24 @@ func main() {
 		maps      = flag.String("maps", "", "also print access maps for this allocation label")
 		heatmap   = flag.Bool("heatmap", false, "record per-word access frequencies and include the heat map in the final report")
 		advise    = flag.Bool("advise", false, "derive placement recommendations from the final report")
-		profile   = flag.Bool("profile", false, "print the per-kernel profile (faults, migrations, stalls)")
+		profile   = flag.Bool("profile", false, "print the simulated-time breakdown and per-kernel profile")
+		timelineF = flag.String("timeline", "", "export the event timeline as Chrome trace JSON to this file (view in Perfetto)")
+		failOn    = flag.String("fail-on", "", "comma-separated finding kinds that make the exit status non-zero (e.g. alternating-cpu-gpu-access,unused-allocation)")
+		hmEpoch   = flag.Duration("heatmap-epoch", 0, "with -heatmap: close a heat-map epoch every interval of simulated time (e.g. 100us)")
 		seed      = flag.Int64("seed", 1, "input seed")
 	)
 	flag.Parse()
+
+	var failKinds []detect.Kind
+	if *failOn != "" {
+		for _, name := range strings.Split(*failOn, ",") {
+			k, err := detect.KindByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			failKinds = append(failKinds, k)
+		}
+	}
 
 	plat, err := machine.ByName(*platName)
 	if err != nil {
@@ -69,6 +89,10 @@ func main() {
 		// Observe access frequencies against the tracer's table; the sink
 		// sees every batch the recording engine drains from here on.
 		hm = record.NewHeatmapSink(s.Tracer.Table())
+		if *hmEpoch > 0 {
+			every := machine.Duration(hmEpoch.Nanoseconds()) * machine.Nanosecond
+			hm.RotateOnClock(every, s.Ctx.Now)
+		}
 		s.Tracer.AddSink(hm)
 	}
 
@@ -176,9 +200,42 @@ func main() {
 		advisor.Render(os.Stdout, recs)
 	}
 	if *profile {
+		timeline.Summarize(s.Ctx.Timeline().Events()).Text(os.Stdout, plat)
 		s.Ctx.WriteKernelProfile(os.Stdout, *csv)
 	}
+	if *timelineF != "" {
+		f, err := os.Create(*timelineF)
+		if err != nil {
+			fatal(err)
+		}
+		meta := map[string]string{"app": *app, "platform": plat.Name}
+		if err := timeline.WriteChromeTrace(f, s.Ctx.Timeline().Events(), meta); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline: %d events written to %s\n", s.Ctx.Timeline().Len(), *timelineF)
+	}
 	fmt.Printf("simulated time on %s: %v\n", plat.Name, s.SimTime())
+
+	if len(failKinds) > 0 {
+		matched := 0
+		for _, r := range s.Reports() {
+			for _, f := range r.Findings {
+				for _, k := range failKinds {
+					if f.Kind == k {
+						matched++
+					}
+				}
+			}
+		}
+		if matched > 0 {
+			fmt.Fprintf(os.Stderr, "xplacer: %d finding(s) matched -fail-on %s\n", matched, *failOn)
+			os.Exit(2)
+		}
+	}
 }
 
 func fatal(err error) {

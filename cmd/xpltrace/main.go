@@ -1,0 +1,47 @@
+// Command xpltrace validates and summarizes Chrome trace-format timelines
+// exported by xplacer -timeline: the JSON must parse, event timestamps
+// must be monotonically ordered, and spans within one track must be
+// properly nested. The exit status is non-zero for an invalid trace, so
+// CI can gate on "the exported timeline is loadable".
+//
+// Usage:
+//
+//	xpltrace -check out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xplacer/internal/timeline"
+)
+
+func main() {
+	check := flag.String("check", "", "trace file to validate")
+	requireOverlap := flag.Bool("require-overlap", false, "also fail unless spans on different tracks overlap (async copy hidden behind compute)")
+	flag.Parse()
+
+	if *check == "" {
+		fmt.Fprintln(os.Stderr, "xpltrace: -check FILE is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*check)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := timeline.CheckChromeTrace(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: valid trace: %d spans, %d instants, %d tracks, cross-track overlap: %t\n",
+		*check, res.Spans, res.Instants, res.Tracks, res.Overlap)
+	if *requireOverlap && !res.Overlap {
+		fatal(fmt.Errorf("%s: no cross-track overlap found (expected async copies to overlap compute)", *check))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpltrace:", err)
+	os.Exit(1)
+}

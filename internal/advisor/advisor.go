@@ -21,6 +21,7 @@ package advisor
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"xplacer/internal/cuda"
 	"xplacer/internal/diag"
@@ -108,19 +109,19 @@ func recommendOne(s diag.AllocSummary, opt Options) *Recommendation {
 		if opt.HardwareCoherent {
 			return &Recommendation{
 				Alloc:   s.Label,
-				AllocID: findAllocID(s),
+				AllocID: s.AllocID,
 				Actions: []Action{
 					{Advice: um.AdviseSetAccessedBy, Device: machine.GPU},
 					{Advice: um.AdviseSetAccessedBy, Device: machine.CPU},
 				},
-				Rationale: "alternating accesses with few writes; on a hardware-coherent link ReadMostly costs more than it saves (paper: 0.8x), so keep both mappings instead",
+				Rationale: "alternating accesses with few writes; on a hardware-coherent link ReadMostly costs more than it saves (paper: 0.8x), so keep both mappings instead" + citeKernels(s.Kernels),
 			}
 		}
 		return &Recommendation{
 			Alloc:     s.Label,
-			AllocID:   findAllocID(s),
+			AllocID:   s.AllocID,
 			Actions:   []Action{{Advice: um.AdviseSetReadMostly, Device: machine.CPU}},
-			Rationale: fmt.Sprintf("accessed by both processors, mostly read (CPU writes %d%%, GPU writes %d%% of touched words): read-duplicate instead of ping-ponging", cpuW, gpuW),
+			Rationale: fmt.Sprintf("accessed by both processors, mostly read (CPU writes %d%%, GPU writes %d%% of touched words): read-duplicate instead of ping-ponging%s", cpuW, gpuW, citeKernels(s.Kernels)),
 		}
 	}
 
@@ -132,19 +133,35 @@ func recommendOne(s diag.AllocSummary, opt Options) *Recommendation {
 	}
 	return &Recommendation{
 		Alloc:   s.Label,
-		AllocID: findAllocID(s),
+		AllocID: s.AllocID,
 		Actions: []Action{
 			{Advice: um.AdviseSetPreferredLocation, Device: writer},
 			{Advice: um.AdviseSetAccessedBy, Device: reader},
 		},
-		Rationale: fmt.Sprintf("alternating accesses dominated by %s writes: pin there, map the %s to avoid fault-driven migration", writer, reader),
+		Rationale: fmt.Sprintf("alternating accesses dominated by %s writes: pin there, map the %s to avoid fault-driven migration%s", writer, reader, citeKernels(s.Kernels)),
 	}
 }
 
-// findAllocID is a placeholder for summaries that do not carry the id
-// (diag.AllocSummary has no AllocID field; label-based application covers
-// the common path).
-func findAllocID(diag.AllocSummary) int { return -1 }
+// citeKernels renders a summary's kernel-span attribution (filled in by
+// diag.Attribute) as a rationale suffix, so recommendations point at the
+// launches whose access pattern motivated them.
+func citeKernels(kernels []string) string {
+	if len(kernels) == 0 {
+		return ""
+	}
+	const maxShown = 3
+	shown := kernels
+	extra := 0
+	if len(shown) > maxShown {
+		extra = len(shown) - maxShown
+		shown = shown[:maxShown]
+	}
+	s := " [seen in " + strings.Join(shown, ", ")
+	if extra > 0 {
+		s += fmt.Sprintf(", +%d more", extra)
+	}
+	return s + "]"
+}
 
 // Apply issues the advised calls on a live context by allocation label.
 // It returns the number of allocations advised.

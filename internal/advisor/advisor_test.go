@@ -215,3 +215,49 @@ func TestRender(t *testing.T) {
 		t.Errorf("render = %q", sb.String())
 	}
 }
+
+func TestApplyByLabelSkipsFreed(t *testing.T) {
+	s := core.MustSession(machine.IntelPascal())
+	a, err := s.Ctx.MallocManaged(64, "tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ctx.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Recommendation{{Alloc: "tmp", Actions: []Action{{Advice: um.AdviseSetReadMostly}}}}
+	n, err := ApplyByLabel(s.Ctx, recs)
+	if err != nil || n != 0 {
+		t.Errorf("freed allocation advised: n=%d err=%v", n, err)
+	}
+}
+
+func TestRecommendationCarriesAllocID(t *testing.T) {
+	plat := machine.IntelPascal()
+	rep, s := analyze(t, plat)
+	recs := Recommend(rep, DefaultOptions(plat))
+	if len(recs) != 1 {
+		t.Fatalf("recs = %v", recs)
+	}
+	var want int = -2
+	for _, a := range s.Ctx.Space().Live() {
+		if a.Label == "table" {
+			want = a.ID
+		}
+	}
+	if recs[0].AllocID != want {
+		t.Errorf("AllocID = %d, want %d", recs[0].AllocID, want)
+	}
+}
+
+func TestRecommendationCitesKernels(t *testing.T) {
+	plat := machine.IntelPascal()
+	rep, _ := analyze(t, plat)
+	recs := Recommend(rep, DefaultOptions(plat))
+	if len(recs) != 1 {
+		t.Fatalf("recs = %v", recs)
+	}
+	if !strings.Contains(recs[0].Rationale, "seen in crunch") {
+		t.Errorf("rationale does not cite the kernel span: %q", recs[0].Rationale)
+	}
+}

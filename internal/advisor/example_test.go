@@ -47,6 +47,6 @@ func Example() {
 	fmt.Printf("applied to %d allocation(s), err=%v\n", n, err)
 	// Output:
 	// 1 placement recommendation(s):
-	//   table: SetReadMostly(CPU) — accessed by both processors, mostly read (CPU writes 3%, GPU writes 0% of touched words): read-duplicate instead of ping-ponging
+	//   table: SetReadMostly(CPU) — accessed by both processors, mostly read (CPU writes 3%, GPU writes 0% of touched words): read-duplicate instead of ping-ponging [seen in kernel @ 2.074us, kernel @ 73.523us, kernel @ 144.971us, +1 more]
 	// applied to 1 allocation(s), err=<nil>
 }

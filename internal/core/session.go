@@ -29,6 +29,10 @@ type Session struct {
 	Opt detect.Options
 
 	reports []diag.Report
+	// intervalStart is the simulated time the current diagnostic interval
+	// began (the previous Diagnostic call, or 0): the window findings are
+	// attributed over.
+	intervalStart machine.Duration
 }
 
 // Config adjusts session construction.
@@ -119,19 +123,23 @@ func MustSession(plat *machine.Platform) *Session {
 func (s *Session) Instrumented() bool { return s.Tracer != nil }
 
 // Diagnostic is the #pragma xpl diagnostic analog: analyze the shadow
-// memory, write the Fig. 4-style report to w (pass nil to suppress
-// output), reset the interval state, and remember the report. On an
-// uninstrumented session it is a no-op returning an empty report.
+// memory, attribute the findings to the kernel spans of the interval,
+// write the Fig. 4-style report to w (pass nil to suppress output), reset
+// the interval state, and remember the report. On an uninstrumented
+// session it is a no-op returning an empty report.
 func (s *Session) Diagnostic(w io.Writer, title string) diag.Report {
 	if s.Tracer == nil {
 		return diag.Report{Title: title}
 	}
+	s.Ctx.MarkDiagnostic(title)
 	r := diag.Analyze(s.Tracer, title, s.Opt)
+	diag.Attribute(&r, s.Ctx.Timeline(), s.intervalStart, s.Ctx.Now())
 	if w != nil {
 		r.Text(w)
 	}
 	s.Tracer.Table().Reset()
 	s.reports = append(s.reports, r)
+	s.intervalStart = s.Ctx.Now()
 	return r
 }
 

@@ -7,6 +7,14 @@
 // kernel launches. A Tracer registered on the Context observes every
 // allocation, access, transfer, and launch — exactly the hook points the
 // paper's instrumentation inserts.
+//
+// All simulated-time state lives in the context's timeline (see
+// internal/timeline): the host clock and per-stream completion times are
+// owned by timeline.Clock, and every runtime operation — kernel launch,
+// memcpy, prefetch, sync, allocation — is emitted as a typed, timestamped
+// event. Per-element accesses never emit events: kernel accesses
+// aggregate into the kernel's span, host accesses into a host-phase
+// window flushed at the next runtime operation.
 package cuda
 
 import (
@@ -15,6 +23,7 @@ import (
 
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/timeline"
 	"xplacer/internal/um"
 )
 
@@ -39,19 +48,23 @@ type Tracer interface {
 // Stream orders asynchronous work. Operations issued on the same stream
 // execute in order; different streams may overlap — the mechanism the
 // optimized Pathfinder uses to hide transfers behind compute (Fig. 11).
+// A stream's completion time is a track of the context's timeline clock.
 type Stream struct {
-	ctx   *Context
-	id    int
-	avail machine.Duration // simulated time at which the stream is idle
+	ctx *Context
+	id  int
 }
 
 // ID returns the stream's context-unique id (0 is the default stream).
 func (s *Stream) ID() int { return s.id }
 
+// avail returns the simulated time at which the stream is idle.
+func (s *Stream) avail() machine.Duration { return s.ctx.tl.Clock().TrackAvail(s.id) }
+
 // KernelRecord is the per-launch profile the kernel-launch wrapper
 // collects — the paper's §III-B use case of recording "the number of page
 // faults ... before and after the launch of a CUDA kernel" (CUPTI-style
-// counters, without needing CUPTI).
+// counters, without needing CUPTI). Records are a derived view over the
+// timeline's kernel-span events.
 type KernelRecord struct {
 	// Name is the launch label; Seq the global launch index.
 	Name string
@@ -71,20 +84,31 @@ type KernelRecord struct {
 	Stalled bool
 }
 
+// hostWindow aggregates host-side element accesses between two emission
+// points, so the per-access hot path stays event-free: one KindHostPhase
+// event per window instead of one event per access.
+type hostWindow struct {
+	active   bool
+	start    machine.Duration
+	accesses int64
+	faults   int
+	migBytes int64
+}
+
 // Context is one simulated process on one platform: an address space, a UM
-// driver, a host clock, and streams.
+// driver, a timeline (clock + events), and streams.
 type Context struct {
 	plat    *machine.Platform
 	space   *memsim.Space
 	drv     *um.Driver
 	tracer  Tracer
-	hostNow machine.Duration
+	tl      *timeline.Timeline
 	streams []*Stream
 	host    *Exec
 	kernels int64
+	hostWin hostWindow
 
-	profile  bool
-	profiled []KernelRecord
+	profile bool
 }
 
 // NewContext creates a fresh simulated process on the platform.
@@ -93,10 +117,14 @@ func NewContext(plat *machine.Platform) (*Context, error) {
 		return nil, err
 	}
 	space := memsim.NewSpace(plat.PageSize)
+	tl := timeline.New()
+	drv := um.NewDriver(plat, space)
+	drv.SetTimeline(tl)
 	ctx := &Context{
 		plat:  plat,
 		space: space,
-		drv:   um.NewDriver(plat, space),
+		drv:   drv,
+		tl:    tl,
 	}
 	ctx.streams = []*Stream{{ctx: ctx, id: 0}}
 	ctx.host = &Exec{ctx: ctx, dev: machine.CPU, host: true}
@@ -128,27 +156,52 @@ func (c *Context) Space() *memsim.Space { return c.space }
 // Driver returns the unified-memory driver (for statistics).
 func (c *Context) Driver() *um.Driver { return c.drv }
 
+// Timeline returns the context's event timeline.
+func (c *Context) Timeline() *timeline.Timeline { return c.tl }
+
 // Now returns the current simulated host time.
-func (c *Context) Now() machine.Duration { return c.hostNow }
+func (c *Context) Now() machine.Duration { return c.tl.Now() }
 
 // KernelCount returns the number of kernels launched so far.
 func (c *Context) KernelCount() int64 { return c.kernels }
 
-// SetProfiling enables (or disables) per-kernel profiling; records are
-// retrieved with KernelProfile.
+// SetProfiling enables (or disables) per-kernel profiling: kernel spans
+// launched while enabled are marked for the KernelProfile view.
 func (c *Context) SetProfiling(on bool) { c.profile = on }
 
 // KernelProfile returns the per-launch records collected while profiling
-// was enabled. The returned slice must not be modified.
-func (c *Context) KernelProfile() []KernelRecord { return c.profiled }
+// was enabled, derived from the timeline's kernel-span events. The
+// returned slice is a fresh copy; mutating it cannot affect runtime
+// state.
+func (c *Context) KernelProfile() []KernelRecord {
+	var out []KernelRecord
+	for _, ev := range c.tl.Kernels() {
+		if !ev.Profiled {
+			continue
+		}
+		out = append(out, KernelRecord{
+			Name:          ev.Name,
+			Seq:           ev.Index,
+			Stream:        ev.Track,
+			Start:         ev.Start,
+			Duration:      ev.Dur,
+			Faults:        ev.Faults,
+			MigratedBytes: ev.MigratedBytes,
+			PagesTouched:  ev.PagesTouched,
+			Stalled:       ev.Stalled,
+		})
+	}
+	return out
+}
 
 // WriteKernelProfile renders the collected records as a text table, or as
 // CSV when csv is set — the per-kernel fault counters the paper's
 // kernel-launch wrapper gathers (§III-B).
 func (c *Context) WriteKernelProfile(w io.Writer, csv bool) {
+	recs := c.KernelProfile()
 	if csv {
 		fmt.Fprintln(w, "seq,name,stream,start_ps,duration_ps,faults,migrated_bytes,pages_touched,stalled")
-		for _, r := range c.profiled {
+		for _, r := range recs {
 			fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%t\n",
 				r.Seq, r.Name, r.Stream, int64(r.Start), int64(r.Duration),
 				r.Faults, r.MigratedBytes, r.PagesTouched, r.Stalled)
@@ -157,7 +210,7 @@ func (c *Context) WriteKernelProfile(w io.Writer, csv bool) {
 	}
 	fmt.Fprintf(w, "%5s %-36s %3s %14s %14s %7s %10s %7s %7s\n",
 		"seq", "kernel", "str", "start", "duration", "faults", "migBytes", "pages", "stalled")
-	for _, r := range c.profiled {
+	for _, r := range recs {
 		fmt.Fprintf(w, "%5d %-36s %3d %14s %14s %7d %10d %7d %7t\n",
 			r.Seq, r.Name, r.Stream, r.Start, r.Duration,
 			r.Faults, r.MigratedBytes, r.PagesTouched, r.Stalled)
@@ -167,6 +220,56 @@ func (c *Context) WriteKernelProfile(w io.Writer, csv bool) {
 // Host returns the host execution context, through which CPU code performs
 // element accesses.
 func (c *Context) Host() *Exec { return c.host }
+
+// noteHostAccess folds one host access into the open host-phase window.
+func (c *Context) noteHostAccess(cost um.Cost) {
+	w := &c.hostWin
+	if !w.active {
+		w.active = true
+		w.start = c.tl.Now()
+	}
+	w.accesses++
+	w.faults += cost.Faults
+	w.migBytes += cost.MigratedBytes
+}
+
+// flushHostWindow emits the open host-phase window (if any) as one
+// aggregated event — the "per-drain emission" that keeps per-access work
+// off the timeline.
+func (c *Context) flushHostWindow() {
+	w := &c.hostWin
+	if !w.active {
+		return
+	}
+	c.tl.Emit(timeline.Event{
+		Kind:          timeline.KindHostPhase,
+		Name:          "host compute",
+		Track:         timeline.HostTrack,
+		Start:         w.start,
+		Dur:           c.tl.Now() - w.start,
+		Faults:        w.faults,
+		MigratedBytes: w.migBytes,
+		Accesses:      w.accesses,
+		AllocID:       -1,
+		Drv:           c.drv.Window().TimelineStats(),
+	})
+	*w = hostWindow{}
+}
+
+// MarkDiagnostic flushes the host-phase window and places a diagnostic
+// instant on the timeline — the event-spine side of a #pragma xpl
+// diagnostic point.
+func (c *Context) MarkDiagnostic(title string) {
+	c.flushHostWindow()
+	c.tl.Emit(timeline.Event{
+		Kind:    timeline.KindDiagnostic,
+		Name:    "diagnostic",
+		Track:   timeline.HostTrack,
+		Start:   c.tl.Now(),
+		AllocID: -1,
+		Detail:  title,
+	})
+}
 
 // MallocManaged allocates unified memory (cudaMallocManaged).
 func (c *Context) MallocManaged(size int64, label string) (*memsim.Alloc, error) {
@@ -193,9 +296,30 @@ func (c *Context) alloc(size int64, kind memsim.Kind, label string) (*memsim.All
 	if c.tracer != nil {
 		c.tracer.TraceAlloc(a)
 	}
+	c.flushHostWindow()
+	c.tl.Emit(timeline.Event{
+		Kind:    timeline.KindAlloc,
+		Name:    allocEventName(kind),
+		Track:   timeline.HostTrack,
+		Start:   c.tl.Now(),
+		Alloc:   a.Label,
+		AllocID: a.ID,
+		Bytes:   size,
+	})
 	// A small fixed driver cost per allocation.
-	c.hostNow += 2 * machine.Microsecond
+	c.tl.Clock().Advance(2 * machine.Microsecond)
 	return a, nil
+}
+
+func allocEventName(k memsim.Kind) string {
+	switch k {
+	case memsim.Managed:
+		return "mallocManaged"
+	case memsim.DeviceOnly:
+		return "malloc"
+	default:
+		return "hostAlloc"
+	}
 }
 
 // Free releases an allocation (cudaFree). The shadow memory of the tracer
@@ -205,33 +329,48 @@ func (c *Context) Free(a *memsim.Alloc) error {
 		c.tracer.TraceFree(a)
 	}
 	c.drv.Unregister(a)
-	c.hostNow += 1 * machine.Microsecond
+	c.flushHostWindow()
+	c.tl.Emit(timeline.Event{
+		Kind:    timeline.KindFree,
+		Name:    "free",
+		Track:   timeline.HostTrack,
+		Start:   c.tl.Now(),
+		Alloc:   a.Label,
+		AllocID: a.ID,
+		Bytes:   a.Size,
+	})
+	c.tl.Clock().Advance(1 * machine.Microsecond)
 	return c.space.Free(a)
 }
 
 // Advise applies memory advice to a whole allocation (cudaMemAdvise over
-// the full range).
+// the full range). The advice event itself is emitted by the UM driver.
 func (c *Context) Advise(a *memsim.Alloc, adv um.Advice, dev machine.Device) error {
-	c.hostNow += 1 * machine.Microsecond
+	c.flushHostWindow()
+	c.tl.Clock().Advance(1 * machine.Microsecond)
 	return c.drv.Advise(a, adv, dev)
 }
 
 // AdviseRange applies memory advice to [off, off+n) of an allocation, page
 // granular like the real cudaMemAdvise(ptr, size, ...).
 func (c *Context) AdviseRange(a *memsim.Alloc, off, n int64, adv um.Advice, dev machine.Device) error {
-	c.hostNow += 1 * machine.Microsecond
+	c.flushHostWindow()
+	c.tl.Clock().Advance(1 * machine.Microsecond)
 	return c.drv.AdviseRange(a, off, n, adv, dev)
 }
 
 // Prefetch synchronously moves a managed allocation to dev
-// (cudaMemPrefetchAsync + sync).
+// (cudaMemPrefetchAsync + sync). The prefetch span is emitted by the UM
+// driver.
 func (c *Context) Prefetch(a *memsim.Alloc, dev machine.Device) {
-	c.hostNow += c.drv.Prefetch(a, dev)
+	c.flushHostWindow()
+	c.tl.Clock().Advance(c.drv.Prefetch(a, dev))
 }
 
 // NewStream creates an additional stream.
 func (c *Context) NewStream() *Stream {
-	s := &Stream{ctx: c, id: len(c.streams)}
+	id := c.tl.Clock().NewTrack()
+	s := &Stream{ctx: c, id: id}
 	c.streams = append(c.streams, s)
 	return s
 }
@@ -255,8 +394,8 @@ func (c *Context) Record(ev *Event, s *Stream) {
 		s = c.streams[0]
 	}
 	ev.recorded = true
-	ev.when = maxDur(c.hostNow, s.avail)
-	c.hostNow += machine.Microsecond // issue overhead
+	ev.when = maxDur(c.tl.Now(), s.avail())
+	c.tl.Clock().Advance(machine.Microsecond) // issue overhead
 }
 
 // WaitEvent makes subsequent work on s wait until the event's recorded
@@ -266,18 +405,20 @@ func (c *Context) WaitEvent(s *Stream, ev *Event) {
 	if s == nil {
 		s = c.streams[0]
 	}
-	if ev.recorded && ev.when > s.avail {
-		s.avail = ev.when
+	if ev.recorded {
+		c.tl.Clock().DelayTrack(s.id, ev.when)
 	}
-	c.hostNow += machine.Microsecond
+	c.tl.Clock().Advance(machine.Microsecond)
 }
 
 // EventSynchronize blocks the host until the event's point has completed.
 func (c *Context) EventSynchronize(ev *Event) {
+	c.flushHostWindow()
 	if ev.recorded {
-		c.hostNow = maxDur(c.hostNow, ev.when)
+		c.tl.Clock().AdvanceTo(ev.when)
 	}
-	c.hostNow += c.plat.StreamSync
+	c.tl.Clock().Advance(c.plat.StreamSync)
+	c.emitSync("eventSynchronize")
 }
 
 // ElapsedTime returns the simulated time between two recorded events
@@ -292,21 +433,49 @@ func (c *Context) ElapsedTime(start, end *Event) machine.Duration {
 // DefaultStream returns stream 0.
 func (c *Context) DefaultStream() *Stream { return c.streams[0] }
 
+// emitTransfer places one explicit-memcpy span on the timeline.
+func (c *Context) emitTransfer(a *memsim.Alloc, dir um.TransferDir, track int, start, dur machine.Duration, n int64, async bool) {
+	name := "memcpyH2D"
+	if dir == um.DeviceToHost {
+		name = "memcpyD2H"
+	}
+	c.tl.Emit(timeline.Event{
+		Kind:    timeline.KindTransfer,
+		Name:    name,
+		Track:   track,
+		Start:   start,
+		Dur:     dur,
+		Alloc:   a.Label,
+		AllocID: a.ID,
+		Bytes:   n,
+		Async:   async,
+		Detail:  dir.String(),
+		Drv:     c.drv.Window().TimelineStats(),
+	})
+}
+
 // MemcpyH2D copies len(src) bytes from host memory into a device or
 // managed allocation at byte offset off, synchronously (cudaMemcpy
 // HostToDevice).
 func (c *Context) MemcpyH2D(dst *memsim.Alloc, off int64, src []byte) {
+	c.flushHostWindow()
 	c.memcpyH2D(dst, off, src)
-	c.hostNow += c.drv.Transfer(dst, um.HostToDevice, int64(len(src)))
+	n := int64(len(src))
+	dur := c.drv.Transfer(dst, um.HostToDevice, n)
+	start := c.tl.Now()
+	c.tl.Clock().Advance(dur)
+	c.emitTransfer(dst, um.HostToDevice, timeline.HostTrack, start, dur, n, false)
 }
 
 // MemcpyH2DAsync is MemcpyH2D queued on a stream; the host does not wait.
 func (c *Context) MemcpyH2DAsync(s *Stream, dst *memsim.Alloc, off int64, src []byte) {
+	c.flushHostWindow()
 	c.memcpyH2D(dst, off, src)
-	dur := c.drv.Transfer(dst, um.HostToDevice, int64(len(src)))
-	start := maxDur(c.hostNow, s.avail)
-	s.avail = start + dur
-	c.hostNow += machine.Microsecond // issue overhead
+	n := int64(len(src))
+	dur := c.drv.Transfer(dst, um.HostToDevice, n)
+	start := c.tl.Clock().Reserve(s.id, dur)
+	c.tl.Clock().Advance(machine.Microsecond) // issue overhead
+	c.emitTransfer(dst, um.HostToDevice, s.id, start, dur, n, true)
 }
 
 func (c *Context) memcpyH2D(dst *memsim.Alloc, off int64, src []byte) {
@@ -327,20 +496,26 @@ func (c *Context) MemcpyD2H(dst []byte, src *memsim.Alloc, off int64) {
 	if off < 0 || off+n > src.Size {
 		panic(fmt.Sprintf("cuda: MemcpyD2H [%d,%d) out of bounds of %s", off, off+n, src))
 	}
+	c.flushHostWindow()
 	// A synchronous D2H waits for outstanding device work first.
-	c.deviceSync()
+	c.tl.Clock().WaitAll()
 	copy(dst, src.Data()[off:off+n])
 	if c.tracer != nil {
 		c.tracer.TraceTransfer(src, um.DeviceToHost, off, n)
 	}
-	c.hostNow += c.drv.Transfer(src, um.DeviceToHost, n)
+	dur := c.drv.Transfer(src, um.DeviceToHost, n)
+	start := c.tl.Now()
+	c.tl.Clock().Advance(dur)
+	c.emitTransfer(src, um.DeviceToHost, timeline.HostTrack, start, dur, n, false)
 }
 
 // Launch runs a kernel on a stream. The body executes immediately (the
 // simulation is sequential) but its simulated duration is placed on the
 // stream's timeline: launch overhead + aggregate local access time divided
 // by GPU parallelism + remote access time divided by link concurrency +
-// serial driver time (faults, migrations).
+// serial driver time (faults, migrations). The launch emits one
+// kernel-span event carrying the aggregated per-kernel costs and the set
+// of allocations the kernel touched.
 func (c *Context) Launch(s *Stream, name string, body func(e *Exec)) {
 	if s == nil {
 		s = c.streams[0]
@@ -348,26 +523,29 @@ func (c *Context) Launch(s *Stream, name string, body func(e *Exec)) {
 	if c.tracer != nil {
 		c.tracer.TraceKernelLaunch(name)
 	}
+	c.flushHostWindow()
 	c.kernels++
 	e := &Exec{ctx: c, dev: machine.GPU}
 	body(e)
 	dur := c.plat.KernelLaunch + e.kernelDuration(c.plat)
-	start := maxDur(c.hostNow, s.avail)
-	s.avail = start + dur
-	c.hostNow += machine.Microsecond // async launch issue overhead
-	if c.profile {
-		c.profiled = append(c.profiled, KernelRecord{
-			Name:          name,
-			Seq:           c.kernels - 1,
-			Stream:        s.id,
-			Start:         start,
-			Duration:      dur,
-			Faults:        e.faults,
-			MigratedBytes: e.migBytes,
-			PagesTouched:  e.pageCount,
-			Stalled:       e.faults > 0 && c.plat.FaultStallPct > 0,
-		})
-	}
+	start := c.tl.Clock().Reserve(s.id, dur)
+	c.tl.Clock().Advance(machine.Microsecond) // async launch issue overhead
+	c.tl.Emit(timeline.Event{
+		Kind:          timeline.KindKernel,
+		Name:          name,
+		Track:         s.id,
+		Start:         start,
+		Dur:           dur,
+		Index:         c.kernels - 1,
+		Faults:        e.faults,
+		MigratedBytes: e.migBytes,
+		PagesTouched:  e.pageCount,
+		Stalled:       e.faults > 0 && c.plat.FaultStallPct > 0,
+		Profiled:      c.profile,
+		Allocs:        e.touchedAllocs(),
+		AllocID:       -1,
+		Drv:           c.drv.Window().TimelineStats(),
+	})
 }
 
 // LaunchSync is Launch followed by Synchronize, for the common pattern of
@@ -377,22 +555,32 @@ func (c *Context) LaunchSync(name string, body func(e *Exec)) {
 	c.Synchronize()
 }
 
+// emitSync places a host synchronization instant on the timeline.
+func (c *Context) emitSync(name string) {
+	c.tl.Emit(timeline.Event{
+		Kind:    timeline.KindSync,
+		Name:    name,
+		Track:   timeline.HostTrack,
+		Start:   c.tl.Now(),
+		AllocID: -1,
+	})
+}
+
 // StreamSynchronize blocks the host until the stream is idle.
 func (c *Context) StreamSynchronize(s *Stream) {
-	c.hostNow = maxDur(c.hostNow, s.avail) + c.plat.StreamSync
+	c.flushHostWindow()
+	c.tl.Clock().WaitTrack(s.id)
+	c.tl.Clock().Advance(c.plat.StreamSync)
+	c.emitSync("streamSynchronize")
 }
 
 // Synchronize blocks the host until all streams are idle
 // (cudaDeviceSynchronize).
 func (c *Context) Synchronize() {
-	c.deviceSync()
-	c.hostNow += c.plat.StreamSync
-}
-
-func (c *Context) deviceSync() {
-	for _, s := range c.streams {
-		c.hostNow = maxDur(c.hostNow, s.avail)
-	}
+	c.flushHostWindow()
+	c.tl.Clock().WaitAll()
+	c.tl.Clock().Advance(c.plat.StreamSync)
+	c.emitSync("deviceSynchronize")
 }
 
 // Exec is an execution context: host code or one kernel. Views perform
@@ -436,8 +624,10 @@ func (e *Exec) Access(a *memsim.Alloc, addr memsim.Addr, size int64, kind memsim
 	cost := e.ctx.drv.Access(e.dev, a, addr, size, kind)
 	if e.host {
 		// Host code advances the host clock directly; every cost component
-		// serializes (host faults are serviced one at a time).
-		e.ctx.hostNow += cost.HostTime(e.ctx.plat)
+		// serializes (host faults are serviced one at a time). The access
+		// aggregates into the open host-phase window — no per-access event.
+		e.ctx.noteHostAccess(cost)
+		e.ctx.tl.Clock().Advance(cost.HostTime(e.ctx.plat))
 		return
 	}
 	e.local += cost.Local
@@ -497,11 +687,26 @@ func (e *Exec) notePage(allocID int, addr memsim.Addr) {
 	}
 }
 
+// touchedAllocs returns the IDs of the allocations this kernel accessed,
+// derived from the per-allocation last-page cache — the per-kernel
+// aggregate that lets diagnostics attribute findings to kernel spans
+// without any per-access bookkeeping beyond what the page-cost model
+// already pays.
+func (e *Exec) touchedAllocs() []int {
+	var out []int
+	for id, pg := range e.lastPage {
+		if pg != 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Work charges d of pure compute time (arithmetic between memory accesses).
 // For kernels it is divided by the GPU parallelism like local access time.
 func (e *Exec) Work(d machine.Duration) {
 	if e.host {
-		e.ctx.hostNow += d
+		e.ctx.tl.Clock().Advance(d)
 		return
 	}
 	e.work += d

@@ -5,6 +5,7 @@ import (
 
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/timeline"
 	"xplacer/internal/um"
 )
 
@@ -352,9 +353,9 @@ func TestWaitEventUnrecordedIsNoop(t *testing.T) {
 	ctx := MustContext(testPlat())
 	s := ctx.NewStream()
 	ev := ctx.NewEvent()
-	before := s.avail
+	before := s.avail()
 	ctx.WaitEvent(s, ev)
-	if s.avail != before {
+	if s.avail() != before {
 		t.Error("waiting on an unrecorded event changed the stream")
 	}
 	if ctx.ElapsedTime(ev, ev) != 0 {
@@ -441,5 +442,86 @@ func TestGPUL2CapacityBound(t *testing.T) {
 	diff := float64(t1-t2) / float64(t2)
 	if diff > 0.05 || diff < -0.05 {
 		t.Errorf("oversized working set changed by %.1f%% with tiny L2", diff*100)
+	}
+}
+
+func TestKernelProfileReturnsCopy(t *testing.T) {
+	ctx := MustContext(testPlat())
+	ctx.SetProfiling(true)
+	a, _ := ctx.MallocManaged(64, "a")
+	v := memsim.Float64s(a)
+	ctx.LaunchSync("k0", func(e *Exec) { v.Store(e, 0, 1) })
+	ctx.LaunchSync("k1", func(e *Exec) { v.Store(e, 0, 2) })
+
+	recs := ctx.KernelProfile()
+	if len(recs) != 2 {
+		t.Fatalf("profile has %d records, want 2", len(recs))
+	}
+	// Mutating the returned slice must not affect later calls.
+	recs[0].Name = "clobbered"
+	recs = recs[:0]
+	again := ctx.KernelProfile()
+	if len(again) != 2 || again[0].Name != "k0" || again[1].Name != "k1" {
+		t.Fatalf("profile aliased internal state: %+v", again)
+	}
+}
+
+func TestTimelineEvents(t *testing.T) {
+	ctx := MustContext(testPlat())
+	a, _ := ctx.MallocManaged(8*1024, "a")
+	v := memsim.Float64s(a)
+	v.Store(ctx.Host(), 0, 1) // host access: aggregates into a window
+	ctx.LaunchSync("k", func(e *Exec) {
+		for i := int64(0); i < v.Len(); i++ {
+			v.Store(e, i, float64(i))
+		}
+	})
+
+	var kinds []timeline.Kind
+	for _, ev := range ctx.Timeline().Events() {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := map[timeline.Kind]bool{
+		timeline.KindAlloc:     false,
+		timeline.KindHostPhase: false,
+		timeline.KindKernel:    false,
+		timeline.KindSync:      false,
+	}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("no %v event emitted (stream: %v)", k, kinds)
+		}
+	}
+
+	// The kernel span carries the touched allocation and the fault window.
+	kernels := ctx.Timeline().Kernels()
+	if len(kernels) != 1 {
+		t.Fatalf("kernel events: %d", len(kernels))
+	}
+	k := kernels[0]
+	if len(k.Allocs) != 1 || k.Allocs[0] != a.ID {
+		t.Errorf("kernel Allocs = %v, want [%d]", k.Allocs, a.ID)
+	}
+	if k.Faults == 0 || k.Drv.FaultsGPU == 0 {
+		t.Errorf("kernel faults not aggregated: faults=%d drv=%+v", k.Faults, k.Drv)
+	}
+	// The host window before the kernel owns the CPU fault.
+	var host *timeline.Event
+	for _, ev := range ctx.Timeline().Events() {
+		if ev.Kind == timeline.KindHostPhase {
+			host = &ev
+			break
+		}
+	}
+	if host.Accesses != 1 || host.Dur <= 0 {
+		t.Errorf("host window = %+v", host)
+	}
+	if host.End() > k.Start {
+		t.Errorf("host window [%v,%v] not before kernel start %v", host.Start, host.End(), k.Start)
 	}
 }

@@ -55,6 +55,18 @@ func (k Kind) String() string {
 	}
 }
 
+// KindByName parses a finding-kind name as printed by Kind.String (e.g.
+// "alternating-cpu-gpu-access") — the format the -fail-on flag accepts.
+func KindByName(name string) (Kind, error) {
+	for k := AlternatingAccess; k <= UnusedAllocation; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("detect: unknown finding kind %q (want one of %s, %s, %s, %s, %s)",
+		name, AlternatingAccess, LowAccessDensity, UnnecessaryTransferIn, UnnecessaryTransferOut, UnusedAllocation)
+}
+
 // Remedy returns the paper's suggested remedies for the anti-pattern
 // (§III-A "Possible remedies").
 func (k Kind) Remedy() string {
@@ -100,6 +112,10 @@ type Finding struct {
 	Blocks []Block
 	// Detail is a human-readable explanation.
 	Detail string
+	// Kernels names the kernel span(s) whose accesses fall in the
+	// diagnostic interval and touched the allocation — filled in by
+	// diag.Attribute from the timeline, empty when no attribution ran.
+	Kernels []string
 }
 
 func (f Finding) String() string {

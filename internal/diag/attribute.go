@@ -1,0 +1,74 @@
+package diag
+
+import (
+	"fmt"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/timeline"
+)
+
+// Timeline attribution: findings name the kernel span(s) whose accesses
+// fall inside the diagnostic interval and touched the offending
+// allocation, so a report line reads "alternating access on `graph`
+// during bfs_kernel_2 @ 1.2ms" instead of leaving the reader to guess
+// which launch caused it.
+
+// kernelRef renders one kernel span as a stable human-readable reference.
+func kernelRef(ev *timeline.Event) string {
+	return fmt.Sprintf("%s @ %v", ev.Name, ev.Start)
+}
+
+// Attribute fills in the Kernels field of every allocation summary and
+// finding of r from the timeline: the kernel spans overlapping the
+// diagnostic interval [from, to] that touched the allocation. Reports
+// without a matching allocation (or intervals with no kernel activity on
+// it) are left empty.
+func Attribute(r *Report, tl *timeline.Timeline, from, to machine.Duration) {
+	if tl == nil {
+		return
+	}
+	cache := map[int][]string{}
+	refs := func(allocID int) []string {
+		if allocID < 0 {
+			return nil
+		}
+		if got, ok := cache[allocID]; ok {
+			return got
+		}
+		var out []string
+		for _, ev := range tl.KernelsTouching(allocID, from, to) {
+			out = append(out, kernelRef(&ev))
+		}
+		cache[allocID] = out
+		return out
+	}
+	for i := range r.Allocs {
+		r.Allocs[i].Kernels = refs(r.Allocs[i].AllocID)
+	}
+	for i := range r.Findings {
+		r.Findings[i].Kernels = refs(r.Findings[i].AllocID)
+	}
+}
+
+// kernelList renders an attribution list for report text, capping the
+// rendered refs so iteration-heavy runs stay readable.
+func kernelList(kernels []string) string {
+	const maxShown = 4
+	shown := kernels
+	extra := 0
+	if len(shown) > maxShown {
+		extra = len(shown) - maxShown
+		shown = shown[:maxShown]
+	}
+	s := ""
+	for i, k := range shown {
+		if i > 0 {
+			s += ", "
+		}
+		s += k
+	}
+	if extra > 0 {
+		s += fmt.Sprintf(", +%d more", extra)
+	}
+	return s
+}

@@ -23,8 +23,10 @@ import (
 
 // AllocSummary is the Fig. 4 summary line set for one allocation.
 type AllocSummary struct {
-	// Label names the allocation (XplAllocData expansion).
-	Label string
+	// Label names the allocation (XplAllocData expansion); AllocID is the
+	// space-unique allocation id it summarizes.
+	Label   string
+	AllocID int
 	// Kind is the allocation family; Words the traced word count.
 	Kind  memsim.Kind
 	Words int
@@ -42,12 +44,16 @@ type AllocSummary struct {
 	Alternating int
 	// TransferredIn / TransferredOut are explicit memcpy byte counts.
 	TransferredIn, TransferredOut int64
+	// Kernels names the kernel spans of the diagnostic interval that
+	// touched this allocation (filled in by Attribute).
+	Kernels []string
 }
 
 // Summarize computes the summary of one shadow entry.
 func Summarize(e *shadow.Entry) AllocSummary {
 	s := AllocSummary{
 		Label:          e.Label,
+		AllocID:        e.AllocID,
 		Kind:           e.Kind,
 		Words:          e.Words(),
 		Freed:          e.Freed,
@@ -143,6 +149,9 @@ func (s *AllocSummary) Text(w io.Writer) {
 	if s.TransferredIn > 0 || s.TransferredOut > 0 {
 		fmt.Fprintf(w, "explicit transfers: %d bytes in, %d bytes out\n", s.TransferredIn, s.TransferredOut)
 	}
+	if len(s.Kernels) > 0 {
+		fmt.Fprintf(w, "touched by: %s\n", kernelList(s.Kernels))
+	}
 	fmt.Fprintln(w)
 }
 
@@ -158,7 +167,11 @@ func (r *Report) Text(w io.Writer) {
 	if len(r.Findings) > 0 {
 		fmt.Fprintf(w, "--- %d anti-pattern finding(s) ---\n", len(r.Findings))
 		for _, f := range r.Findings {
-			fmt.Fprintf(w, "%s\n    remedy: %s\n", f, f.Kind.Remedy())
+			fmt.Fprintf(w, "%s\n", f)
+			if len(f.Kernels) > 0 {
+				fmt.Fprintf(w, "    during: %s\n", kernelList(f.Kernels))
+			}
+			fmt.Fprintf(w, "    remedy: %s\n", f.Kind.Remedy())
 		}
 	}
 	if r.Heatmap != nil {

@@ -31,10 +31,12 @@ type HeatAlloc struct {
 
 // HeatEpoch is one closed epoch's per-allocation totals.
 type HeatEpoch struct {
-	Epoch       int    `json:"epoch"`
-	Label       string `json:"label"`
-	CPUAccesses uint64 `json:"cpuAccesses"`
-	GPUAccesses uint64 `json:"gpuAccesses"`
+	Epoch int    `json:"epoch"`
+	Label string `json:"label"`
+	// At is the simulated time the epoch started (clock-rotated sinks).
+	At          machine.Duration `json:"atPs,omitempty"`
+	CPUAccesses uint64           `json:"cpuAccesses"`
+	GPUAccesses uint64           `json:"gpuAccesses"`
 }
 
 // HeatmapSummary is the report form of a record.HeatmapSink: the current
@@ -78,6 +80,7 @@ func SummarizeHeatmap(h *record.HeatmapSink, width int) *HeatmapSummary {
 			sum.History = append(sum.History, HeatEpoch{
 				Epoch:       ep.Epoch,
 				Label:       a.Label,
+				At:          ep.At,
 				CPUAccesses: ep.Total[machine.CPU],
 				GPUAccesses: ep.Total[machine.GPU],
 			})
@@ -145,7 +148,11 @@ func (s *HeatmapSummary) Text(w io.Writer) {
 	if len(s.History) > 0 {
 		fmt.Fprintf(w, "closed epochs:\n")
 		for _, ep := range s.History {
-			fmt.Fprintf(w, "  epoch %d %s: %d CPU / %d GPU word accesses\n", ep.Epoch, ep.Label, ep.CPUAccesses, ep.GPUAccesses)
+			at := ""
+			if ep.At > 0 {
+				at = fmt.Sprintf(" (from %v)", ep.At)
+			}
+			fmt.Fprintf(w, "  epoch %d %s%s: %d CPU / %d GPU word accesses\n", ep.Epoch, ep.Label, at, ep.CPUAccesses, ep.GPUAccesses)
 		}
 	}
 	fmt.Fprintln(w)

@@ -33,6 +33,8 @@ type jsonAlloc struct {
 	Alternating    int    `json:"alternating"`
 	TransferredIn  int64  `json:"bytesIn,omitempty"`
 	TransferredOut int64  `json:"bytesOut,omitempty"`
+
+	Kernels []string `json:"kernels,omitempty"`
 }
 
 type jsonFinding struct {
@@ -43,6 +45,7 @@ type jsonFinding struct {
 	Blocks     []detect.Block `json:"blocks,omitempty"`
 	Detail     string         `json:"detail"`
 	Remedy     string         `json:"remedy"`
+	Kernels    []string       `json:"kernels,omitempty"`
 }
 
 // JSON writes the report as indented JSON.
@@ -65,6 +68,7 @@ func (r *Report) JSON(w io.Writer) error {
 			Alternating:    s.Alternating,
 			TransferredIn:  s.TransferredIn,
 			TransferredOut: s.TransferredOut,
+			Kernels:        s.Kernels,
 		})
 	}
 	for _, f := range r.Findings {
@@ -76,6 +80,7 @@ func (r *Report) JSON(w io.Writer) error {
 			Blocks:     f.Blocks,
 			Detail:     f.Detail,
 			Remedy:     f.Kind.Remedy(),
+			Kernels:    f.Kernels,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -21,12 +21,24 @@ import (
 // semantics of the shadow memory. Apply runs under the engine lock;
 // Heats and Rotate must be called with recording quiescent or inside
 // Engine.Locked.
+// Epochs close either explicitly (Rotate, typically at diagnostic
+// boundaries) or on the simulated clock (RotateOnClock): with a rotation
+// interval configured, Apply checks the clock and closes an epoch whenever
+// the simulated time crosses an interval boundary, yielding
+// simulated-time-bucketed heat history that lines up with the exported
+// timeline.
 type HeatmapSink struct {
 	table *shadow.Table
 	last  *shadow.Entry // find cache, independent of the engine cursor
 	heats map[*shadow.Entry]*Heat
 	order []*Heat
 	epoch int
+
+	// Clock-driven rotation state (RotateOnClock).
+	every     machine.Duration
+	now       func() machine.Duration
+	nextTick  machine.Duration
+	epochFrom machine.Duration
 }
 
 // Heat is one allocation's access-frequency state: per-word counts for
@@ -49,6 +61,9 @@ type Heat struct {
 // EpochTotals is one closed epoch's per-device access total.
 type EpochTotals struct {
 	Epoch int
+	// At is the simulated time the epoch started, when the sink rotates on
+	// the clock (0 for manually rotated epochs without a clock).
+	At    machine.Duration
 	Total [machine.NumDevices]uint64
 }
 
@@ -61,8 +76,35 @@ func NewHeatmapSink(t *shadow.Table) *HeatmapSink {
 	return &HeatmapSink{table: t, heats: map[*shadow.Entry]*Heat{}}
 }
 
+// RotateOnClock makes the sink close an epoch every time the simulated
+// clock crosses an interval boundary. now is sampled at Apply time (once
+// per drained batch, off the per-access path); it must be safe to call
+// from wherever the engine drains — with the sequential simulated
+// runtime, that is the simulation goroutine.
+func (h *HeatmapSink) RotateOnClock(every machine.Duration, now func() machine.Duration) {
+	if every <= 0 || now == nil {
+		h.every, h.now = 0, nil
+		return
+	}
+	h.every = every
+	h.now = now
+	h.epochFrom = now()
+	h.nextTick = h.epochFrom + every
+}
+
 // Apply implements Sink.
 func (h *HeatmapSink) Apply(batch []shadow.Access, _ *Cursor) {
+	if h.now != nil {
+		if t := h.now(); t >= h.nextTick {
+			h.rotate(h.epochFrom)
+			h.epochFrom = h.nextTick
+			// Skip empty intervals so idle stretches do not mint epochs.
+			for h.nextTick <= t {
+				h.epochFrom = h.nextTick
+				h.nextTick += h.every
+			}
+		}
+	}
 	for i := range batch {
 		a := &batch[i]
 		e := h.last
@@ -106,9 +148,18 @@ func (h *HeatmapSink) Epoch() int { return h.epoch }
 // seen only in closed epochs survive (like freed-but-retained shadow
 // entries, the history outlives the interval).
 func (h *HeatmapSink) Rotate() {
+	at := h.epochFrom
+	h.rotate(at)
+	if h.now != nil {
+		h.epochFrom = h.now()
+		h.nextTick = h.epochFrom + h.every
+	}
+}
+
+func (h *HeatmapSink) rotate(at machine.Duration) {
 	for _, ht := range h.order {
 		if ht.Totals != ([machine.NumDevices]uint64{}) {
-			ht.History = append(ht.History, EpochTotals{Epoch: h.epoch, Total: ht.Totals})
+			ht.History = append(ht.History, EpochTotals{Epoch: h.epoch, At: at, Total: ht.Totals})
 			ht.Totals = [machine.NumDevices]uint64{}
 			for d := range ht.Counts {
 				clear(ht.Counts[d])

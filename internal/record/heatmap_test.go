@@ -86,3 +86,54 @@ func TestHeatmapLateLabel(t *testing.T) {
 		t.Errorf("label = %q, want the relabeled name", got)
 	}
 }
+
+func TestHeatmapRotateOnClock(t *testing.T) {
+	eng, hm := newHeatEngine(t)
+	var now machine.Duration
+	hm.RotateOnClock(100*machine.Microsecond, func() machine.Duration { return now })
+
+	eng.Record(machine.CPU, 0x1000, 4, memsim.Write)
+	eng.Flush()
+	if hm.Epoch() != 0 {
+		t.Fatalf("epoch advanced without the clock: %d", hm.Epoch())
+	}
+
+	// Crossing one interval boundary closes the open epoch at the next
+	// drain, stamping the epoch's start time.
+	now = 150 * machine.Microsecond
+	eng.Record(machine.GPU, 0x1004, 4, memsim.Write)
+	eng.Flush()
+	if hm.Epoch() != 1 {
+		t.Fatalf("epoch = %d after crossing a boundary, want 1", hm.Epoch())
+	}
+	h := hm.Heats()[0]
+	if len(h.History) != 1 {
+		t.Fatalf("history = %d entries, want 1", len(h.History))
+	}
+	if h.History[0].At != 0 {
+		t.Errorf("closed epoch At = %v, want 0", h.History[0].At)
+	}
+	if h.History[0].Total[machine.CPU] != 1 || h.History[0].Total[machine.GPU] != 0 {
+		t.Errorf("closed epoch totals = %v", h.History[0].Total)
+	}
+	if h.Totals[machine.GPU] != 1 {
+		t.Errorf("open epoch GPU total = %d, want 1", h.Totals[machine.GPU])
+	}
+
+	// A long idle stretch crosses many boundaries but mints only one
+	// epoch for the activity, and the open epoch starts at the last
+	// boundary before the access.
+	now = 1000 * machine.Microsecond
+	eng.Record(machine.CPU, 0x1008, 4, memsim.Read)
+	eng.Flush()
+	if hm.Epoch() != 2 {
+		t.Fatalf("epoch = %d after idle stretch, want 2", hm.Epoch())
+	}
+	h = hm.Heats()[0]
+	if len(h.History) != 2 {
+		t.Fatalf("history = %d entries, want 2", len(h.History))
+	}
+	if h.History[1].At != 100*machine.Microsecond {
+		t.Errorf("second closed epoch At = %v, want 100us", h.History[1].At)
+	}
+}

@@ -1,0 +1,254 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"xplacer/internal/machine"
+)
+
+// Chrome trace-event format export: the JSON dialect loadable in
+// Perfetto (ui.perfetto.dev) and chrome://tracing. Spans become "X"
+// (complete) events, instants become "i" events; the host is thread 0
+// and stream s is thread s+1 of one synthetic process. Timestamps are
+// microseconds (the format's unit) with picosecond precision preserved
+// in the fractional part.
+//
+// The export is deterministic: events are ordered by (start, emission
+// sequence) and all JSON objects serialize with fixed field order, so
+// the same simulated run produces a byte-identical trace.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+const chromePid = 1
+
+// usec converts simulated picoseconds to the trace format's microseconds.
+func usec(d machine.Duration) float64 { return float64(d) / 1e6 }
+
+// chromeTid maps a timeline track to a trace thread id: host events on
+// tid 0, stream s on tid s+1.
+func chromeTid(track int) int { return track + 1 }
+
+// chromeArgs renders the event payload as Perfetto-visible args.
+// encoding/json sorts map keys, so the output stays deterministic.
+func chromeArgs(ev *Event) map[string]any {
+	args := map[string]any{}
+	if ev.Alloc != "" {
+		args["alloc"] = ev.Alloc
+	}
+	if ev.Bytes > 0 {
+		args["bytes"] = ev.Bytes
+	}
+	if ev.Async {
+		args["async"] = true
+	}
+	if ev.Kind == KindKernel {
+		args["launchIndex"] = ev.Index
+		args["faults"] = ev.Faults
+		args["migratedBytes"] = ev.MigratedBytes
+		args["pagesTouched"] = ev.PagesTouched
+		if ev.Stalled {
+			args["stalled"] = true
+		}
+	}
+	if ev.Accesses > 0 {
+		args["accesses"] = ev.Accesses
+	}
+	if !ev.Drv.IsZero() {
+		d := ev.Drv
+		if n := d.FaultsCPU + d.FaultsGPU; n > 0 {
+			args["umFaults"] = n
+		}
+		if n := d.MigrationsH2D + d.MigrationsD2H; n > 0 {
+			args["umMigrations"] = n
+		}
+		if d.Evictions > 0 {
+			args["umEvictions"] = d.Evictions
+		}
+		if d.Thrashes > 0 {
+			args["umThrashes"] = d.Thrashes
+		}
+		if d.Invalidations > 0 {
+			args["umInvalidations"] = d.Invalidations
+		}
+		if d.Duplications > 0 {
+			args["umDuplications"] = d.Duplications
+		}
+		if d.CounterMigrations > 0 {
+			args["umCounterMigrations"] = d.CounterMigrations
+		}
+	}
+	if ev.Detail != "" {
+		args["detail"] = ev.Detail
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// WriteChromeTrace serializes the events as Chrome trace-format JSON.
+// meta entries land in otherData (e.g. platform and app names).
+func WriteChromeTrace(w io.Writer, events []Event, meta map[string]string) error {
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].Seq < sorted[j].Seq
+	})
+
+	maxTrack := 0
+	for i := range sorted {
+		if sorted[i].Track > maxTrack {
+			maxTrack = sorted[i].Track
+		}
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ns", OtherData: meta}
+	name := func(n string) map[string]any { return map[string]any{"name": n} }
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: name("xplacer simulated run"),
+	})
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: chromePid, Tid: chromeTid(HostTrack),
+		Args: name("host"),
+	})
+	for s := 0; s <= maxTrack; s++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: chromeTid(s),
+			Args: name(fmt.Sprintf("stream %d", s)),
+		})
+	}
+
+	for i := range sorted {
+		ev := &sorted[i]
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Kind.String(),
+			Ts:   usec(ev.Start),
+			Pid:  chromePid,
+			Tid:  chromeTid(ev.Track),
+			Args: chromeArgs(ev),
+		}
+		if ce.Name == "" {
+			ce.Name = ev.Kind.String()
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			d := usec(ev.Dur)
+			ce.Dur = &d
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// TraceCheck is the result of validating an exported trace.
+type TraceCheck struct {
+	// Spans and Instants count the validated "X" and "i" events.
+	Spans, Instants int
+	// Tracks counts the distinct thread ids carrying events.
+	Tracks int
+	// Overlap reports whether any two spans on *different* tracks overlap
+	// in time — the signature of async copies hidden behind compute.
+	Overlap bool
+}
+
+// CheckChromeTrace parses an exported trace and verifies the invariants
+// the exporter guarantees: the JSON decodes, event timestamps are
+// monotonically ordered, and spans within one track are properly nested
+// (each next span either starts at or after the previous span's end, or
+// lies entirely within it). It returns summary counts for reporting.
+func CheckChromeTrace(data []byte) (TraceCheck, error) {
+	var tr chromeTrace
+	var res TraceCheck
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return res, fmt.Errorf("timeline: trace does not parse: %w", err)
+	}
+	lastTs := -1.0
+	type span struct{ start, end float64 }
+	open := map[int][]span{} // per-tid stack of enclosing spans
+	tracks := map[int]bool{}
+	var all []chromeEvent
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "i" {
+			continue
+		}
+		if ev.Ts < lastTs {
+			return res, fmt.Errorf("timeline: event %q at %.6fus breaks monotonic order (previous %.6fus)", ev.Name, ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+		tracks[ev.Tid] = true
+		if ev.Ph == "i" {
+			res.Instants++
+			continue
+		}
+		dur := 0.0
+		if ev.Dur != nil {
+			dur = *ev.Dur
+		}
+		sp := span{start: ev.Ts, end: ev.Ts + dur}
+		// Back-to-back spans share a boundary; ts+dur accumulates float
+		// error, so boundary comparisons get a nanosecond of tolerance.
+		const eps = 1e-3 // µs
+		stack := open[ev.Tid]
+		for len(stack) > 0 && stack[len(stack)-1].end <= sp.start+eps {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 && sp.end > stack[len(stack)-1].end+eps {
+			return res, fmt.Errorf("timeline: span %q [%.6f, %.6f)us partially overlaps an enclosing span ending at %.6fus on tid %d",
+				ev.Name, sp.start, sp.end, stack[len(stack)-1].end, ev.Tid)
+		}
+		open[ev.Tid] = append(stack, sp)
+		res.Spans++
+		all = append(all, ev)
+	}
+	res.Tracks = len(tracks)
+	// Cross-track overlap: any pair of spans on different tids sharing time.
+	for i := 0; i < len(all) && !res.Overlap; i++ {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			if b.Ts >= a.Ts+derefDur(a.Dur) {
+				break // sorted by ts: nothing later overlaps a
+			}
+			if a.Tid != b.Tid {
+				res.Overlap = true
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+func derefDur(d *float64) float64 {
+	if d == nil {
+		return 0
+	}
+	return *d
+}

@@ -1,0 +1,79 @@
+package timeline
+
+import "xplacer/internal/machine"
+
+// Clock owns every piece of simulated-time state of one run: the host
+// clock that used to live as cuda.Context.hostNow and the per-stream
+// completion times that used to live as Stream.avail. Centralizing them
+// here is what lets every layer of the simulator stamp events on one
+// shared timeline instead of keeping private time bookkeeping.
+//
+// Tracks model in-order device queues (CUDA streams): track 0 always
+// exists (the default stream) and further tracks are created with
+// NewTrack. A track's "avail" time is the simulated instant at which all
+// work queued on it so far has completed.
+type Clock struct {
+	host   machine.Duration
+	tracks []machine.Duration
+}
+
+// NewClock returns a clock at time zero with one device track (track 0).
+func NewClock() *Clock { return &Clock{tracks: make([]machine.Duration, 1)} }
+
+// Now returns the current simulated host time.
+func (c *Clock) Now() machine.Duration { return c.host }
+
+// Advance moves the host clock forward by d and returns the new time.
+func (c *Clock) Advance(d machine.Duration) machine.Duration {
+	c.host += d
+	return c.host
+}
+
+// AdvanceTo moves the host clock to t if t is in the future.
+func (c *Clock) AdvanceTo(t machine.Duration) {
+	if t > c.host {
+		c.host = t
+	}
+}
+
+// NewTrack registers another device track (stream) and returns its id.
+func (c *Clock) NewTrack() int {
+	c.tracks = append(c.tracks, 0)
+	return len(c.tracks) - 1
+}
+
+// Tracks returns the number of device tracks (including track 0).
+func (c *Clock) Tracks() int { return len(c.tracks) }
+
+// TrackAvail returns the time at which track id becomes idle.
+func (c *Clock) TrackAvail(id int) machine.Duration { return c.tracks[id] }
+
+// Reserve queues d of work on track id: the work starts when both the
+// host has issued it and the track is idle, and the track is busy until
+// start+d. It returns the start time.
+func (c *Clock) Reserve(id int, d machine.Duration) (start machine.Duration) {
+	start = c.host
+	if a := c.tracks[id]; a > start {
+		start = a
+	}
+	c.tracks[id] = start + d
+	return start
+}
+
+// DelayTrack prevents track id from starting new work before t
+// (cudaStreamWaitEvent).
+func (c *Clock) DelayTrack(id int, t machine.Duration) {
+	if t > c.tracks[id] {
+		c.tracks[id] = t
+	}
+}
+
+// WaitTrack blocks the host until track id is idle.
+func (c *Clock) WaitTrack(id int) { c.AdvanceTo(c.tracks[id]) }
+
+// WaitAll blocks the host until every track is idle.
+func (c *Clock) WaitAll() {
+	for _, a := range c.tracks {
+		c.AdvanceTo(a)
+	}
+}

@@ -1,0 +1,99 @@
+package timeline_test
+
+import (
+	"bytes"
+	"testing"
+
+	"xplacer/internal/apps/rodinia"
+	"xplacer/internal/core"
+	"xplacer/internal/machine"
+	"xplacer/internal/timeline"
+)
+
+// runPathfinder runs one instrumented pathfinder and returns its exported
+// Chrome trace plus the session.
+func runPathfinder(t *testing.T, overlap bool) ([]byte, *core.Session) {
+	t.Helper()
+	s, err := core.NewSession(machine.IntelPascal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rodinia.RunPathfinder(s, rodinia.PathfinderConfig{
+		Cols: 512, Rows: 41, Pyramid: 10, Seed: 7, Overlap: overlap,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Diagnostic(nil, "end of run")
+	var buf bytes.Buffer
+	meta := map[string]string{"app": "pathfinder", "platform": s.Ctx.Platform().Name}
+	if err := timeline.WriteChromeTrace(&buf, s.Ctx.Timeline().Events(), meta); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), s
+}
+
+// TestExportDeterminism: the same app, seed, and platform must produce a
+// byte-identical exported trace — simulated time has no wall-clock or map
+// iteration order in it.
+func TestExportDeterminism(t *testing.T) {
+	a, _ := runPathfinder(t, true)
+	b, _ := runPathfinder(t, true)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs exported different traces")
+	}
+}
+
+// TestOverlapVisibleInTrace: the overlapped pathfinder variant must show
+// async copy spans overlapping compute spans on another track, and the
+// trace must pass the structural validator.
+func TestOverlapVisibleInTrace(t *testing.T) {
+	data, s := runPathfinder(t, true)
+	res, err := timeline.CheckChromeTrace(data)
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if res.Spans == 0 || res.Tracks < 3 {
+		t.Fatalf("unexpectedly small trace: %+v", res)
+	}
+	if !res.Overlap {
+		t.Fatal("overlap variant produced no cross-track span overlap")
+	}
+	// The async copies really are on a non-default stream.
+	async := false
+	for _, ev := range s.Ctx.Timeline().Events() {
+		if ev.Kind == timeline.KindTransfer && ev.Async && ev.Track > 0 {
+			async = true
+			break
+		}
+	}
+	if !async {
+		t.Fatal("no async transfer span on a secondary stream")
+	}
+}
+
+// TestDiagnosticAttribution: a finding produced during the run names the
+// kernel span(s) that touched the allocation.
+func TestDiagnosticAttribution(t *testing.T) {
+	s, err := core.NewSession(machine.IntelPascal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rodinia.RunPathfinder(s, rodinia.PathfinderConfig{
+		Cols: 512, Rows: 41, Pyramid: 10, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Diagnostic(nil, "end of run")
+	if len(rep.Findings) == 0 {
+		t.Fatal("expected at least one finding")
+	}
+	attributed := false
+	for _, f := range rep.Findings {
+		if len(f.Kernels) > 0 {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Fatalf("no finding attributed to a kernel span: %+v", rep.Findings)
+	}
+}

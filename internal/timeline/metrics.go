@@ -1,0 +1,233 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xplacer/internal/machine"
+)
+
+// Per-phase metrics aggregation: the timeline-derived replacement for the
+// old ad-hoc -profile path. Where the kernel profile lists every launch,
+// the breakdown folds the event stream into time per kernel phase, per
+// transfer direction, and per unified-memory fault class — the "where did
+// the simulated time go" view.
+
+// PhaseStat aggregates the spans of one phase (kernel launches sharing a
+// base name, or one transfer direction).
+type PhaseStat struct {
+	// Name is the phase key: the kernel name with a trailing _<index>
+	// stripped, or the transfer direction.
+	Name  string
+	Count int
+	Time  machine.Duration
+	// Bytes accumulates transfer payloads; Faults / MigratedBytes the
+	// kernel-span driver costs; Stalls the stalled launches.
+	Bytes         int64
+	Faults        int64
+	MigratedBytes int64
+	Stalls        int
+}
+
+// Breakdown is the aggregated view of one run's event stream.
+type Breakdown struct {
+	// Kernels aggregates kernel spans by phase, busiest first.
+	Kernels []PhaseStat
+	// Transfers aggregates explicit memcpy spans by direction.
+	Transfers []PhaseStat
+	// KernelTime / TransferTime / PrefetchTime / HostTime total each span
+	// class. TransferOverlapped is the transfer time hidden behind
+	// concurrently busy kernel spans (async copies).
+	KernelTime         machine.Duration
+	TransferTime       machine.Duration
+	TransferOverlapped machine.Duration
+	PrefetchTime       machine.Duration
+	HostTime           machine.Duration
+	// HostAccesses counts aggregated host element accesses.
+	HostAccesses int64
+	// Drv totals the unified-memory driver activity by fault class.
+	Drv DriverStats
+	// End is the latest event end time (the run's simulated makespan).
+	End machine.Duration
+}
+
+// phaseKey strips a trailing _<digits> launch index so per-iteration
+// kernel names (pathfinder_0, pathfinder_1, ...) aggregate as one phase.
+func phaseKey(name string) string {
+	i := strings.LastIndexByte(name, '_')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// Summarize folds an event stream into a Breakdown.
+func Summarize(events []Event) *Breakdown {
+	b := &Breakdown{}
+	kernels := map[string]*PhaseStat{}
+	transfers := map[string]*PhaseStat{}
+	var kernelSpans []Event
+	for i := range events {
+		ev := &events[i]
+		if ev.End() > b.End {
+			b.End = ev.End()
+		}
+		b.Drv.Add(ev.Drv)
+		switch ev.Kind {
+		case KindKernel:
+			key := phaseKey(ev.Name)
+			st := kernels[key]
+			if st == nil {
+				st = &PhaseStat{Name: key}
+				kernels[key] = st
+			}
+			st.Count++
+			st.Time += ev.Dur
+			st.Faults += int64(ev.Faults)
+			st.MigratedBytes += ev.MigratedBytes
+			if ev.Stalled {
+				st.Stalls++
+			}
+			b.KernelTime += ev.Dur
+			kernelSpans = append(kernelSpans, *ev)
+		case KindTransfer:
+			st := transfers[ev.Name]
+			if st == nil {
+				st = &PhaseStat{Name: ev.Name}
+				transfers[ev.Name] = st
+			}
+			st.Count++
+			st.Time += ev.Dur
+			st.Bytes += ev.Bytes
+			b.TransferTime += ev.Dur
+		case KindPrefetch:
+			b.PrefetchTime += ev.Dur
+		case KindHostPhase:
+			b.HostTime += ev.Dur
+			b.HostAccesses += ev.Accesses
+		}
+	}
+	// Second pass: transfer time overlapped by kernel spans.
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != KindTransfer {
+			continue
+		}
+		for j := range kernelSpans {
+			k := &kernelSpans[j]
+			if k.Track == ev.Track {
+				continue
+			}
+			if ov := overlap(ev.Start, ev.End(), k.Start, k.End()); ov > 0 {
+				b.TransferOverlapped += ov
+			}
+		}
+	}
+	b.Kernels = sortPhases(kernels)
+	b.Transfers = sortPhases(transfers)
+	return b
+}
+
+func overlap(a0, a1, b0, b1 machine.Duration) machine.Duration {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func sortPhases(m map[string]*PhaseStat) []PhaseStat {
+	out := make([]PhaseStat, 0, len(m))
+	for _, st := range m {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ClassTime is the estimated simulated time one unified-memory fault
+// class cost, priced with the platform's cost model.
+type ClassTime struct {
+	Class string
+	Count int64
+	Time  machine.Duration
+}
+
+// ClassTimes prices the driver activity per fault class: fault service
+// latency, migration traffic at link bandwidth, and invalidation
+// broadcasts. Counter-only classes (remote accesses) are already folded
+// into kernel/host span durations and are not re-priced here.
+func (b *Breakdown) ClassTimes(p *machine.Platform) []ClassTime {
+	var out []ClassTime
+	add := func(class string, count int64, t machine.Duration) {
+		if count > 0 {
+			out = append(out, ClassTime{Class: class, Count: count, Time: t})
+		}
+	}
+	d := b.Drv
+	add("gpu-faults", d.FaultsGPU, machine.Duration(d.FaultsGPU)*p.FaultService)
+	add("cpu-faults", d.FaultsCPU, machine.Duration(d.FaultsCPU)*p.FaultService)
+	mig := d.MigrationsH2D + d.MigrationsD2H
+	add("migrations", mig, p.TransferTime(mig*p.PageSize))
+	add("evictions", d.Evictions, p.TransferTime(d.Evictions*p.PageSize))
+	add("thrashes", d.Thrashes, p.TransferTime(d.Thrashes*p.PageSize))
+	add("invalidations", d.Invalidations, machine.Duration(d.Invalidations)*p.ReadMostlyInvalidate)
+	add("duplications", d.Duplications, p.TransferTime(d.Duplications*p.PageSize))
+	add("counter-migrations", d.CounterMigrations, 0)
+	return out
+}
+
+// Text renders the breakdown as a profile table.
+func (b *Breakdown) Text(w io.Writer, p *machine.Platform) {
+	fmt.Fprintf(w, "--- simulated-time breakdown (makespan %v) ---\n", b.End)
+	fmt.Fprintf(w, "%-28s %5s %14s %10s %12s %7s\n", "kernel phase", "runs", "time", "faults", "migBytes", "stalls")
+	for _, st := range b.Kernels {
+		fmt.Fprintf(w, "%-28s %5d %14v %10d %12d %7d\n",
+			st.Name, st.Count, st.Time, st.Faults, st.MigratedBytes, st.Stalls)
+	}
+	for _, st := range b.Transfers {
+		fmt.Fprintf(w, "%-28s %5d %14v %10s %12d %7s\n",
+			"transfer "+st.Name, st.Count, st.Time, "-", st.Bytes, "-")
+	}
+	fmt.Fprintf(w, "kernel time %v, transfer time %v (%v overlapped with compute), prefetch %v, host time %v (%d accesses)\n",
+		b.KernelTime, b.TransferTime, b.TransferOverlapped, b.PrefetchTime, b.HostTime, b.HostAccesses)
+	if p != nil {
+		if classes := b.ClassTimes(p); len(classes) > 0 {
+			fmt.Fprintf(w, "unified-memory driver activity:\n")
+			for _, c := range classes {
+				fmt.Fprintf(w, "  %-20s %8d  ~%v\n", c.Class, c.Count, c.Time)
+			}
+		}
+	}
+}
+
+// CSV renders the per-phase rows as comma-separated values.
+func (b *Breakdown) CSV(w io.Writer) {
+	fmt.Fprintln(w, "phase,kind,count,time_ps,bytes,faults,migrated_bytes,stalls")
+	for _, st := range b.Kernels {
+		fmt.Fprintf(w, "%s,kernel,%d,%d,%d,%d,%d,%d\n",
+			st.Name, st.Count, int64(st.Time), st.Bytes, st.Faults, st.MigratedBytes, st.Stalls)
+	}
+	for _, st := range b.Transfers {
+		fmt.Fprintf(w, "%s,transfer,%d,%d,%d,0,0,0\n",
+			st.Name, st.Count, int64(st.Time), st.Bytes)
+	}
+}

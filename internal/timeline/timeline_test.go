@@ -1,0 +1,215 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xplacer/internal/machine"
+)
+
+func TestClockReserveAndWait(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v", c.Now())
+	}
+	c.Advance(10 * machine.Microsecond)
+	if c.Now() != 10*machine.Microsecond {
+		t.Fatalf("Advance: now %v", c.Now())
+	}
+
+	// Reserve on an idle track starts at the host time.
+	start := c.Reserve(0, 5*machine.Microsecond)
+	if start != 10*machine.Microsecond {
+		t.Fatalf("first reservation starts at %v", start)
+	}
+	// A second reservation queues behind the first.
+	start = c.Reserve(0, 5*machine.Microsecond)
+	if start != 15*machine.Microsecond {
+		t.Fatalf("second reservation starts at %v", start)
+	}
+	if c.TrackAvail(0) != 20*machine.Microsecond {
+		t.Fatalf("track avail %v", c.TrackAvail(0))
+	}
+	// The host has not moved.
+	if c.Now() != 10*machine.Microsecond {
+		t.Fatalf("host moved to %v", c.Now())
+	}
+	c.WaitTrack(0)
+	if c.Now() != 20*machine.Microsecond {
+		t.Fatalf("WaitTrack left host at %v", c.Now())
+	}
+
+	// A second track runs independently; WaitAll joins both.
+	id := c.NewTrack()
+	if id != 1 {
+		t.Fatalf("NewTrack id %d", id)
+	}
+	c.Reserve(id, 7*machine.Microsecond)
+	c.WaitAll()
+	if c.Now() != 27*machine.Microsecond {
+		t.Fatalf("WaitAll left host at %v", c.Now())
+	}
+
+	// AdvanceTo never moves backwards.
+	c.AdvanceTo(5 * machine.Microsecond)
+	if c.Now() != 27*machine.Microsecond {
+		t.Fatalf("AdvanceTo went backwards to %v", c.Now())
+	}
+}
+
+func TestTimelineQueries(t *testing.T) {
+	tl := New()
+	tl.Emit(Event{Kind: KindKernel, Name: "k0", Track: 0, Start: 0, Dur: 10, Allocs: []int{1, 2}})
+	tl.Emit(Event{Kind: KindKernel, Name: "k1", Track: 0, Start: 10, Dur: 10, Allocs: []int{2}})
+	tl.Emit(Event{Kind: KindTransfer, Name: "memcpyH2D", Track: -1, Start: 5, Dur: 3, AllocID: 1})
+
+	if tl.Len() != 3 {
+		t.Fatalf("Len %d", tl.Len())
+	}
+	if got := len(tl.Kernels()); got != 2 {
+		t.Fatalf("Kernels %d", got)
+	}
+	if got := len(tl.Between(0, 4)); got != 1 {
+		t.Fatalf("Between(0,4) %d", got)
+	}
+	if got := tl.KernelsTouching(2, 0, 100); len(got) != 2 {
+		t.Fatalf("KernelsTouching(2) %d", len(got))
+	}
+	if got := tl.KernelsTouching(1, 0, 100); len(got) != 1 || got[0].Name != "k0" {
+		t.Fatalf("KernelsTouching(1) %v", got)
+	}
+	// Interval clipping excludes spans outside the window.
+	if got := tl.KernelsTouching(2, 11, 100); len(got) != 1 || got[0].Name != "k1" {
+		t.Fatalf("KernelsTouching(2, 11..) %v", got)
+	}
+
+	// Events returns a copy: mutating it does not affect the stream.
+	evs := tl.Events()
+	evs[0].Name = "mutated"
+	if tl.Events()[0].Name != "k0" {
+		t.Fatal("Events aliases internal state")
+	}
+}
+
+func TestConsumerFanOut(t *testing.T) {
+	tl := New()
+	var seen []string
+	tl.AddConsumer(consumerFunc(func(ev *Event) { seen = append(seen, ev.Name) }))
+	tl.Emit(Event{Kind: KindKernel, Name: "a"})
+	tl.Emit(Event{Kind: KindSync, Name: "b"})
+	if len(seen) != 2 || seen[0] != "a" || seen[1] != "b" {
+		t.Fatalf("consumer saw %v", seen)
+	}
+	if tl.Events()[1].Seq != 1 {
+		t.Fatalf("Seq not stamped: %+v", tl.Events()[1])
+	}
+}
+
+type consumerFunc func(ev *Event)
+
+func (f consumerFunc) Consume(ev *Event) { f(ev) }
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Kind: KindKernel, Name: "step_0", Track: 0, Start: 0, Dur: 100, Faults: 2, Stalled: true},
+		{Kind: KindKernel, Name: "step_1", Track: 0, Start: 100, Dur: 100},
+		{Kind: KindKernel, Name: "other", Track: 0, Start: 200, Dur: 50},
+		// Overlaps step_0 fully on another track.
+		{Kind: KindTransfer, Name: "memcpyH2D", Track: 1, Start: 20, Dur: 60, Bytes: 4096, Async: true},
+		// On the same track as the kernels: never counted as overlapped.
+		{Kind: KindTransfer, Name: "memcpyD2H", Track: 0, Start: 250, Dur: 10, Bytes: 128},
+		{Kind: KindHostPhase, Name: "host compute", Track: HostTrack, Start: 260, Dur: 40, Accesses: 7},
+	}
+	b := Summarize(events)
+	if len(b.Kernels) != 2 {
+		t.Fatalf("kernel phases %v", b.Kernels)
+	}
+	// step_0/step_1 aggregate under "step" and dominate.
+	if b.Kernels[0].Name != "step" || b.Kernels[0].Count != 2 || b.Kernels[0].Time != 200 {
+		t.Fatalf("top phase %+v", b.Kernels[0])
+	}
+	if b.Kernels[0].Faults != 2 || b.Kernels[0].Stalls != 1 {
+		t.Fatalf("phase fault totals %+v", b.Kernels[0])
+	}
+	if b.KernelTime != 250 || b.TransferTime != 70 {
+		t.Fatalf("totals kernel %v transfer %v", b.KernelTime, b.TransferTime)
+	}
+	if b.TransferOverlapped != 60 {
+		t.Fatalf("overlapped %v", b.TransferOverlapped)
+	}
+	if b.HostTime != 40 || b.HostAccesses != 7 {
+		t.Fatalf("host %v/%d", b.HostTime, b.HostAccesses)
+	}
+	if b.End != 300 {
+		t.Fatalf("makespan %v", b.End)
+	}
+
+	var buf bytes.Buffer
+	b.Text(&buf, nil)
+	if !strings.Contains(buf.String(), "step") {
+		t.Fatalf("Text output missing phase:\n%s", buf.String())
+	}
+}
+
+func TestPhaseKey(t *testing.T) {
+	for in, want := range map[string]string{
+		"pathfinder_12": "pathfinder",
+		"pathfinder":    "pathfinder",
+		"a_b":           "a_b",
+		"k_":            "k_",
+		"_3":            "_3",
+	} {
+		if got := phaseKey(in); got != want {
+			t.Errorf("phaseKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: KindAlloc, Name: "mallocManaged", Track: HostTrack, Start: 0, Alloc: "a", AllocID: 0, Bytes: 4096},
+		{Kind: KindKernel, Name: "k0", Track: 0, Start: 10 * machine.Microsecond, Dur: 50 * machine.Microsecond, Allocs: []int{0}},
+		{Kind: KindTransfer, Name: "memcpyH2D", Track: 1, Start: 20 * machine.Microsecond, Dur: 10 * machine.Microsecond, Alloc: "a", AllocID: 0, Bytes: 4096, Async: true},
+		{Kind: KindSync, Name: "deviceSynchronize", Track: HostTrack, Start: 60 * machine.Microsecond},
+	}
+	for i := range events {
+		events[i].Seq = int64(i)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, map[string]string{"app": "test"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v\n%s", err, buf.String())
+	}
+	if res.Spans != 2 || res.Instants != 2 {
+		t.Fatalf("check counts %+v", res)
+	}
+	if !res.Overlap {
+		t.Fatal("async copy overlapping a kernel on another track not detected")
+	}
+
+	// Export is deterministic: a second serialization is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, events, map[string]string{"app": "test"}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("repeated export differs")
+	}
+}
+
+func TestCheckChromeTraceRejectsDisorder(t *testing.T) {
+	bad := []byte(`{"traceEvents":[
+		{"name":"b","ph":"i","ts":5,"pid":1,"tid":0,"s":"t"},
+		{"name":"a","ph":"i","ts":1,"pid":1,"tid":0,"s":"t"}
+	],"displayTimeUnit":"ns"}`)
+	if _, err := CheckChromeTrace(bad); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	if _, err := CheckChromeTrace([]byte("not json")); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/timeline"
 )
 
 // Advice mirrors the cudaMemAdvise options described in §II-B.
@@ -216,12 +217,22 @@ type pageRef struct {
 }
 
 // Driver is the unified-memory driver for one simulated machine.
+//
+// When a timeline is attached (SetTimeline) the driver is an emitter
+// over it: advice calls and prefetches produce events directly, while
+// the per-access fault classes (faults, migrations, evictions,
+// invalidations, ...) accumulate into counter windows that the runtime
+// drains (Window) into the enclosing kernel, transfer, or host-phase
+// span — aggregate emission only, never on the per-access hot path.
 type Driver struct {
 	plat      *machine.Platform
 	space     *memsim.Space
 	pageShift uint
 	meta      []*allocMeta // indexed by alloc ID; nil for unregistered
 	stats     Stats
+
+	tl      *timeline.Timeline
+	winBase Stats // stats snapshot at the last Window drain
 
 	gpuUsed  int64 // bytes of GPU memory in use (managed pages + device allocs)
 	gpuQueue []pageRef
@@ -243,6 +254,40 @@ func NewDriver(plat *machine.Platform, space *memsim.Space) *Driver {
 
 // Platform returns the driver's machine model.
 func (d *Driver) Platform() *machine.Platform { return d.plat }
+
+// SetTimeline attaches the event spine the driver emits over; nil
+// detaches it. Attach before the first operation so counter windows
+// line up with the event stream.
+func (d *Driver) SetTimeline(tl *timeline.Timeline) { d.tl = tl }
+
+// Window drains the driver's activity counters since the previous drain
+// and returns the delta. The runtime calls it once per emitted span
+// (kernel end, transfer, prefetch, host-phase flush), so consecutive
+// windows partition the driver's activity exactly.
+func (d *Driver) Window() Stats {
+	delta := d.stats.Sub(d.winBase)
+	d.winBase = d.stats
+	return delta
+}
+
+// TimelineStats converts a stats (delta) into the per-fault-class form
+// timeline events carry.
+func (s Stats) TimelineStats() timeline.DriverStats {
+	return timeline.DriverStats{
+		FaultsCPU:         s.FaultsCPU,
+		FaultsGPU:         s.FaultsGPU,
+		MigrationsH2D:     s.MigrationsH2D,
+		MigrationsD2H:     s.MigrationsD2H,
+		BytesH2D:          s.BytesH2D,
+		BytesD2H:          s.BytesD2H,
+		Duplications:      s.Duplications,
+		Invalidations:     s.Invalidations,
+		Evictions:         s.Evictions,
+		Thrashes:          s.Thrashes,
+		CounterMigrations: s.CounterMigrations,
+		Mappings:          s.Mappings,
+	}
+}
 
 // Register makes the driver manage an allocation. Managed allocations get
 // per-page state; DeviceOnly allocations are charged against GPU memory as
@@ -293,6 +338,7 @@ func (d *Driver) Advise(a *memsim.Alloc, adv Advice, dev machine.Device) error {
 	if err := d.applyAdvice(m, 0, int32(len(m.pages)), adv, dev); err != nil {
 		return err
 	}
+	d.emitAdvice(a, adv, dev, "")
 	// Whole-allocation advice also updates the allocation-level defaults.
 	switch adv {
 	case AdviseSetReadMostly:
@@ -324,7 +370,31 @@ func (d *Driver) AdviseRange(a *memsim.Alloc, off, n int64, adv Advice, dev mach
 	m.materializeAdvice()
 	first := int32(off >> d.pageShift)
 	last := int32((off + n - 1) >> d.pageShift)
-	return d.applyAdvice(m, first, last+1, adv, dev)
+	if err := d.applyAdvice(m, first, last+1, adv, dev); err != nil {
+		return err
+	}
+	d.emitAdvice(a, adv, dev, fmt.Sprintf("[%d,%d)", off, off+n))
+	return nil
+}
+
+// emitAdvice places a cudaMemAdvise instant on the timeline.
+func (d *Driver) emitAdvice(a *memsim.Alloc, adv Advice, dev machine.Device, rng string) {
+	if d.tl == nil {
+		return
+	}
+	detail := dev.String()
+	if rng != "" {
+		detail += " " + rng
+	}
+	d.tl.Emit(timeline.Event{
+		Kind:    timeline.KindAdvice,
+		Name:    adv.String(),
+		Track:   timeline.HostTrack,
+		Start:   d.tl.Now(),
+		Alloc:   a.Label,
+		AllocID: a.ID,
+		Detail:  detail,
+	})
 }
 
 // applyAdvice updates page state for [first, limit) and, when per-page
@@ -709,8 +779,23 @@ func (d *Driver) Prefetch(a *memsim.Alloc, dev machine.Device) machine.Duration 
 			d.migrate(m, pg, int32(i), dev, &c)
 		}
 	}
-	if c.MigratedBytes == 0 {
-		return c.Serial
+	dur := c.Serial
+	if c.MigratedBytes > 0 {
+		dur += d.plat.TransferTime(c.MigratedBytes)
 	}
-	return c.Serial + d.plat.TransferTime(c.MigratedBytes)
+	if d.tl != nil {
+		d.tl.Emit(timeline.Event{
+			Kind:          timeline.KindPrefetch,
+			Name:          "prefetch to " + dev.String(),
+			Track:         timeline.HostTrack,
+			Start:         d.tl.Now(),
+			Dur:           dur,
+			Alloc:         a.Label,
+			AllocID:       a.ID,
+			Bytes:         a.Size,
+			MigratedBytes: c.MigratedBytes,
+			Drv:           d.Window().TimelineStats(),
+		})
+	}
+	return dur
 }
