@@ -14,7 +14,9 @@
 // remedies) is printed to stdout. -timeline exports the run's simulated
 // event timeline as Chrome trace-format JSON (loadable in Perfetto or
 // chrome://tracing); -fail-on makes the exit status reflect selected
-// finding kinds, for CI gates.
+// finding kinds, for CI gates; -whatif captures the run's access
+// aggregates and replays them under candidate placements, predicting the
+// best policy per allocation and the whole-run speedup of applying them.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"xplacer/internal/machine"
 	"xplacer/internal/record"
 	"xplacer/internal/timeline"
+	"xplacer/internal/whatif"
 )
 
 func main() {
@@ -57,6 +60,7 @@ func main() {
 		profile   = flag.Bool("profile", false, "print the simulated-time breakdown and per-kernel profile")
 		timelineF = flag.String("timeline", "", "export the event timeline as Chrome trace JSON to this file (view in Perfetto)")
 		failOn    = flag.String("fail-on", "", "comma-separated finding kinds that make the exit status non-zero (e.g. alternating-cpu-gpu-access,unused-allocation)")
+		whatIf    = flag.Bool("whatif", false, "capture the run's access aggregates and predict the best placement per allocation by replay")
 		hmEpoch   = flag.Duration("heatmap-epoch", 0, "with -heatmap: close a heat-map epoch every interval of simulated time (e.g. 100us)")
 		seed      = flag.Int64("seed", 1, "input seed")
 	)
@@ -83,6 +87,9 @@ func main() {
 	}
 	if *profile {
 		s.Ctx.SetProfiling(true)
+	}
+	if *whatIf {
+		s.Ctx.SetWhatIfCapture(true)
 	}
 	var hm *record.HeatmapSink
 	if *heatmap {
@@ -185,6 +192,15 @@ func main() {
 		// Diagnostic flushed the tracer, so the heat counts are complete.
 		rep.Heatmap = diag.SummarizeHeatmap(hm, 64)
 	}
+	if *whatIf {
+		// The diagnostic flushed the trailing host window, so the trace is
+		// complete. The analysis rides in the report (JSON key "whatif").
+		wi, err := whatif.Analyze(s.Ctx.Timeline().Events(), plat)
+		if err != nil {
+			fatal(err)
+		}
+		rep.WhatIf = wi
+	}
 	switch {
 	case *jsonOut:
 		if err := rep.JSON(os.Stdout); err != nil {
@@ -195,8 +211,12 @@ func main() {
 	default:
 		rep.Text(os.Stdout)
 	}
+	if rep.WhatIf != nil && !*jsonOut && !*csv {
+		rep.WhatIf.Text(os.Stdout)
+	}
 	if *advise {
 		recs := advisor.Recommend(rep, advisor.DefaultOptions(plat))
+		advisor.Annotate(recs, rep.WhatIf)
 		advisor.Render(os.Stdout, recs)
 	}
 	if *profile {

@@ -15,6 +15,9 @@ import (
 	"xplacer/internal/core"
 	"xplacer/internal/diag"
 	"xplacer/internal/machine"
+	"xplacer/internal/timeline"
+	"xplacer/internal/um"
+	"xplacer/internal/whatif"
 )
 
 func main() {
@@ -78,4 +81,45 @@ func main() {
 		fmt.Printf("  %-22s baseline %12v  rotated %12v  speedup %.2fx\n",
 			cse.label, times[0], times[1], float64(times[0])/float64(times[1]))
 	}
+
+	// 4. What-if: instead of hand-deriving a fix, capture the baseline
+	//    run's access aggregates, let the replay engine rank candidate
+	//    placements, then apply the winning assignment and compare the
+	//    prediction with the measured re-run.
+	swCfg := sw.Config{N: 256, M: 256, Seed: 11}
+	var events []timeline.Event
+	if _, err := core.Run(plat, false, func(s *core.Session) error {
+		s.Ctx.SetWhatIfCapture(true)
+		if _, err := sw.Run(s, swCfg); err != nil {
+			return err
+		}
+		s.Ctx.MarkDiagnostic("end of capture")
+		events = s.Ctx.Timeline().Events()
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	res, err := whatif.Analyze(events, plat)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("what-if: observed %v, best assignment %v predicts %v (%+.1f%%)\n",
+		res.Observed, res.BestPolicies, res.BestPredicted,
+		100*float64(res.BestPredicted-res.Observed)/float64(res.Observed))
+	applied, err := core.Run(plat, false, func(s *core.Session) error {
+		for label, pol := range res.BestPolicies {
+			p, err := um.PlacementByName(pol)
+			if err != nil {
+				return err
+			}
+			s.Ctx.SetPlacement(label, p)
+		}
+		_, err := sw.Run(s, swCfg)
+		return err
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("applied: measured %v (prediction off by %+.1f%%)\n", applied.SimTime,
+		100*float64(res.BestPredicted-applied.SimTime)/float64(applied.SimTime))
 }

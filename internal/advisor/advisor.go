@@ -28,6 +28,7 @@ import (
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
 	"xplacer/internal/um"
+	"xplacer/internal/whatif"
 )
 
 // Action is one advised cudaMemAdvise call.
@@ -45,6 +46,22 @@ type Recommendation struct {
 	Actions []Action
 	// Rationale explains the decision in the paper's terms.
 	Rationale string
+	// WhatIf is the replay engine's prediction for the allocation, filled
+	// in by Annotate when a what-if analysis of the run is available.
+	WhatIf *WhatIfNote
+}
+
+// WhatIfNote quantifies a recommendation with the what-if replay engine's
+// prediction: the winning policy for the allocation and its predicted
+// whole-run time against the observed baseline.
+type WhatIfNote struct {
+	// Policy is the winning placement's name (um.Placement.String).
+	Policy string
+	// Observed is the replayed baseline total; Predicted is the winner's
+	// total; Delta is Predicted − Observed (negative predicts a speedup).
+	Observed  machine.Duration
+	Predicted machine.Duration
+	Delta     machine.Duration
 }
 
 func (r Recommendation) String() string {
@@ -52,7 +69,37 @@ func (r Recommendation) String() string {
 	for _, a := range r.Actions {
 		s += fmt.Sprintf(" %s(%s)", a.Advice, a.Device)
 	}
-	return s + " — " + r.Rationale
+	s += " — " + r.Rationale
+	if n := r.WhatIf; n != nil {
+		s += fmt.Sprintf(" (what-if: %s predicts %s vs %s observed, Δ %s)",
+			n.Policy, n.Predicted, n.Observed, n.Delta)
+	}
+	return s
+}
+
+// Annotate attaches the what-if engine's per-allocation predictions to
+// the matching recommendations (by allocation ID). Recommendations for
+// allocations the analysis did not cover are left unannotated.
+func Annotate(recs []Recommendation, res *whatif.Result) {
+	if res == nil {
+		return
+	}
+	byID := make(map[int]*whatif.AllocReport, len(res.Allocs))
+	for i := range res.Allocs {
+		byID[res.Allocs[i].AllocID] = &res.Allocs[i]
+	}
+	for i := range recs {
+		ar, ok := byID[recs[i].AllocID]
+		if !ok {
+			continue
+		}
+		recs[i].WhatIf = &WhatIfNote{
+			Policy:    ar.WinnerPolicy,
+			Observed:  res.Observed,
+			Predicted: ar.WinnerPredicted,
+			Delta:     ar.WinnerPredicted - res.Observed,
+		}
+	}
 }
 
 // Options tunes the decision rules.

@@ -10,6 +10,7 @@ import (
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
 	"xplacer/internal/um"
+	"xplacer/internal/whatif"
 )
 
 // sharedWorkload is a small app with the LULESH sharing structure: a
@@ -260,4 +261,39 @@ func TestRecommendationCitesKernels(t *testing.T) {
 	if !strings.Contains(recs[0].Rationale, "seen in crunch") {
 		t.Errorf("rationale does not cite the kernel span: %q", recs[0].Rationale)
 	}
+}
+
+// TestAnnotateAttachesPredictions: Annotate stamps recommendations with
+// the what-if winner of the matching allocation (by ID) and the rendered
+// plan quantifies the prediction.
+func TestAnnotateAttachesPredictions(t *testing.T) {
+	recs := []Recommendation{
+		{Alloc: "table", AllocID: 0},
+		{Alloc: "other", AllocID: 7},
+	}
+	res := &whatif.Result{
+		Observed: 2 * machine.Microsecond,
+		Allocs: []whatif.AllocReport{{
+			AllocID:         0,
+			Label:           "table",
+			WinnerPolicy:    "prefetch",
+			WinnerPredicted: machine.Microsecond,
+		}},
+	}
+	Annotate(recs, res)
+	n := recs[0].WhatIf
+	if n == nil {
+		t.Fatal("matching recommendation not annotated")
+	}
+	if n.Policy != "prefetch" || n.Predicted != machine.Microsecond ||
+		n.Observed != 2*machine.Microsecond || n.Delta != -machine.Microsecond {
+		t.Errorf("unexpected note %+v", n)
+	}
+	if recs[1].WhatIf != nil {
+		t.Error("uncovered allocation was annotated")
+	}
+	if s := recs[0].String(); !strings.Contains(s, "what-if: prefetch predicts") {
+		t.Errorf("String() does not quantify the prediction: %s", s)
+	}
+	Annotate(recs, nil) // nil analysis is a no-op, not a panic
 }

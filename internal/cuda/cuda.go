@@ -93,6 +93,62 @@ type hostWindow struct {
 	accesses int64
 	faults   int
 	migBytes int64
+	// cost is the summed per-access host time, so the flushed event can
+	// carry the placement-invariant Work residual (window duration minus
+	// access costs).
+	cost machine.Duration
+	cap  accessCapture
+}
+
+// accessCapture accumulates one span's per-allocation, per-page access
+// totals for the what-if trace (timeline.Event.Accessed). The last-entry
+// cursor keeps the common sequential-stream case to one compare and two
+// adds; the maps are only consulted on page or allocation transitions.
+type accessCapture struct {
+	accessed []timeline.AllocAccess
+	byAlloc  map[int]int     // alloc ID -> index into accessed
+	pages    []map[int32]int // parallel to accessed: page -> index into Pages
+	lastKey  int64           // (allocID+1)<<32 | page of the cursor
+	lastPA   *timeline.PageAccess
+}
+
+func (ac *accessCapture) note(allocID int, page int32, words int64, write bool) {
+	key := int64(allocID+1)<<32 | int64(uint32(page))
+	pa := ac.lastPA
+	if pa == nil || ac.lastKey != key {
+		ai, ok := ac.byAlloc[allocID]
+		if !ok {
+			if ac.byAlloc == nil {
+				ac.byAlloc = make(map[int]int)
+			}
+			ai = len(ac.accessed)
+			ac.byAlloc[allocID] = ai
+			ac.accessed = append(ac.accessed, timeline.AllocAccess{AllocID: allocID})
+			ac.pages = append(ac.pages, make(map[int32]int))
+		}
+		pi, ok := ac.pages[ai][page]
+		if !ok {
+			pi = len(ac.accessed[ai].Pages)
+			ac.pages[ai][page] = pi
+			ac.accessed[ai].Pages = append(ac.accessed[ai].Pages, timeline.PageAccess{Page: page})
+		}
+		pa = &ac.accessed[ai].Pages[pi]
+		ac.lastKey = key
+		ac.lastPA = pa
+	}
+	pa.Accesses++
+	if write {
+		pa.Writes += words
+	} else {
+		pa.Reads += words
+	}
+}
+
+// prefetchState tracks one allocation placed under um.PlacePrefetch: it is
+// prefetched to the GPU before any kernel launch that follows a host touch.
+type prefetchState struct {
+	alloc *memsim.Alloc
+	dirty bool
 }
 
 // Context is one simulated process on one platform: an address space, a UM
@@ -109,6 +165,14 @@ type Context struct {
 	hostWin hostWindow
 
 	profile bool
+
+	// What-if capture state (SetWhatIfCapture).
+	whatif    bool
+	pageShift uint
+	// Applied-placement state (SetPlacement).
+	placements     map[string]um.Placement
+	overridden     map[int]bool // alloc IDs whose placement was overridden
+	prefetchPolicy []*prefetchState
 }
 
 // NewContext creates a fresh simulated process on the platform.
@@ -169,6 +233,40 @@ func (c *Context) KernelCount() int64 { return c.kernels }
 // launched while enabled are marked for the KernelProfile view.
 func (c *Context) SetProfiling(on bool) { c.profile = on }
 
+// SetWhatIfCapture enables per-span access aggregation for the what-if
+// replay engine (internal/whatif): while on, kernel spans and host-phase
+// windows carry a per-allocation, per-page Accessed aggregate and host
+// pure Work opens a host-phase window so it is accounted to a span. The
+// per-element hot path gains no events and no driver work — aggregation
+// piggybacks on the per-access driver call already made. Off by default.
+func (c *Context) SetWhatIfCapture(on bool) {
+	c.whatif = on
+	if on && c.pageShift == 0 {
+		for int64(1)<<c.pageShift != c.plat.PageSize {
+			c.pageShift++
+		}
+	}
+}
+
+// SetPlacement arranges for the next allocation created with the given
+// label to be placed under policy p instead of what the program asks for —
+// the application side of internal/whatif's predictions. The allocation
+// kind is converted if needed (managed-family policies force Managed,
+// explicit-copy forces DeviceOnly) and the policy's advice or prefetch
+// schedule is issued exactly as a programmer porting the code would:
+// advice right after the allocation, prefetches before kernel launches
+// that follow a host touch. App-issued advice and prefetches on an
+// overridden allocation are suppressed (the port removes those calls).
+// Must be called before the allocation is created; PlaceObserved leaves
+// the program unchanged. PlaceExplicit is only applicable to allocations
+// without host element accesses (see um.PlaceExplicit).
+func (c *Context) SetPlacement(label string, p um.Placement) {
+	if c.placements == nil {
+		c.placements = make(map[string]um.Placement)
+	}
+	c.placements[label] = p
+}
+
 // KernelProfile returns the per-launch records collected while profiling
 // was enabled, derived from the timeline's kernel-span events. The
 // returned slice is a fresh copy; mutating it cannot affect runtime
@@ -221,8 +319,9 @@ func (c *Context) WriteKernelProfile(w io.Writer, csv bool) {
 // element accesses.
 func (c *Context) Host() *Exec { return c.host }
 
-// noteHostAccess folds one host access into the open host-phase window.
-func (c *Context) noteHostAccess(cost um.Cost) {
+// noteHostAccess folds one host access (and its host time t) into the open
+// host-phase window.
+func (c *Context) noteHostAccess(cost um.Cost, t machine.Duration) {
 	w := &c.hostWin
 	if !w.active {
 		w.active = true
@@ -231,6 +330,7 @@ func (c *Context) noteHostAccess(cost um.Cost) {
 	w.accesses++
 	w.faults += cost.Faults
 	w.migBytes += cost.MigratedBytes
+	w.cost += t
 }
 
 // flushHostWindow emits the open host-phase window (if any) as one
@@ -241,16 +341,19 @@ func (c *Context) flushHostWindow() {
 	if !w.active {
 		return
 	}
+	dur := c.tl.Now() - w.start
 	c.tl.Emit(timeline.Event{
 		Kind:          timeline.KindHostPhase,
 		Name:          "host compute",
 		Track:         timeline.HostTrack,
 		Start:         w.start,
-		Dur:           c.tl.Now() - w.start,
+		Dur:           dur,
 		Faults:        w.faults,
 		MigratedBytes: w.migBytes,
 		Accesses:      w.accesses,
 		AllocID:       -1,
+		Work:          dur - w.cost,
+		Accessed:      w.cap.accessed,
 		Drv:           c.drv.Window().TimelineStats(),
 	})
 	*w = hostWindow{}
@@ -288,6 +391,12 @@ func (c *Context) HostAlloc(size int64, label string) (*memsim.Alloc, error) {
 }
 
 func (c *Context) alloc(size int64, kind memsim.Kind, label string) (*memsim.Alloc, error) {
+	place, override := c.placements[label]
+	if override && place != um.PlaceObserved && kind != memsim.HostOnly {
+		kind = PlacementKind(place, kind)
+	} else {
+		override = false
+	}
 	a, err := c.space.Alloc(size, kind, label)
 	if err != nil {
 		return nil, err
@@ -308,7 +417,65 @@ func (c *Context) alloc(size int64, kind memsim.Kind, label string) (*memsim.All
 	})
 	// A small fixed driver cost per allocation.
 	c.tl.Clock().Advance(2 * machine.Microsecond)
+	if override {
+		if c.overridden == nil {
+			c.overridden = make(map[int]bool)
+		}
+		c.overridden[a.ID] = true
+		c.applyPlacement(a, place)
+	}
 	return a, nil
+}
+
+// PlacementKind returns the allocation kind an applied placement uses —
+// shared with the what-if replayer so predicted and applied runs convert
+// allocations identically.
+func PlacementKind(p um.Placement, kind memsim.Kind) memsim.Kind {
+	switch p {
+	case um.PlaceExplicit:
+		return memsim.DeviceOnly
+	case um.PlaceManaged, um.PlacePreferredGPU, um.PlacePreferredCPU,
+		um.PlaceReadMostly, um.PlacePrefetch:
+		return memsim.Managed
+	}
+	return kind
+}
+
+// applyPlacement issues the runtime calls a programmer applying the
+// placement would add right after the allocation.
+func (c *Context) applyPlacement(a *memsim.Alloc, p um.Placement) {
+	switch p {
+	case um.PlacePreferredGPU:
+		c.advise(a, um.AdviseSetPreferredLocation, machine.GPU)
+	case um.PlacePreferredCPU:
+		c.advise(a, um.AdviseSetPreferredLocation, machine.CPU)
+	case um.PlaceReadMostly:
+		c.advise(a, um.AdviseSetReadMostly, machine.GPU)
+	case um.PlacePrefetch:
+		c.prefetchPolicy = append(c.prefetchPolicy, &prefetchState{alloc: a, dirty: true})
+	}
+}
+
+// markPrefetchDirty flags a prefetch-policy allocation the host touched
+// since its last prefetch or full upload.
+func (c *Context) markPrefetchDirty(id int) {
+	for _, ps := range c.prefetchPolicy {
+		if ps.alloc.ID == id {
+			ps.dirty = true
+			return
+		}
+	}
+}
+
+// clearPrefetchDirty marks a prefetch-policy allocation clean (after a
+// whole-allocation upload made its pages GPU-resident).
+func (c *Context) clearPrefetchDirty(id int) {
+	for _, ps := range c.prefetchPolicy {
+		if ps.alloc.ID == id {
+			ps.dirty = false
+			return
+		}
+	}
 }
 
 func allocEventName(k memsim.Kind) string {
@@ -328,6 +495,12 @@ func (c *Context) Free(a *memsim.Alloc) error {
 	if c.tracer != nil {
 		c.tracer.TraceFree(a)
 	}
+	for i, ps := range c.prefetchPolicy {
+		if ps.alloc == a {
+			c.prefetchPolicy = append(c.prefetchPolicy[:i], c.prefetchPolicy[i+1:]...)
+			break
+		}
+	}
 	c.drv.Unregister(a)
 	c.flushHostWindow()
 	c.tl.Emit(timeline.Event{
@@ -345,15 +518,28 @@ func (c *Context) Free(a *memsim.Alloc) error {
 
 // Advise applies memory advice to a whole allocation (cudaMemAdvise over
 // the full range). The advice event itself is emitted by the UM driver.
+// On an allocation whose placement was overridden (SetPlacement) the call
+// is a no-op: the applied port removes the program's own advice.
 func (c *Context) Advise(a *memsim.Alloc, adv um.Advice, dev machine.Device) error {
+	if c.overridden[a.ID] {
+		return nil
+	}
+	return c.advise(a, adv, dev)
+}
+
+func (c *Context) advise(a *memsim.Alloc, adv um.Advice, dev machine.Device) error {
 	c.flushHostWindow()
 	c.tl.Clock().Advance(1 * machine.Microsecond)
 	return c.drv.Advise(a, adv, dev)
 }
 
 // AdviseRange applies memory advice to [off, off+n) of an allocation, page
-// granular like the real cudaMemAdvise(ptr, size, ...).
+// granular like the real cudaMemAdvise(ptr, size, ...). No-op on
+// placement-overridden allocations, like Advise.
 func (c *Context) AdviseRange(a *memsim.Alloc, off, n int64, adv um.Advice, dev machine.Device) error {
+	if c.overridden[a.ID] {
+		return nil
+	}
 	c.flushHostWindow()
 	c.tl.Clock().Advance(1 * machine.Microsecond)
 	return c.drv.AdviseRange(a, off, n, adv, dev)
@@ -361,8 +547,15 @@ func (c *Context) AdviseRange(a *memsim.Alloc, off, n int64, adv um.Advice, dev 
 
 // Prefetch synchronously moves a managed allocation to dev
 // (cudaMemPrefetchAsync + sync). The prefetch span is emitted by the UM
-// driver.
+// driver. No-op on placement-overridden allocations, like Advise.
 func (c *Context) Prefetch(a *memsim.Alloc, dev machine.Device) {
+	if c.overridden[a.ID] {
+		return
+	}
+	c.prefetchNow(a, dev)
+}
+
+func (c *Context) prefetchNow(a *memsim.Alloc, dev machine.Device) {
 	c.flushHostWindow()
 	c.tl.Clock().Advance(c.drv.Prefetch(a, dev))
 }
@@ -418,7 +611,7 @@ func (c *Context) EventSynchronize(ev *Event) {
 		c.tl.Clock().AdvanceTo(ev.when)
 	}
 	c.tl.Clock().Advance(c.plat.StreamSync)
-	c.emitSync("eventSynchronize")
+	c.emitSync("eventSynchronize", timeline.WaitsAll)
 }
 
 // ElapsedTime returns the simulated time between two recorded events
@@ -434,7 +627,7 @@ func (c *Context) ElapsedTime(start, end *Event) machine.Duration {
 func (c *Context) DefaultStream() *Stream { return c.streams[0] }
 
 // emitTransfer places one explicit-memcpy span on the timeline.
-func (c *Context) emitTransfer(a *memsim.Alloc, dir um.TransferDir, track int, start, dur machine.Duration, n int64, async bool) {
+func (c *Context) emitTransfer(a *memsim.Alloc, dir um.TransferDir, track int, start, dur machine.Duration, off, n int64, async bool) {
 	name := "memcpyH2D"
 	if dir == um.DeviceToHost {
 		name = "memcpyD2H"
@@ -448,6 +641,7 @@ func (c *Context) emitTransfer(a *memsim.Alloc, dir um.TransferDir, track int, s
 		Alloc:   a.Label,
 		AllocID: a.ID,
 		Bytes:   n,
+		Off:     off,
 		Async:   async,
 		Detail:  dir.String(),
 		Drv:     c.drv.Window().TimelineStats(),
@@ -461,10 +655,10 @@ func (c *Context) MemcpyH2D(dst *memsim.Alloc, off int64, src []byte) {
 	c.flushHostWindow()
 	c.memcpyH2D(dst, off, src)
 	n := int64(len(src))
-	dur := c.drv.Transfer(dst, um.HostToDevice, n)
+	dur := c.drv.Transfer(dst, um.HostToDevice, off, n)
 	start := c.tl.Now()
 	c.tl.Clock().Advance(dur)
-	c.emitTransfer(dst, um.HostToDevice, timeline.HostTrack, start, dur, n, false)
+	c.emitTransfer(dst, um.HostToDevice, timeline.HostTrack, start, dur, off, n, false)
 }
 
 // MemcpyH2DAsync is MemcpyH2D queued on a stream; the host does not wait.
@@ -472,10 +666,10 @@ func (c *Context) MemcpyH2DAsync(s *Stream, dst *memsim.Alloc, off int64, src []
 	c.flushHostWindow()
 	c.memcpyH2D(dst, off, src)
 	n := int64(len(src))
-	dur := c.drv.Transfer(dst, um.HostToDevice, n)
+	dur := c.drv.Transfer(dst, um.HostToDevice, off, n)
 	start := c.tl.Clock().Reserve(s.id, dur)
 	c.tl.Clock().Advance(machine.Microsecond) // issue overhead
-	c.emitTransfer(dst, um.HostToDevice, s.id, start, dur, n, true)
+	c.emitTransfer(dst, um.HostToDevice, s.id, start, dur, off, n, true)
 }
 
 func (c *Context) memcpyH2D(dst *memsim.Alloc, off int64, src []byte) {
@@ -486,6 +680,9 @@ func (c *Context) memcpyH2D(dst *memsim.Alloc, off int64, src []byte) {
 	copy(dst.Data()[off:off+n], src)
 	if c.tracer != nil {
 		c.tracer.TraceTransfer(dst, um.HostToDevice, off, n)
+	}
+	if off == 0 && n == dst.Size {
+		c.clearPrefetchDirty(dst.ID)
 	}
 }
 
@@ -503,10 +700,10 @@ func (c *Context) MemcpyD2H(dst []byte, src *memsim.Alloc, off int64) {
 	if c.tracer != nil {
 		c.tracer.TraceTransfer(src, um.DeviceToHost, off, n)
 	}
-	dur := c.drv.Transfer(src, um.DeviceToHost, n)
+	dur := c.drv.Transfer(src, um.DeviceToHost, off, n)
 	start := c.tl.Now()
 	c.tl.Clock().Advance(dur)
-	c.emitTransfer(src, um.DeviceToHost, timeline.HostTrack, start, dur, n, false)
+	c.emitTransfer(src, um.DeviceToHost, timeline.HostTrack, start, dur, off, n, false)
 }
 
 // Launch runs a kernel on a stream. The body executes immediately (the
@@ -524,6 +721,12 @@ func (c *Context) Launch(s *Stream, name string, body func(e *Exec)) {
 		c.tracer.TraceKernelLaunch(name)
 	}
 	c.flushHostWindow()
+	for _, ps := range c.prefetchPolicy {
+		if ps.dirty {
+			c.prefetchNow(ps.alloc, machine.GPU)
+			ps.dirty = false
+		}
+	}
 	c.kernels++
 	e := &Exec{ctx: c, dev: machine.GPU}
 	body(e)
@@ -544,6 +747,8 @@ func (c *Context) Launch(s *Stream, name string, body func(e *Exec)) {
 		Profiled:      c.profile,
 		Allocs:        e.touchedAllocs(),
 		AllocID:       -1,
+		Work:          e.work,
+		Accessed:      e.cap.accessed,
 		Drv:           c.drv.Window().TimelineStats(),
 	})
 }
@@ -555,14 +760,17 @@ func (c *Context) LaunchSync(name string, body func(e *Exec)) {
 	c.Synchronize()
 }
 
-// emitSync places a host synchronization instant on the timeline.
-func (c *Context) emitSync(name string) {
+// emitSync places a host synchronization instant on the timeline. waits
+// records what the host waited for (a stream id, or timeline.WaitsAll) so
+// the what-if replay can reproduce the wait.
+func (c *Context) emitSync(name string, waits int) {
 	c.tl.Emit(timeline.Event{
 		Kind:    timeline.KindSync,
 		Name:    name,
 		Track:   timeline.HostTrack,
 		Start:   c.tl.Now(),
 		AllocID: -1,
+		Waits:   waits,
 	})
 }
 
@@ -571,7 +779,7 @@ func (c *Context) StreamSynchronize(s *Stream) {
 	c.flushHostWindow()
 	c.tl.Clock().WaitTrack(s.id)
 	c.tl.Clock().Advance(c.plat.StreamSync)
-	c.emitSync("streamSynchronize")
+	c.emitSync("streamSynchronize", s.id)
 }
 
 // Synchronize blocks the host until all streams are idle
@@ -580,7 +788,7 @@ func (c *Context) Synchronize() {
 	c.flushHostWindow()
 	c.tl.Clock().WaitAll()
 	c.tl.Clock().Advance(c.plat.StreamSync)
-	c.emitSync("deviceSynchronize")
+	c.emitSync("deviceSynchronize", timeline.WaitsAll)
 }
 
 // Exec is an execution context: host code or one kernel. Views perform
@@ -611,6 +819,8 @@ type Exec struct {
 	// Compute time added explicitly via Work, divided by parallelism for
 	// kernels.
 	work machine.Duration
+	// cap aggregates per-page access totals while what-if capture is on.
+	cap accessCapture
 }
 
 // Device returns the device this execution context runs on.
@@ -626,8 +836,15 @@ func (e *Exec) Access(a *memsim.Alloc, addr memsim.Addr, size int64, kind memsim
 		// Host code advances the host clock directly; every cost component
 		// serializes (host faults are serviced one at a time). The access
 		// aggregates into the open host-phase window — no per-access event.
-		e.ctx.noteHostAccess(cost)
-		e.ctx.tl.Clock().Advance(cost.HostTime(e.ctx.plat))
+		if e.ctx.prefetchPolicy != nil {
+			e.ctx.markPrefetchDirty(a.ID)
+		}
+		t := cost.HostTime(e.ctx.plat)
+		e.ctx.noteHostAccess(cost, t)
+		if e.ctx.whatif {
+			e.ctx.hostWin.cap.note(a.ID, int32(int64(addr-a.Base)>>e.ctx.pageShift), (size+3)/4, kind != memsim.Read)
+		}
+		e.ctx.tl.Clock().Advance(t)
 		return
 	}
 	e.local += cost.Local
@@ -636,6 +853,9 @@ func (e *Exec) Access(a *memsim.Alloc, addr memsim.Addr, size int64, kind memsim
 	e.faults += cost.Faults
 	e.migBytes += cost.MigratedBytes
 	e.notePage(a.ID, addr)
+	if e.ctx.whatif {
+		e.cap.note(a.ID, int32(int64(addr-a.Base)>>e.ctx.pageShift), (size+3)/4, kind != memsim.Read)
+	}
 	if e.ctx.plat.GPUL2Bytes > 0 && cost.Remote == 0 && cost.Faults == 0 {
 		e.noteLine(addr, size)
 	}
@@ -704,35 +924,70 @@ func (e *Exec) touchedAllocs() []int {
 
 // Work charges d of pure compute time (arithmetic between memory accesses).
 // For kernels it is divided by the GPU parallelism like local access time.
+// Under what-if capture, host Work opens the host-phase window so pure
+// compute between accesses is accounted to a span (it flushes as part of
+// the window's Work residual); without capture the clock advances exactly
+// as before.
 func (e *Exec) Work(d machine.Duration) {
 	if e.host {
+		if e.ctx.whatif {
+			w := &e.ctx.hostWin
+			if !w.active {
+				w.active = true
+				w.start = e.ctx.tl.Now()
+			}
+		}
 		e.ctx.tl.Clock().Advance(d)
 		return
 	}
 	e.work += d
 }
 
-// kernelDuration folds the accumulated costs into the kernel's simulated
-// duration: local plus compute time divided by thread parallelism, remote
-// memory time divided by the link concurrency, one PageTouchCost per
-// distinct page touched, fault latency batched into page fault groups,
-// migrations pipelined at link bandwidth, and serial driver time undivided.
-func (e *Exec) kernelDuration(p *machine.Platform) machine.Duration {
+// KernelCost is one kernel's aggregate cost in the pre-division form Exec
+// accumulates during the launch. The what-if replay engine rebuilds it
+// from a captured trace and folds it through the same formula a live
+// launch uses (FoldKernelCost), so replayed and live kernels price
+// identically.
+type KernelCost struct {
+	Local, Remote, Serial machine.Duration
+	Work                  machine.Duration
+	Faults                int
+	MigratedBytes         int64
+	PagesTouched          int
+}
+
+// FoldKernelCost folds an aggregate kernel cost into the kernel's
+// simulated duration (excluding KernelLaunch overhead): local plus compute
+// time divided by thread parallelism (stretched by the fault-storm stall
+// when the kernel faulted), remote memory time divided by the link
+// concurrency, one PageTouchCost per distinct page touched, fault latency
+// batched into page fault groups, migrations pipelined at link bandwidth,
+// and serial driver time undivided.
+func FoldKernelCost(p *machine.Platform, k KernelCost) machine.Duration {
 	par := machine.Duration(p.GPUParallelism)
 	rc := machine.Duration(p.RemoteConcurrency)
 	fc := machine.Duration(p.FaultConcurrency)
-	compute := (e.local + e.work) / par
-	if e.faults > 0 && p.FaultStallPct > 0 {
+	compute := (k.Local + k.Work) / par
+	if k.Faults > 0 && p.FaultStallPct > 0 {
 		// A faulting kernel loses latency hiding (fault-storm stall).
 		compute = compute * machine.Duration(100+p.FaultStallPct) / 100
 	}
-	d := compute + e.remote/rc + e.serial
-	d += machine.Duration(e.pageCount) * p.PageTouchCost
-	d += machine.Duration(e.faults) * p.FaultService / fc
-	if e.migBytes > 0 {
-		d += p.TransferTime(e.migBytes)
+	d := compute + k.Remote/rc + k.Serial
+	d += machine.Duration(k.PagesTouched) * p.PageTouchCost
+	d += machine.Duration(k.Faults) * p.FaultService / fc
+	if k.MigratedBytes > 0 {
+		d += p.TransferTime(k.MigratedBytes)
 	}
 	return d
+}
+
+// kernelDuration folds the accumulated costs into the kernel's simulated
+// duration via FoldKernelCost.
+func (e *Exec) kernelDuration(p *machine.Platform) machine.Duration {
+	return FoldKernelCost(p, KernelCost{
+		Local: e.local, Remote: e.remote, Serial: e.serial, Work: e.work,
+		Faults: e.faults, MigratedBytes: e.migBytes, PagesTouched: e.pageCount,
+	})
 }
 
 func maxDur(a, b machine.Duration) machine.Duration {

@@ -57,8 +57,18 @@ func (k Kind) String() string {
 
 // KindByName parses a finding-kind name as printed by Kind.String (e.g.
 // "alternating-cpu-gpu-access") — the format the -fail-on flag accepts.
-func KindByName(name string) (Kind, error) {
+// Kinds returns every finding kind, in declaration order — the domain of
+// KindByName and of -fail-on gates.
+func Kinds() []Kind {
+	var out []Kind
 	for k := AlternatingAccess; k <= UnusedAllocation; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+func KindByName(name string) (Kind, error) {
+	for _, k := range Kinds() {
 		if k.String() == name {
 			return k, nil
 		}

@@ -293,3 +293,33 @@ func TestBlockBytes(t *testing.T) {
 		t.Error("Block.Bytes wrong")
 	}
 }
+
+// TestKindNameRoundTrip: every kind returned by Kinds parses back to
+// itself through KindByName — the contract -fail-on relies on.
+func TestKindNameRoundTrip(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 5 {
+		t.Fatalf("Kinds() returned %d kinds, want 5", len(kinds))
+	}
+	for _, k := range kinds {
+		name := k.String()
+		if strings.HasPrefix(name, "Kind(") {
+			t.Errorf("kind %d has no name", k)
+			continue
+		}
+		got, err := KindByName(name)
+		if err != nil {
+			t.Errorf("KindByName(%q): %v", name, err)
+			continue
+		}
+		if got != k {
+			t.Errorf("KindByName(%q) = %v, want %v", name, got, k)
+		}
+		if k.Remedy() == "" {
+			t.Errorf("kind %s has no remedy", name)
+		}
+	}
+	if _, err := KindByName("no-such-kind"); err == nil {
+		t.Error("KindByName accepted an unknown name")
+	}
+}

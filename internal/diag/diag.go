@@ -19,6 +19,7 @@ import (
 	"xplacer/internal/memsim"
 	"xplacer/internal/shadow"
 	"xplacer/internal/trace"
+	"xplacer/internal/whatif"
 )
 
 // AllocSummary is the Fig. 4 summary line set for one allocation.
@@ -100,6 +101,9 @@ type Report struct {
 	// record.HeatmapSink observed the run (see SummarizeHeatmap); nil
 	// otherwise.
 	Heatmap *HeatmapSummary
+	// WhatIf holds the placement what-if analysis when the run was
+	// captured and analyzed (cmd/xplacer -whatif); nil otherwise.
+	WhatIf *whatif.Result
 }
 
 // Analyze computes a report over the tracer's shadow memory without

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"xplacer/internal/detect"
+	"xplacer/internal/whatif"
 )
 
 // jsonReport is the machine-readable serialization of a Report, for
@@ -15,6 +16,7 @@ type jsonReport struct {
 	Allocs   []jsonAlloc     `json:"allocations"`
 	Findings []jsonFinding   `json:"findings"`
 	Heatmap  *HeatmapSummary `json:"heatmap,omitempty"`
+	WhatIf   *whatif.Result  `json:"whatif,omitempty"`
 }
 
 type jsonAlloc struct {
@@ -50,7 +52,7 @@ type jsonFinding struct {
 
 // JSON writes the report as indented JSON.
 func (r *Report) JSON(w io.Writer) error {
-	out := jsonReport{Title: r.Title, Heatmap: r.Heatmap}
+	out := jsonReport{Title: r.Title, Heatmap: r.Heatmap, WhatIf: r.WhatIf}
 	for _, s := range r.Allocs {
 		out.Allocs = append(out.Allocs, jsonAlloc{
 			Label:          s.Label,

@@ -1,0 +1,177 @@
+// Package goldenreport pins the end-to-end output of every example
+// program and of the CLI's JSON report against committed golden files, so
+// that report drift — a changed cost model, a reordered finding, a
+// renamed field — fails loudly instead of slipping through unit tests.
+//
+// Regenerate the goldens after an intentional change with:
+//
+//	go test ./internal/goldenreport -run Golden -update
+package goldenreport
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden files")
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// goTool skips the test when no go toolchain is on PATH (the harness
+// shells out to `go run`).
+func goTool(t *testing.T) string {
+	t.Helper()
+	p, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH; skipping end-to-end goldens")
+	}
+	return p
+}
+
+// wallRE masks wall-clock durations; simulated times are deterministic
+// and stay verbatim. No current example prints wall time, but the
+// normalization keeps the goldens stable if one starts to.
+var wallRE = regexp.MustCompile(`(?i)(wall[ -]?time[^0-9]*)[0-9][0-9a-zµ.]*`)
+
+// normalize makes captured output diffable across machines and runs:
+// CRLF to LF, trailing whitespace stripped, wall-clock durations masked,
+// exactly one trailing newline.
+func normalize(b []byte) []byte {
+	s := strings.ReplaceAll(string(b), "\r\n", "\n")
+	s = wallRE.ReplaceAllString(s, "${1}<wall>")
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " \t")
+	}
+	s = strings.Join(lines, "\n")
+	s = strings.TrimRight(s, "\n") + "\n"
+	return []byte(s)
+}
+
+// runAndCompare executes args at the repo root and diffs normalized
+// stdout against testdata/<name>.golden (or rewrites it under -update).
+func runAndCompare(t *testing.T, name string, args ...string) {
+	t.Helper()
+	root := repoRoot(t)
+	cmd := exec.Command(goTool(t), args...)
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	got := normalize(stdout.Bytes())
+	golden := filepath.Join(root, "internal", "goldenreport", "testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s (re-run with -update if intentional):\n%s",
+			golden, diffHint(string(want), string(got)))
+	}
+}
+
+// diffHint renders the first few differing lines of want/got.
+func diffHint(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	shown := 0
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl == gl {
+			continue
+		}
+		fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, wl, gl)
+		if shown++; shown >= 8 {
+			fmt.Fprintf(&b, "  … (further differences elided)\n")
+			break
+		}
+	}
+	return b.String()
+}
+
+// TestExampleGoldens runs every program under examples/ end-to-end and
+// pins its full (normalized) stdout.
+func TestExampleGoldens(t *testing.T) {
+	root := repoRoot(t)
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no example programs found")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			runAndCompare(t, "example-"+name, "run", "./examples/"+name)
+		})
+	}
+}
+
+// TestReportJSONGoldens pins the CLI's machine-readable report — with the
+// what-if analysis embedded — for both validation benchmarks, so the
+// predictor's rankings are themselves regression-tested.
+func TestReportJSONGoldens(t *testing.T) {
+	cases := map[string][]string{
+		"report-pathfinder": {"run", "./cmd/xplacer", "-app", "pathfinder",
+			"-cols", "64", "-rows", "41", "-pyramid", "10", "-json", "-whatif"},
+		"report-sw": {"run", "./cmd/xplacer", "-app", "sw",
+			"-size", "24", "-json", "-whatif"},
+	}
+	names := make([]string, 0, len(cases))
+	for n := range cases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			runAndCompare(t, name, cases[name]...)
+		})
+	}
+}

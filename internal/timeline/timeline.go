@@ -108,6 +108,26 @@ func (d *DriverStats) Add(o DriverStats) {
 	d.Mappings += o.Mappings
 }
 
+// PageAccess is the per-page access aggregate of one span: how many
+// cost-words (4-byte units, the granularity the cost model charges) a
+// kernel or host phase read and wrote on one page of one allocation, and
+// over how many element accesses. Page indices are allocation-relative
+// (page 0 holds the allocation's first byte).
+type PageAccess struct {
+	Page          int32
+	Reads, Writes int64 // cost-words: sum of (size+3)/4 per access
+	Accesses      int64
+}
+
+// AllocAccess is one span's access aggregate for one allocation: the
+// pages it touched, in first-touch order. It is the compact trace the
+// what-if replay engine (internal/whatif) re-prices under candidate
+// placements — aggregated per span, never per access.
+type AllocAccess struct {
+	AllocID int
+	Pages   []PageAccess
+}
+
 // Event is one typed, timestamped occurrence on the simulated timeline.
 // Span events have Dur > 0; instants have Dur == 0. Only the fields that
 // apply to the event's Kind are set.
@@ -153,7 +173,32 @@ type Event struct {
 
 	// Detail carries free-form context (advice device, diagnostic title).
 	Detail string
+
+	// Off is the byte offset of range-scoped events: explicit transfers
+	// and range advice. Whole-allocation advice carries Off == -1 to
+	// distinguish it from a range that happens to start at 0.
+	Off int64
+	// Waits is the track a KindSync event waited on: a stream id for
+	// streamSynchronize, WaitsAll for device/event synchronization, and
+	// WaitsNone for events that carry no wait semantics.
+	Waits int
+	// Work is the placement-invariant compute time of the span: a kernel's
+	// explicit Exec.Work total (pre-parallelism-division), or the part of a
+	// host-phase window not attributable to element-access costs.
+	Work machine.Duration
+	// Accessed is the per-allocation page-level access aggregate of kernel
+	// and host-phase spans, recorded only while what-if capture is enabled
+	// (cuda.Context.SetWhatIfCapture). Nil otherwise.
+	Accessed []AllocAccess
 }
+
+// Waits values for events that did not wait on a single track.
+const (
+	// WaitsNone marks an event with no wait semantics.
+	WaitsNone = -1
+	// WaitsAll marks a synchronization that drained every track.
+	WaitsAll = -2
+)
 
 // End returns the event's end time (Start for instants).
 func (e *Event) End() machine.Duration { return e.Start + e.Dur }

@@ -55,6 +55,88 @@ func (a Advice) String() string {
 	}
 }
 
+// AdviceByName parses an advice name as printed by Advice.String, the
+// form timeline advice events carry in their Name field.
+func AdviceByName(name string) (Advice, error) {
+	for a := AdviseSetReadMostly; a <= AdviseUnsetAccessedBy; a++ {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("um: unknown advice %q", name)
+}
+
+// Placement is a candidate data-placement policy for one allocation — the
+// strategies the paper's §IV evaluation compares and the what-if engine
+// (internal/whatif) re-prices a captured trace under.
+type Placement uint8
+
+// Placement policies.
+const (
+	// PlaceObserved keeps whatever the live run did (allocation kind,
+	// advice, prefetches) — the replay baseline.
+	PlaceObserved Placement = iota
+	// PlaceManaged strips all advice: plain cudaMallocManaged first-touch
+	// migration (also converts cudaMalloc allocations to managed).
+	PlaceManaged
+	// PlacePreferredGPU pins pages on the GPU (SetPreferredLocation(GPU));
+	// the CPU maps and accesses them remotely.
+	PlacePreferredGPU
+	// PlacePreferredCPU pins pages on the host; the GPU reads remotely.
+	PlacePreferredCPU
+	// PlaceReadMostly read-duplicates pages on first read per device
+	// (SetReadMostly); writes collapse the duplicates.
+	PlaceReadMostly
+	// PlacePrefetch keeps managed memory but prefetches the allocation to
+	// the GPU before any kernel launch that follows a host touch
+	// (cudaMemPrefetchAsync before the launch).
+	PlacePrefetch
+	// PlaceExplicit models the classic cudaMalloc + cudaMemcpy port: host
+	// code works on a host mirror, whole-allocation copies are inserted
+	// around kernels. Predict-only for allocations with host element
+	// accesses (the simulated app would have to be rewritten to apply it).
+	PlaceExplicit
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceObserved:
+		return "observed"
+	case PlaceManaged:
+		return "managed"
+	case PlacePreferredGPU:
+		return "preferred-gpu"
+	case PlacePreferredCPU:
+		return "preferred-cpu"
+	case PlaceReadMostly:
+		return "read-mostly"
+	case PlacePrefetch:
+		return "prefetch"
+	case PlaceExplicit:
+		return "explicit-copy"
+	default:
+		return fmt.Sprintf("Placement(%d)", uint8(p))
+	}
+}
+
+// Placements returns every placement policy, enumeration order.
+func Placements() []Placement {
+	return []Placement{
+		PlaceObserved, PlaceManaged, PlacePreferredGPU, PlacePreferredCPU,
+		PlaceReadMostly, PlacePrefetch, PlaceExplicit,
+	}
+}
+
+// PlacementByName parses a placement name as printed by Placement.String.
+func PlacementByName(name string) (Placement, error) {
+	for _, p := range Placements() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("um: unknown placement %q", name)
+}
+
 // Cost is the simulated cost charged for one access, split by how the
 // components overlap with other work:
 //
@@ -338,7 +420,7 @@ func (d *Driver) Advise(a *memsim.Alloc, adv Advice, dev machine.Device) error {
 	if err := d.applyAdvice(m, 0, int32(len(m.pages)), adv, dev); err != nil {
 		return err
 	}
-	d.emitAdvice(a, adv, dev, "")
+	d.emitAdvice(a, adv, dev, -1, a.Size)
 	// Whole-allocation advice also updates the allocation-level defaults.
 	switch adv {
 	case AdviseSetReadMostly:
@@ -373,18 +455,20 @@ func (d *Driver) AdviseRange(a *memsim.Alloc, off, n int64, adv Advice, dev mach
 	if err := d.applyAdvice(m, first, last+1, adv, dev); err != nil {
 		return err
 	}
-	d.emitAdvice(a, adv, dev, fmt.Sprintf("[%d,%d)", off, off+n))
+	d.emitAdvice(a, adv, dev, off, n)
 	return nil
 }
 
-// emitAdvice places a cudaMemAdvise instant on the timeline.
-func (d *Driver) emitAdvice(a *memsim.Alloc, adv Advice, dev machine.Device, rng string) {
+// emitAdvice places a cudaMemAdvise instant on the timeline. off == -1
+// marks whole-allocation advice (which also updates allocation-level
+// defaults, unlike a range that happens to span everything).
+func (d *Driver) emitAdvice(a *memsim.Alloc, adv Advice, dev machine.Device, off, n int64) {
 	if d.tl == nil {
 		return
 	}
 	detail := dev.String()
-	if rng != "" {
-		detail += " " + rng
+	if off >= 0 {
+		detail += fmt.Sprintf(" [%d,%d)", off, off+n)
 	}
 	d.tl.Emit(timeline.Event{
 		Kind:    timeline.KindAdvice,
@@ -393,6 +477,9 @@ func (d *Driver) emitAdvice(a *memsim.Alloc, adv Advice, dev machine.Device, rng
 		Start:   d.tl.Now(),
 		Alloc:   a.Label,
 		AllocID: a.ID,
+		Bytes:   n,
+		Off:     off,
+		Waits:   timeline.WaitsNone,
 		Detail:  detail,
 	})
 }
@@ -738,10 +825,15 @@ func (t TransferDir) String() string {
 	return "HostToDevice"
 }
 
-// Transfer charges an explicit cudaMemcpy of n bytes to or from a
-// device-only allocation and returns its duration. Data movement itself is
-// done by the caller (internal/cuda) on the backing store.
-func (d *Driver) Transfer(a *memsim.Alloc, dir TransferDir, n int64) machine.Duration {
+// Transfer charges an explicit cudaMemcpy of n bytes covering
+// [off, off+n) of the allocation and returns its duration. Data movement
+// itself is done by the caller (internal/cuda) on the backing store. On
+// managed allocations the covered pages also move with the copy — the
+// bulk copy populates or relocates them without faulting: HostToDevice
+// leaves them GPU-resident, DeviceToHost returns them to the host. That
+// keeps an explicit-copy port and a managed run consistent when the
+// what-if engine converts between them.
+func (d *Driver) Transfer(a *memsim.Alloc, dir TransferDir, off, n int64) machine.Duration {
 	m := d.metaOf(a)
 	d.stats.Transfers++
 	m.stats.Transfers++
@@ -750,7 +842,53 @@ func (d *Driver) Transfer(a *memsim.Alloc, dir TransferDir, n int64) machine.Dur
 	} else {
 		d.noteBytes(machine.CPU, n)
 	}
-	return d.plat.TransferTime(n)
+	dur := d.plat.TransferTime(n)
+	if a.Kind == memsim.Managed && n > 0 {
+		var c Cost
+		d.transferPages(m, dir, off, n, &c)
+		if c.MigratedBytes > 0 {
+			// Evictions forced by the incoming pages serialize with the copy.
+			dur += d.plat.TransferTime(c.MigratedBytes)
+		}
+	}
+	return dur
+}
+
+// transferPages updates managed page residency for the pages covered by an
+// explicit copy. The copy itself is the data movement, so no faults or
+// migration traffic are charged for the covered pages — only evictions the
+// incoming pages force (via ensureGPURoom) cost extra, accumulated into c.
+func (d *Driver) transferPages(m *allocMeta, dir TransferDir, off, n int64, c *Cost) {
+	first := int32(off >> d.pageShift)
+	last := int32((off + n - 1) >> d.pageShift)
+	for i := first; i <= last; i++ {
+		pg := &m.pages[i]
+		if dir == HostToDevice {
+			if pg.touched && pg.owner == machine.GPU {
+				continue
+			}
+			if !pg.gpuResident() {
+				d.ensureGPURoom(m, i, c)
+				d.gpuUsed += d.plat.PageSize
+			}
+			pg.touched = true
+			pg.owner = machine.GPU
+			pg.copyMask = 0
+			pg.mapMask = 0
+			pg.remote = [machine.NumDevices]int32{}
+			d.enqueue(m, i)
+		} else {
+			if !pg.touched || pg.owner != machine.GPU {
+				continue
+			}
+			pg.owner = machine.CPU
+			pg.mapMask = 0
+			pg.remote = [machine.NumDevices]int32{}
+			if !pg.gpuResident() {
+				d.gpuUsed -= d.plat.PageSize
+			}
+		}
+	}
 }
 
 // Prefetch moves all pages of a managed allocation to dev ahead of use
@@ -794,8 +932,180 @@ func (d *Driver) Prefetch(a *memsim.Alloc, dev machine.Device) machine.Duration 
 			AllocID:       a.ID,
 			Bytes:         a.Size,
 			MigratedBytes: c.MigratedBytes,
+			Detail:        dev.String(),
+			Off:           -1,
+			Waits:         timeline.WaitsNone,
 			Drv:           d.Window().TimelineStats(),
 		})
 	}
 	return dur
+}
+
+// AccessAggregate charges one span's worth of element accesses to a single
+// page in bulk: readWords/writeWords cost-words (4-byte units) spread over
+// `accesses` element accesses, all by dev. It walks the same page state
+// machine as Access and performs the same transitions, relying on the fact
+// that within one emission span the first access to a page prices exactly
+// like the steady state it establishes (first-touch then local, migrate
+// then local, map then remote), so per-page span totals reproduce the
+// per-access sum. The aggregate-only approximations — uniform words per
+// access when a counter migration splits a span, and reads-before-writes
+// ordering under ReadMostly — are documented replay caveats. The what-if
+// replay engine (internal/whatif) is the only caller.
+func (d *Driver) AccessAggregate(dev machine.Device, a *memsim.Alloc, pi int32, readWords, writeWords, accesses int64) Cost {
+	m := d.metaOf(a)
+	words := readWords + writeWords
+	if words == 0 {
+		return Cost{}
+	}
+	local := d.plat.AccessTime(dev) * machine.Duration(words)
+
+	switch a.Kind {
+	case memsim.HostOnly:
+		if dev != machine.CPU {
+			panic(fmt.Sprintf("um: GPU access to host-only allocation %s", a))
+		}
+		return Cost{Local: local}
+	case memsim.DeviceOnly:
+		if dev != machine.GPU {
+			panic(fmt.Sprintf("um: CPU access to device-only allocation %s (use Memcpy)", a))
+		}
+		return Cost{Local: local}
+	}
+
+	pg := &m.pages[pi]
+	readMostly, preferred, accessedBy := m.advice(pi)
+
+	var c Cost
+	if !pg.touched {
+		// First touch: identical transition to Access, priced for the
+		// whole span at the steady state it establishes.
+		pg.touched = true
+		pg.owner = dev
+		if preferred >= 0 {
+			pg.owner = machine.Device(preferred)
+		}
+		if dev == machine.GPU {
+			d.fault(m, dev, &c)
+		}
+		if pg.owner == machine.GPU {
+			d.ensureGPURoom(m, pi, &c)
+			d.gpuUsed += d.plat.PageSize
+			d.enqueue(m, pi)
+		}
+		if pg.owner != dev {
+			pg.mapMask |= devBit(dev)
+			c.Remote += d.plat.RemoteAccess * machine.Duration(words)
+			d.noteRemote(m, dev, words)
+			return c
+		}
+		c.Local += local
+		return c
+	}
+
+	if readMostly {
+		return d.aggregateReadMostly(m, pg, pi, dev, readWords, writeWords)
+	}
+
+	if pg.owner == dev {
+		return Cost{Local: local}
+	}
+
+	// Peer access: mapped, accessed-by, or hardware-coherent remote.
+	if accessedBy&devBit(dev) != 0 || pg.mapMask&devBit(dev) != 0 || d.plat.HardwareCoherent {
+		d.aggregateRemote(m, pg, pi, dev, words, accesses, preferred, &c)
+		return c
+	}
+
+	// Fault path (PCIe platforms): one fault for the span, then either a
+	// direct mapping (data already at its preferred location) or a
+	// migration followed by local access.
+	d.fault(m, dev, &c)
+	if preferred >= 0 && machine.Device(preferred) == pg.owner {
+		pg.mapMask |= devBit(dev)
+		d.stats.Mappings++
+		m.stats.Mappings++
+		c.Remote += d.plat.RemoteAccess * machine.Duration(words)
+		d.noteRemote(m, dev, words)
+		return c
+	}
+	d.migrate(m, pg, pi, dev, &c)
+	c.Local += local
+	return c
+}
+
+// aggregateRemote prices a span of remote accesses against a peer-owned
+// page, splitting the span at the access where the platform's migration
+// counter crosses its threshold (that access is still charged remote, as
+// in counterMigrate; the remainder run local after the migration).
+// Assumes uniform words per access within the span.
+func (d *Driver) aggregateRemote(m *allocMeta, pg *page, pi int32, dev machine.Device, words, accesses int64, preferred int8, c *Cost) {
+	if d.plat.HardwareCoherent && preferred < 0 && d.plat.CounterMigrationThreshold > 0 {
+		remaining := int64(d.plat.CounterMigrationThreshold) - int64(pg.remote[dev])
+		if remaining < 0 {
+			remaining = 0
+		}
+		if accesses >= remaining {
+			remoteWords := words
+			if accesses > 0 {
+				remoteWords = words * remaining / accesses
+			}
+			c.Remote += d.plat.RemoteAccess * machine.Duration(remoteWords)
+			d.noteRemote(m, dev, remoteWords)
+			d.stats.CounterMigrations++
+			m.stats.CounterMigrations++
+			d.migrate(m, pg, pi, dev, c)
+			c.Local += d.plat.AccessTime(dev) * machine.Duration(words-remoteWords)
+			return
+		}
+		pg.remote[dev] += int32(accesses)
+	}
+	c.Remote += d.plat.RemoteAccess * machine.Duration(words)
+	d.noteRemote(m, dev, words)
+}
+
+// aggregateReadMostly prices a span's reads, then its writes, against a
+// read-duplicated page — the aggregate form of accessReadMostly. Live runs
+// may interleave reads and writes within a span; the aggregate assumes
+// reads come first (kernels read inputs before writing outputs), a
+// documented replay caveat.
+func (d *Driver) aggregateReadMostly(m *allocMeta, pg *page, pi int32, dev machine.Device, readWords, writeWords int64) Cost {
+	var c Cost
+	if readWords > 0 {
+		local := d.plat.AccessTime(dev) * machine.Duration(readWords)
+		if pg.owner == dev || pg.copyMask&devBit(dev) != 0 {
+			c.Local += local
+		} else {
+			d.fault(m, dev, &c)
+			c.MigratedBytes += d.plat.PageSize
+			pg.copyMask |= devBit(dev)
+			d.stats.Duplications++
+			m.stats.Duplications++
+			if dev == machine.GPU {
+				d.ensureGPURoom(m, pi, &c)
+				d.gpuUsed += d.plat.PageSize
+				d.enqueue(m, pi)
+			}
+			d.noteBytes(dev, d.plat.PageSize)
+			c.Local += local
+		}
+	}
+	if writeWords > 0 {
+		local := d.plat.AccessTime(dev) * machine.Duration(writeWords)
+		if pg.copyMask != 0 {
+			if pg.copyMask&devBit(machine.GPU) != 0 && pg.owner != machine.GPU {
+				d.gpuUsed -= d.plat.PageSize
+			}
+			pg.copyMask = 0
+			c.Serial += d.plat.ReadMostlyInvalidate
+			d.stats.Invalidations++
+			m.stats.Invalidations++
+		}
+		if pg.owner != dev {
+			d.fault(m, dev, &c)
+			d.migrate(m, pg, pi, dev, &c)
+		}
+		c.Local += local
+	}
+	return c
 }

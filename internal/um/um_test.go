@@ -357,7 +357,7 @@ func TestTransferCharges(t *testing.T) {
 	d, sp := newDriver(t, plat)
 	a, _ := sp.Alloc(8192, memsim.DeviceOnly, "d")
 	d.Register(a)
-	dur := d.Transfer(a, HostToDevice, 8192)
+	dur := d.Transfer(a, HostToDevice, 0, 8192)
 	if dur < plat.TransferTime(8192) {
 		t.Errorf("transfer duration %v < link time %v", dur, plat.TransferTime(8192))
 	}
@@ -365,7 +365,7 @@ func TestTransferCharges(t *testing.T) {
 	if s.Transfers != 1 || s.BytesH2D != 8192 {
 		t.Errorf("transfer stats %+v", s)
 	}
-	d.Transfer(a, DeviceToHost, 100)
+	d.Transfer(a, DeviceToHost, 0, 100)
 	if d.Stats().BytesD2H != 100 {
 		t.Errorf("D2H bytes = %d", d.Stats().BytesD2H)
 	}

@@ -1,0 +1,71 @@
+package whatif_test
+
+import (
+	"testing"
+
+	"xplacer/internal/core"
+	"xplacer/internal/machine"
+	"xplacer/internal/um"
+	"xplacer/internal/whatif"
+)
+
+// TestPredictionMatchesAppliedRun is the acceptance check of the what-if
+// engine: take a live run, let Analyze pick the best placement per
+// allocation, apply that assignment to a fresh run via
+// cuda.Context.SetPlacement, and require the re-run's actual simulated
+// time to be within 10% of the prediction.
+func TestPredictionMatchesAppliedRun(t *testing.T) {
+	apps := testApps()
+	cases := []struct {
+		app string
+		// wantGain requires the analysis to find a real improvement (the
+		// workload has a known placement defect).
+		wantGain bool
+	}{
+		{app: "pathfinder"},
+		{app: "pathfinder-overlap"},
+		{app: "smithwaterman", wantGain: true},
+		{app: "smithwaterman-rotated", wantGain: true},
+	}
+	plat := machine.IntelPascal()
+	for _, tc := range cases {
+		t.Run(tc.app, func(t *testing.T) {
+			app := apps[tc.app]
+			lr := captureRun(t, plat, app)
+			res, err := whatif.Analyze(lr.events, plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantGain && res.Gain() <= 0 {
+				t.Errorf("expected a predicted gain, best assignment %v predicts %s vs observed %s",
+					res.BestPolicies, res.BestPredicted, res.Observed)
+			}
+			rr, err := core.Run(plat, false, func(s *core.Session) error {
+				for label, pol := range res.BestPolicies {
+					p, err := um.PlacementByName(pol)
+					if err != nil {
+						return err
+					}
+					s.Ctx.SetPlacement(label, p)
+				}
+				return app(s)
+			})
+			if err != nil {
+				t.Fatalf("applied run: %v", err)
+			}
+			actual, predicted := rr.SimTime, res.BestPredicted
+			diff := predicted - actual
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > actual/10 {
+				t.Errorf("prediction %s vs applied run %s: off by %s (> 10%%)", predicted, actual, diff)
+			}
+			if tc.wantGain && actual >= lr.end {
+				t.Errorf("applied run %s not faster than observed %s", actual, lr.end)
+			}
+			t.Logf("observed %s, predicted %s, applied %s, assignment %v",
+				res.Observed, predicted, actual, res.BestPolicies)
+		})
+	}
+}

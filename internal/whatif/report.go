@@ -1,0 +1,58 @@
+package whatif
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// pct formats delta as a signed percentage of the observed baseline.
+func (r *Result) pct(delta int64) string {
+	if r.Observed == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*float64(delta)/float64(r.Observed))
+}
+
+// Text renders the analysis as the CLI's what-if table: one block per
+// allocation (largest predicted gain first) ranking its candidate
+// policies, then the combined best assignment.
+func (r *Result) Text(w io.Writer) {
+	fmt.Fprintf(w, "=== what-if placement analysis ===\n")
+	fmt.Fprintf(w, "observed total (replayed): %s\n", r.Observed)
+	for _, ar := range r.Allocs {
+		host := ""
+		if ar.HostAccessed {
+			host = ", host-accessed"
+		}
+		fmt.Fprintf(w, "\nalloc %q (%s%s): winner %s, gain %s (%s)\n",
+			ar.Label, ar.Kind, host, ar.WinnerPolicy, ar.Gain, r.pct(-int64(ar.Gain)))
+		fmt.Fprintf(w, "    %-14s %14s %9s\n", "policy", "predicted", "delta")
+		for _, c := range ar.Candidates {
+			mark := " "
+			if c.Placement == ar.Winner {
+				mark = ">"
+			}
+			note := ""
+			if !c.Applicable {
+				note = "  (predict-only: " + c.Note + ")"
+			}
+			fmt.Fprintf(w, "  %s %-14s %14s %9s%s\n",
+				mark, c.Policy, c.Predicted, r.pct(int64(c.Delta)), note)
+		}
+	}
+	if len(r.Best) == 0 {
+		fmt.Fprintf(w, "\nno candidate placement beats the observed run\n")
+		return
+	}
+	labels := make([]string, 0, len(r.BestPolicies))
+	for l := range r.BestPolicies {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(w, "\nbest assignment:")
+	for _, l := range labels {
+		fmt.Fprintf(w, " %s=%s", l, r.BestPolicies[l])
+	}
+	fmt.Fprintf(w, " → predicted %s (%s vs observed)\n", r.BestPredicted, r.pct(int64(r.BestPredicted-r.Observed)))
+}

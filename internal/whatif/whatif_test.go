@@ -1,0 +1,160 @@
+package whatif_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xplacer/internal/core"
+	"xplacer/internal/cuda"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/um"
+	"xplacer/internal/whatif"
+)
+
+// syntheticApp is a minimal managed-memory workload with an obvious
+// placement defect: the host initializes a grid once, then ten kernels
+// read it. The observed run (no advice) takes GPU first-touch faults.
+func syntheticApp(s *core.Session) error {
+	c := s.Ctx
+	a, err := c.MallocManaged(1<<18, "grid")
+	if err != nil {
+		return err
+	}
+	host := c.Host()
+	for off := int64(0); off < a.Size; off += 4 {
+		host.Access(a, a.Base+memsim.Addr(off), 4, memsim.Write)
+	}
+	for i := 0; i < 10; i++ {
+		c.LaunchSync("reader", func(e *cuda.Exec) {
+			for off := int64(0); off < a.Size; off += 4 {
+				e.Access(a, a.Base+memsim.Addr(off), 4, memsim.Read)
+			}
+		})
+	}
+	return c.Free(a)
+}
+
+func TestAnalyzeRanksCandidates(t *testing.T) {
+	plat := machine.IntelPascal()
+	lr := captureRun(t, plat, syntheticApp)
+	res, err := whatif.Analyze(lr.events, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed != lr.end {
+		t.Errorf("Observed %s != live end %s", res.Observed, lr.end)
+	}
+	if len(res.Allocs) != 1 {
+		t.Fatalf("got %d alloc reports, want 1", len(res.Allocs))
+	}
+	ar := res.Allocs[0]
+	if ar.Label != "grid" || !ar.HostAccessed {
+		t.Errorf("alloc report %q hostAccessed=%v; want \"grid\", true", ar.Label, ar.HostAccessed)
+	}
+	if len(ar.Candidates) != len(um.Placements()) {
+		t.Errorf("managed alloc got %d candidates, want %d", len(ar.Candidates), len(um.Placements()))
+	}
+	var minApplicable machine.Duration = -1
+	for _, c := range ar.Candidates {
+		if c.Placement == um.PlaceObserved && c.Predicted != res.Observed {
+			t.Errorf("observed candidate predicts %s, want baseline %s", c.Predicted, res.Observed)
+		}
+		if c.Placement == um.PlaceExplicit {
+			if c.Applicable || c.Note == "" {
+				t.Errorf("explicit candidate on host-accessed alloc: applicable=%v note=%q", c.Applicable, c.Note)
+			}
+		}
+		if c.Applicable && (minApplicable < 0 || c.Predicted < minApplicable) {
+			minApplicable = c.Predicted
+		}
+		if c.Delta != c.Predicted-res.Observed {
+			t.Errorf("%s: delta %s != predicted-observed %s", c.Policy, c.Delta, c.Predicted-res.Observed)
+		}
+	}
+	if ar.WinnerPredicted != minApplicable {
+		t.Errorf("winner predicted %s != best applicable %s", ar.WinnerPredicted, minApplicable)
+	}
+	for i := 1; i < len(ar.Candidates); i++ {
+		if ar.Candidates[i].Predicted < ar.Candidates[i-1].Predicted {
+			t.Errorf("candidates not sorted by prediction at %d", i)
+		}
+	}
+	// The first kernel's faults + stall are avoidable, so some policy must
+	// beat the observed placement on this workload.
+	if ar.Winner == um.PlaceObserved || ar.Gain <= 0 {
+		t.Errorf("expected a winning policy, got %s (gain %s)", ar.WinnerPolicy, ar.Gain)
+	}
+	if res.BestPredicted != ar.WinnerPredicted {
+		t.Errorf("single-alloc best %s != winner %s", res.BestPredicted, ar.WinnerPredicted)
+	}
+	if p, ok := res.Best[ar.AllocID]; !ok || p != ar.Winner {
+		t.Errorf("Best[%d] = %v, want %s", ar.AllocID, p, ar.WinnerPolicy)
+	}
+}
+
+func TestDeviceOnlyCandidates(t *testing.T) {
+	plat := machine.IntelPascal()
+	lr := captureRun(t, plat, func(s *core.Session) error {
+		c := s.Ctx
+		a, err := c.Malloc(1<<16, "buf")
+		if err != nil {
+			return err
+		}
+		c.MemcpyH2D(a, 0, make([]byte, a.Size))
+		c.LaunchSync("touch", func(e *cuda.Exec) {
+			e.Access(a, a.Base, 4, memsim.ReadWrite)
+		})
+		return nil
+	})
+	res, err := whatif.Analyze(lr.events, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Allocs) != 1 || len(res.Allocs[0].Candidates) != 3 {
+		t.Fatalf("device-only alloc: got %+v, want 1 report with 3 candidates", res.Allocs)
+	}
+	if res.Allocs[0].HostAccessed {
+		t.Error("memcpy-only alloc reported as host-accessed")
+	}
+}
+
+func TestResultTextAndJSON(t *testing.T) {
+	plat := machine.IntelPascal()
+	lr := captureRun(t, plat, syntheticApp)
+	res, err := whatif.Analyze(lr.events, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Text(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"=== what-if placement analysis ===",
+		`alloc "grid"`,
+		"observed",
+		"best assignment:",
+		"predict-only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"policy"`, `"best_predicted_ps"`, `"winner"`, `"best"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("JSON report missing %s", want)
+		}
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	if _, err := whatif.Analyze(nil, machine.IntelPascal()); err == nil {
+		t.Fatal("Analyze(nil) succeeded; want error")
+	}
+}
