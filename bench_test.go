@@ -184,6 +184,36 @@ func BenchmarkTraceOverheadSingle(b *testing.B) {
 	reportHotPath(b, 1, 1<<20)
 }
 
+// BenchmarkTraceRangeSweep measures the run-length-encoded range path
+// against the scalar buffered path on the same sweep workload. One
+// ScopeRange call replaces a block's worth of ScopeR calls, so the
+// per-access figure is the amortized cost of covering one element. The
+// acceptance bar for the contiguous shape is range_speedup_x >= 3 over
+// the scalar buffered path.
+func BenchmarkTraceRangeSweep(b *testing.B) {
+	const total = 1 << 20
+	for _, c := range []struct {
+		name   string
+		stride int
+	}{
+		{"Contiguous", 1},
+		{"Strided", 4},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			ranged, scalar := math.Inf(1), math.Inf(1)
+			for i := 0; i < b.N; i++ {
+				ranged = math.Min(ranged, bench.RangeSweepHotPath(1, total, c.stride))
+				scalar = math.Min(scalar, bench.TraceHotPath(1, total))
+			}
+			b.ReportMetric(ranged, "range_ns_per_access")
+			b.ReportMetric(scalar, "scalar_ns_per_access")
+			if ranged > 0 {
+				b.ReportMetric(scalar/ranged, "range_speedup_x")
+			}
+		})
+	}
+}
+
 // BenchmarkTable3Overhead measures the instrumentation overhead on one
 // representative workload and the per-access microbenchmark ratio.
 func BenchmarkTable3Overhead(b *testing.B) {

@@ -126,21 +126,32 @@ func RunPathfinder(s *core.Session, cfg PathfinderConfig) (PathfinderResult, err
 	// view at the given row offset.
 	kernel := func(wallView memsim.Int32View, rowBase, chunk int) func(*cuda.Exec) {
 		return func(e *cuda.Exec) {
+			q := e.NoTrace()
 			for r := 0; r < chunk; r++ {
+				// Each row's taps are contiguous sweeps — trace them as
+				// compact ranges (one per syntactic access site, with the
+				// boundary cells trimmed exactly as the loop skips them)
+				// and price the cells through the untraced view, keeping
+				// the cost model's per-element order intact.
+				e.TraceRange(memsim.Read, src.Alloc(), 0, cols, 4, 4)
+				e.TraceRange(memsim.Read, src.Alloc(), 0, cols-1, 4, 4)
+				e.TraceRange(memsim.Read, src.Alloc(), 4, cols-1, 4, 4)
+				e.TraceRange(memsim.Read, wallView.Alloc(), int64((rowBase+r)*cols)*4, cols, 4, 4)
+				e.TraceRange(memsim.Write, dst.Alloc(), 0, cols, 4, 4)
 				for j := 0; j < cols; j++ {
-					best := src.Load(e, int64(j))
+					best := src.Load(q, int64(j))
 					if j > 0 {
-						if l := src.Load(e, int64(j-1)); l < best {
+						if l := src.Load(q, int64(j-1)); l < best {
 							best = l
 						}
 					}
 					if j < cols-1 {
-						if rr := src.Load(e, int64(j+1)); rr < best {
+						if rr := src.Load(q, int64(j+1)); rr < best {
 							best = rr
 						}
 					}
-					w := wallView.Load(e, int64((rowBase+r)*cols+j))
-					dst.Store(e, int64(j), w+best)
+					w := wallView.Load(q, int64((rowBase+r)*cols+j))
+					dst.Store(q, int64(j), w+best)
 				}
 				src, dst = dst, src
 			}

@@ -145,6 +145,7 @@ func Reference(a, b []byte) int32 {
 type matrix struct {
 	n, m    int
 	rotated bool
+	a       *memsim.Alloc
 	v       memsim.Int32View
 	// diagOff[d] is the element offset of anti-diagonal d (i+j = d) in the
 	// rotated layout; diagLo[d] is the smallest i on that diagonal.
@@ -153,7 +154,7 @@ type matrix struct {
 }
 
 func newMatrix(a *memsim.Alloc, n, m int, rotated bool) *matrix {
-	mx := &matrix{n: n, m: m, rotated: rotated, v: memsim.Int32s(a)}
+	mx := &matrix{n: n, m: m, rotated: rotated, a: a, v: memsim.Int32s(a)}
 	if rotated {
 		mx.diagOff = make([]int64, n+m+2)
 		mx.diagLo = make([]int64, n+m+2)
@@ -196,6 +197,23 @@ func (mx *matrix) store(e memsim.Accessor, i, j int, x int32) {
 	mx.v.Store(e, mx.index(i, j), x)
 }
 
+// traceWave records the wavefront tap at cells (i0+k, j0-k), k in
+// [0,count), as one strided trace range: in both layouts consecutive
+// cells of an anti-diagonal sit a fixed element distance apart (1 when
+// rotated, m when row-major), so the whole tap compacts into a single
+// run-length-encoded record.
+func (mx *matrix) traceWave(e *cuda.Exec, kind memsim.AccessKind, i0, j0, count int) {
+	if count <= 0 {
+		return
+	}
+	base := mx.index(i0, j0) * 4
+	stride := int64(4)
+	if count > 1 {
+		stride = (mx.index(i0+1, j0-1) - mx.index(i0, j0)) * 4
+	}
+	e.TraceRange(kind, mx.a, base, count, stride, 4)
+}
+
 // Run executes Smith-Waterman on the session's simulated machine.
 func Run(s *core.Session, cfg Config) (Result, error) {
 	if cfg.N <= 0 || cfg.M <= 0 {
@@ -236,15 +254,21 @@ func Run(s *core.Session, cfg Config) (Result, error) {
 		}
 	}
 
+	// Contiguous host sweeps are traced as ranges up front; the element
+	// stores go through the untraced pricing view, so the cost model and
+	// its access order are untouched while the trace compacts.
 	host := ctx.Host()
+	qhost := host.NoTrace()
 	av := memsim.Bytes(aBuf)
 	bv := memsim.Bytes(bBuf)
 	// Transfer the strings from the original storage (CPU writes).
+	host.TraceRange(memsim.Write, aBuf, 0, n, 1, 1)
 	for i := 0; i < n; i++ {
-		av.Store(host, int64(i), aHost[i])
+		av.Store(qhost, int64(i), aHost[i])
 	}
+	host.TraceRange(memsim.Write, bBuf, 0, m, 1, 1)
 	for j := 0; j < m; j++ {
-		bv.Store(host, int64(j), bHost[j])
+		bv.Store(qhost, int64(j), bHost[j])
 	}
 
 	h := newMatrix(hAlloc, n, m, cfg.Rotated)
@@ -254,11 +278,13 @@ func Run(s *core.Session, cfg Config) (Result, error) {
 		// The CPU zeroes out the matrices — the whole of them, although
 		// only the boundary zeroes will ever be consumed (Fig. 7).
 		hv, pv := memsim.Int32s(hAlloc), memsim.Int32s(pAlloc)
+		host.TraceRange(memsim.Write, hAlloc, 0, int(hv.Len()), 4, 4)
 		for i := int64(0); i < hv.Len(); i++ {
-			hv.Store(host, i, 0)
+			hv.Store(qhost, i, 0)
 		}
+		host.TraceRange(memsim.Write, pAlloc, 0, int(pv.Len()), 4, 4)
 		for i := int64(0); i < pv.Len(); i++ {
-			pv.Store(host, i, 0)
+			pv.Store(qhost, i, 0)
 		}
 	}
 
@@ -294,32 +320,59 @@ func Run(s *core.Session, cfg Config) (Result, error) {
 		}
 		d := d // capture for the kernel closure
 		ctx.LaunchSync(fmt.Sprintf("sw_wave_%d", d), func(e *cuda.Exec) {
+			// The wavefront's per-cell taps are fixed strided sweeps over
+			// the anti-diagonal; trace each as one range, then run the
+			// cells through the untraced pricing view. All sweeps of one
+			// kernel touch disjoint-or-read-only word sets against its
+			// writes, so the per-word shadow sequences are unchanged.
+			cnt := hi - lo + 1
+			e.TraceRange(memsim.Read, aBuf, int64(lo-1), cnt, 1, 1)
+			e.TraceRange(memsim.Read, bBuf, int64(d-hi-1), cnt, 1, 1)
+			// On-the-fly initialization never loads boundary cells (i == 0
+			// or j == 0); that trims the first and/or last element of the
+			// three H taps.
+			firstTrim, lastTrim := 0, 0
+			if cfg.OnTheFlyInit {
+				if lo == 1 {
+					firstTrim = 1
+				}
+				if hi == d-1 {
+					lastTrim = 1
+				}
+			}
+			h.traceWave(e, memsim.Read, lo-1+firstTrim, d-lo-1-firstTrim, cnt-firstTrim-lastTrim) // (i-1, j-1)
+			h.traceWave(e, memsim.Read, lo-1+firstTrim, d-lo-firstTrim, cnt-firstTrim)            // (i-1, j)
+			h.traceWave(e, memsim.Read, lo, d-lo-1, cnt-lastTrim)                                 // (i, j-1)
+			h.traceWave(e, memsim.Write, lo, d-lo, cnt)
+			p.traceWave(e, memsim.Write, lo, d-lo, cnt)
+			q := e.NoTrace()
 			var kBest, kI, kJ int32
 			for i := lo; i <= hi; i++ {
 				j := d - i
 				sc := int32(MismatchScore)
-				if av.Load(e, int64(i-1)) == bv.Load(e, int64(j-1)) {
+				if av.Load(q, int64(i-1)) == bv.Load(q, int64(j-1)) {
 					sc = MatchScore
 				}
-				v := boundary(e, i-1, j-1) + sc
+				v := boundary(q, i-1, j-1) + sc
 				dir := pathDiag
-				if up := boundary(e, i-1, j) - GapPenalty; up > v {
+				if up := boundary(q, i-1, j) - GapPenalty; up > v {
 					v, dir = up, pathUp
 				}
-				if left := boundary(e, i, j-1) - GapPenalty; left > v {
+				if left := boundary(q, i, j-1) - GapPenalty; left > v {
 					v, dir = left, pathLeft
 				}
 				if v < 0 {
 					v, dir = 0, pathNone
 				}
-				h.store(e, i, j, v)
-				p.store(e, i, j, dir)
+				h.store(q, i, j, v)
+				p.store(q, i, j, dir)
 				if v > kBest {
 					kBest, kI, kJ = v, int32(i), int32(j)
 				}
 			}
 			// Kernel-wide best folded into the managed best buffer
-			// (read-modify-write, like an atomicMax).
+			// (read-modify-write, like an atomicMax). Scalar accesses stay
+			// on the traced path.
 			if kBest > best.Load(e, 0) {
 				best.Store(e, 0, kBest)
 				best.Store(e, 1, kI)

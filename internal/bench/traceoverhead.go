@@ -76,6 +76,56 @@ func TraceHotPath(goroutines, total int) float64 {
 	return float64(elapsed.Nanoseconds()) / float64(per*goroutines)
 }
 
+// RangeSweepHotPath measures the run-length-encoded range path on the
+// same workload and memory layout as TraceHotPath: each block sweep that
+// the scalar path records as thousands of ScopeR calls is recorded as a
+// single ScopeRange call. stride selects the access shape — 1 traces
+// every word with the contiguous entry point, larger values trace every
+// stride-th word with the strided one. The returned figure is ns per
+// traced access (elements the range covers), directly comparable to
+// TraceHotPath's per-access cost.
+func RangeSweepHotPath(goroutines, total, stride int) float64 {
+	if goroutines < 1 {
+		goroutines = 1
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	xplrt.Reset()
+	slices := hotPathSlices()
+	perBlock := (hotPathWords + stride - 1) / stride
+	per := total / goroutines
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) {
+				block := g % len(slices)
+				for i := 0; i < per; block = (block + 1) % len(slices) {
+					xs := slices[block]
+					n := perBlock
+					if per-i < n {
+						n = per - i
+					}
+					if stride == 1 {
+						xplrt.ScopeRangeR(s, xs[:n])
+					} else {
+						xplrt.ScopeRangeStridedR(s, xs[:(n-1)*stride+1], stride)
+					}
+					i += n
+				}
+			})
+		}(g)
+	}
+	wg.Wait()
+	xplrt.Flush()
+	elapsed := time.Since(start)
+	xplrt.Reset()
+	return float64(elapsed.Nanoseconds()) / float64(per*goroutines)
+}
+
 // globalLockRecorder reproduces the pre-sharding runtime design: one
 // process-global mutex around a per-access SMT lookup and shadow update.
 // It is kept as the comparison baseline for BenchmarkTraceOverheadParallel.

@@ -45,6 +45,18 @@ type Tracer interface {
 	TraceKernelLaunch(name string)
 }
 
+// RangeTracer is the optional range-compaction extension of Tracer: a
+// tracer implementing it receives strided element sweeps as single
+// run-length-encoded records instead of per-element TraceAccess calls.
+// internal/trace implements it; Exec.TraceRange falls back to per-element
+// TraceAccess for tracers that do not.
+type RangeTracer interface {
+	// TraceAccessRange observes count element accesses of size bytes by
+	// dev, the k-th at addr + k*stride, with the exact per-word semantics
+	// of count TraceAccess calls in ascending address order.
+	TraceAccessRange(dev machine.Device, a *memsim.Alloc, addr memsim.Addr, count int, stride, size int64, kind memsim.AccessKind)
+}
+
 // Stream orders asynchronous work. Operations issued on the same stream
 // execute in order; different streams may overlap — the mechanism the
 // optimized Pathfinder uses to hide transfers behind compute (Fig. 11).
@@ -828,7 +840,48 @@ func (e *Exec) Device() machine.Device { return e.dev }
 
 // Access implements memsim.Accessor.
 func (e *Exec) Access(a *memsim.Alloc, addr memsim.Addr, size int64, kind memsim.AccessKind) {
-	if t := e.ctx.tracer; t != nil {
+	e.access(a, addr, size, kind, true)
+}
+
+// quiet adapts an Exec into an accessor that charges the cost model —
+// identically to Access, element by element, in program order — without
+// calling the tracer. Kernels whose sweep was already recorded through
+// TraceRange use it for the per-element data accesses, so range
+// compaction changes recording cost only, never simulated time.
+type quiet struct{ e *Exec }
+
+func (q quiet) Access(a *memsim.Alloc, addr memsim.Addr, size int64, kind memsim.AccessKind) {
+	q.e.access(a, addr, size, kind, false)
+}
+
+// NoTrace returns the untraced pricing view of this execution context;
+// see TraceRange for the intended pairing.
+func (e *Exec) NoTrace() memsim.Accessor { return quiet{e} }
+
+// TraceRange records a strided element sweep — count elements of size
+// bytes in a, the k-th at byte offset off + k*stride — with the tracer
+// only; the cost model is not charged. Callers pair it with per-element
+// accesses through NoTrace(), splitting the two jobs Access does at once:
+// the trace collapses to one run-length-encoded record while pricing
+// keeps its exact per-element order.
+func (e *Exec) TraceRange(kind memsim.AccessKind, a *memsim.Alloc, off int64, count int, stride, size int64) {
+	t := e.ctx.tracer
+	if t == nil || count <= 0 {
+		return
+	}
+	addr := a.Base + memsim.Addr(off)
+	if rt, ok := t.(RangeTracer); ok {
+		rt.TraceAccessRange(e.dev, a, addr, count, stride, size, kind)
+		return
+	}
+	for k := 0; k < count; k++ {
+		t.TraceAccess(e.dev, a, addr+memsim.Addr(int64(k)*stride), size, kind)
+	}
+}
+
+// access is the shared body of Access and the NoTrace view.
+func (e *Exec) access(a *memsim.Alloc, addr memsim.Addr, size int64, kind memsim.AccessKind, traced bool) {
+	if t := e.ctx.tracer; traced && t != nil {
 		t.TraceAccess(e.dev, a, addr, size, kind)
 	}
 	cost := e.ctx.drv.Access(e.dev, a, addr, size, kind)

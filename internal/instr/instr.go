@@ -30,6 +30,22 @@
 //	    device scope held by its parameter s (*xplrt.DeviceScope), so its
 //	    accesses are emitted as xplrt.ScopeR(s, ptr) / ScopeW / ScopeRW
 //	    instead of the process-default TraceR / TraceW / TraceRW forms.
+//	//xpl:range
+//	    immediately precedes a canonical counted loop
+//	    (for i := lo; i < hi; i++): every unconditional base[i] access in
+//	    the body — base a plain slice-typed operand, index exactly the
+//	    loop variable — is hoisted into one compact range-trace call
+//	    before the loop, xplrt.TraceRangeR/W/RW(base[lo:hi]) (ScopeRange*
+//	    inside an //xpl:scope function), and left unwrapped in the body.
+//	    Per-word shadow semantics are identical to the per-element
+//	    instrumentation (each such site touches word i exactly once, at
+//	    iteration i, so site-major emission preserves every word's access
+//	    order); the recording cost drops from O(iterations) to O(sites).
+//	    Conditional accesses, other index shapes, and nested loops keep
+//	    per-element instrumentation. A pragma on a loop that is not
+//	    canonical — other condition or step shapes, impure bounds, early
+//	    exits, loop-variable mutation — is an error, as is a pragma not
+//	    attached to a for statement.
 //
 // The pass type-checks the input (go/types) to decide which expressions
 // touch the heap.
@@ -85,6 +101,31 @@ type diagPragma struct {
 	expanded []ast.Expr // must be identifiers or selector chains
 	consumed bool
 	text     string
+}
+
+// rangePragma is one //xpl:range comment, consumed by the for statement it
+// precedes.
+type rangePragma struct {
+	pos      token.Pos
+	consumed bool
+}
+
+// rangeSite is one coalescable base[i] access found under an //xpl:range
+// loop, in source order.
+type rangeSite struct {
+	base ast.Expr // freshly cloned operand, safe to re-print
+	mode mode
+}
+
+// rangeCtx is the walk state of one //xpl:range loop body.
+type rangeCtx struct {
+	obj types.Object // the loop variable
+	// cond > 0 inside conditionally or repeatedly executed code (if/else
+	// arms, nested loops, switch cases, short-circuit operands, closures):
+	// accesses there do not run exactly once per index and are left to
+	// per-element instrumentation.
+	cond  int
+	sites []rangeSite
 }
 
 // Package instruments every listed file of one Go package together (they
@@ -193,15 +234,25 @@ func rewriteOne(fset *token.FileSet, f *ast.File, info *types.Info, opt Options)
 			r.scope = ""
 		}
 	}
+	if r.err != nil {
+		return nil, r.err
+	}
 	for _, d := range r.diags {
 		if !d.consumed {
 			return nil, fmt.Errorf("instr: %s: //xpl:diagnostic pragma outside a function body: %s",
 				fset.Position(d.pos), d.text)
 		}
 	}
+	for _, p := range r.ranges {
+		if !p.consumed {
+			return nil, fmt.Errorf("instr: %s: //xpl:range pragma not attached to a for statement",
+				fset.Position(p.pos))
+		}
+	}
 	if r.usedRuntime {
 		addImport(f, opt.RuntimeAlias, opt.RuntimePackage)
 	}
+	dropRangeComments(f, r.ranges)
 
 	var buf bytes.Buffer
 	if err := format.Node(&buf, fset, f); err != nil {
@@ -217,11 +268,25 @@ type rewriter struct {
 	opt         Options
 	replaces    map[string]string
 	diags       []*diagPragma
+	ranges      []*rangePragma
 	usedRuntime bool
 	// scope is the //xpl:scope identifier of the enclosing function ("" =
 	// none): accesses trace through ScopeR/W/RW with it instead of the
 	// process-default TraceR/W/RW.
 	scope string
+	// rng is the active //xpl:range loop walk, nil outside one.
+	rng *rangeCtx
+	// err records the first rewrite error (pragma misuse); the AST walk
+	// has no error return, so it is checked after the walk.
+	err error
+}
+
+// errf records the first rewrite error.
+func (r *rewriter) errf(pos token.Pos, format string, args ...any) {
+	if r.err == nil {
+		args = append([]any{r.fset.Position(pos)}, args...)
+		r.err = fmt.Errorf("instr: %s: "+format, args...)
+	}
 }
 
 // scopePragma extracts the //xpl:scope identifier from a function's doc
@@ -260,6 +325,12 @@ func (r *rewriter) collectPragmas(f *ast.File) error {
 						r.fset.Position(c.Pos()), c.Text)
 				}
 				r.replaces[fields[0]] = fields[1]
+			case strings.HasPrefix(text, "xpl:range"):
+				if rest := strings.TrimSpace(strings.TrimPrefix(text, "xpl:range")); rest != "" {
+					return fmt.Errorf("instr: %s: //xpl:range takes no arguments, got %q",
+						r.fset.Position(c.Pos()), c.Text)
+				}
+				r.ranges = append(r.ranges, &rangePragma{pos: c.Pos()})
 			case strings.HasPrefix(text, "xpl:diagnostic"):
 				d, err := parseDiagnostic(c.Pos(), strings.TrimSpace(strings.TrimPrefix(text, "xpl:diagnostic")))
 				if err != nil {
@@ -270,6 +341,7 @@ func (r *rewriter) collectPragmas(f *ast.File) error {
 		}
 	}
 	sort.Slice(r.diags, func(i, j int) bool { return r.diags[i].pos < r.diags[j].pos })
+	sort.Slice(r.ranges, func(i, j int) bool { return r.ranges[i].pos < r.ranges[j].pos })
 	return nil
 }
 
@@ -425,6 +497,9 @@ func (r *rewriter) expr(e ast.Expr, m mode) ast.Expr {
 
 	case *ast.IndexExpr:
 		baseT := r.typeOf(e.X)
+		if r.coalesce(e, baseT, m) {
+			return e // hoisted into the //xpl:range prelude; body site stays bare
+		}
 		e.X = r.expr(e.X, load)
 		e.Index = r.expr(e.Index, load)
 		if !sliceLike(baseT) || m == place {
@@ -454,7 +529,12 @@ func (r *rewriter) expr(e ast.Expr, m mode) ast.Expr {
 
 	case *ast.BinaryExpr:
 		e.X = r.expr(e.X, load)
-		e.Y = r.expr(e.Y, load)
+		if e.Op == token.LAND || e.Op == token.LOR {
+			// The right operand is conditionally evaluated.
+			r.conditional(func() { e.Y = r.expr(e.Y, load) })
+		} else {
+			e.Y = r.expr(e.Y, load)
+		}
 		return e
 
 	case *ast.CallExpr:
@@ -490,7 +570,7 @@ func (r *rewriter) expr(e ast.Expr, m mode) ast.Expr {
 		return e
 
 	case *ast.FuncLit:
-		r.block(e.Body)
+		r.conditional(func() { r.block(e.Body) })
 		return e
 
 	default:
@@ -599,37 +679,43 @@ func (r *rewriter) stmt(s ast.Stmt) {
 			r.stmt(s.Init)
 		}
 		s.Cond = r.expr(s.Cond, load)
-		r.block(s.Body)
-		if s.Else != nil {
-			r.stmt(s.Else)
-		}
+		r.conditional(func() {
+			r.block(s.Body)
+			if s.Else != nil {
+				r.stmt(s.Else)
+			}
+		})
 
 	case *ast.ForStmt:
-		if s.Init != nil {
-			r.stmt(s.Init)
-		}
-		if s.Cond != nil {
-			s.Cond = r.expr(s.Cond, load)
-		}
-		if s.Post != nil {
-			r.stmt(s.Post)
-		}
-		r.block(s.Body)
+		r.conditional(func() {
+			if s.Init != nil {
+				r.stmt(s.Init)
+			}
+			if s.Cond != nil {
+				s.Cond = r.expr(s.Cond, load)
+			}
+			if s.Post != nil {
+				r.stmt(s.Post)
+			}
+			r.block(s.Body)
+		})
 
 	case *ast.RangeStmt:
-		if r.rewriteSliceRange(s) {
-			return
-		}
-		s.X = r.expr(s.X, load)
-		if s.Tok == token.ASSIGN {
-			if s.Key != nil {
-				s.Key = r.expr(s.Key, store)
+		r.conditional(func() {
+			if r.rewriteSliceRange(s) {
+				return
 			}
-			if s.Value != nil {
-				s.Value = r.expr(s.Value, store)
+			s.X = r.expr(s.X, load)
+			if s.Tok == token.ASSIGN {
+				if s.Key != nil {
+					s.Key = r.expr(s.Key, store)
+				}
+				if s.Value != nil {
+					s.Value = r.expr(s.Value, store)
+				}
 			}
-		}
-		r.block(s.Body)
+			r.block(s.Body)
+		})
 
 	case *ast.SwitchStmt:
 		if s.Init != nil {
@@ -638,16 +724,16 @@ func (r *rewriter) stmt(s ast.Stmt) {
 		if s.Tag != nil {
 			s.Tag = r.expr(s.Tag, load)
 		}
-		r.block(s.Body)
+		r.conditional(func() { r.block(s.Body) })
 
 	case *ast.TypeSwitchStmt:
 		if s.Init != nil {
 			r.stmt(s.Init)
 		}
-		r.block(s.Body)
+		r.conditional(func() { r.block(s.Body) })
 
 	case *ast.SelectStmt:
-		r.block(s.Body)
+		r.conditional(func() { r.block(s.Body) })
 
 	case *ast.CaseClause:
 		for i := range s.List {
@@ -759,8 +845,331 @@ func underlyingOf(t types.Type) types.Type {
 	return t.Underlying()
 }
 
-// block rewrites a block's statements and inserts any diagnostic pragmas
-// whose position falls between two of its statements.
+// --- //xpl:range loop coalescing ---------------------------------------------
+
+// conditional runs f with the active //xpl:range walk (if any) marked as
+// inside conditionally or repeatedly executed code, so accesses found
+// there keep per-element instrumentation.
+func (r *rewriter) conditional(f func()) {
+	if r.rng != nil {
+		r.rng.cond++
+		defer func() { r.rng.cond-- }()
+	}
+	f()
+}
+
+// coalesce records e as a range site of the active //xpl:range loop and
+// reports whether it did: e must be an unconditional base[i] access with i
+// exactly the loop variable and base a slice-like operand whose own
+// evaluation is elided (re-evaluating it in the hoisted call traces
+// nothing the loop body would have traced).
+func (r *rewriter) coalesce(e *ast.IndexExpr, baseT types.Type, m mode) bool {
+	rng := r.rng
+	if rng == nil || rng.cond != 0 || m == place {
+		return false
+	}
+	id, ok := e.Index.(*ast.Ident)
+	if !ok || rng.obj == nil || r.info.Uses[id] != rng.obj {
+		return false
+	}
+	if !sliceLike(baseT) || !r.elided(e.X) {
+		return false
+	}
+	rng.sites = append(rng.sites, rangeSite{base: cloneOperand(e.X), mode: m})
+	return true
+}
+
+// pendingRange returns the first unconsumed //xpl:range pragma positioned
+// between a block's opening brace and the next statement.
+func (r *rewriter) pendingRange(lbrace, next token.Pos) *rangePragma {
+	for _, p := range r.ranges {
+		if !p.consumed && p.pos > lbrace && p.pos < next {
+			return p
+		}
+	}
+	return nil
+}
+
+// rangeFor applies one //xpl:range pragma: it checks the loop is the
+// canonical `for i := lo; i < hi; i++` with pure bounds and no early
+// exits, rewrites the body collecting coalescable sites, and returns the
+// hoisted range-trace calls (one per site, in source order). Hoisting is
+// exact: each site touches word i exactly once, at iteration i, so
+// site-major emission replays every word's access sequence in the same
+// order as the per-element loop. Non-canonical loops record an error.
+func (r *rewriter) rangeFor(p *rangePragma, s *ast.ForStmt) []ast.Stmt {
+	bad := func(reason string) []ast.Stmt {
+		r.errf(p.pos, "//xpl:range: %s", reason)
+		return nil
+	}
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return bad("want a canonical loop: for i := lo; i < hi; i++")
+	}
+	iv, ok := init.Lhs[0].(*ast.Ident)
+	if !ok || r.info.Defs[iv] == nil {
+		return bad("want a canonical loop: for i := lo; i < hi; i++")
+	}
+	obj := r.info.Defs[iv]
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return bad("want loop condition i < hi")
+	}
+	cid, ok := cond.X.(*ast.Ident)
+	if !ok || r.info.Uses[cid] != obj {
+		return bad("want loop condition i < hi")
+	}
+	post, ok := s.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return bad("want loop step i++")
+	}
+	pid, ok := post.X.(*ast.Ident)
+	if !ok || r.info.Uses[pid] != obj {
+		return bad("want loop step i++")
+	}
+	lo, hi := init.Rhs[0], cond.Y
+	if !r.pureBound(lo) || !r.pureBound(hi) {
+		return bad("loop bounds must be plain variables, value-struct fields, or integer literals")
+	}
+	if reason := escapeReason(s.Body); reason != "" {
+		return bad(reason)
+	}
+	if r.mutatesVar(s.Body, obj) {
+		return bad("loop body modifies the loop variable")
+	}
+
+	saved := r.rng
+	r.rng = &rangeCtx{obj: obj}
+	r.block(s.Body)
+	sites := r.rng.sites
+	r.rng = saved
+	if len(sites) == 0 {
+		return bad("no coalescable base[i] accesses in the loop body")
+	}
+	pre := make([]ast.Stmt, 0, len(sites))
+	for _, site := range sites {
+		pre = append(pre, r.rangeCall(site, lo, hi))
+	}
+	return pre
+}
+
+// rangeCall builds xplrt.TraceRangeX(base[lo:hi]) — ScopeRangeX(s, ...)
+// inside an //xpl:scope function.
+func (r *rewriter) rangeCall(site rangeSite, lo, hi ast.Expr) ast.Stmt {
+	r.usedRuntime = true
+	suffix := strings.TrimPrefix(site.mode.traceFn(), "Trace")
+	fn := "TraceRange" + suffix
+	sl := &ast.SliceExpr{X: site.base, Low: cloneOperand(lo), High: cloneOperand(hi)}
+	args := []ast.Expr{sl}
+	if r.scope != "" {
+		fn = "ScopeRange" + suffix
+		args = []ast.Expr{ast.NewIdent(r.scope), sl}
+	}
+	return &ast.ExprStmt{X: &ast.CallExpr{
+		Fun: &ast.SelectorExpr{
+			X:   ast.NewIdent(r.opt.RuntimeAlias),
+			Sel: ast.NewIdent(fn),
+		},
+		Args: args,
+	}}
+}
+
+// pureBound reports whether a loop bound may be re-evaluated in the
+// hoisted slice expression: integer literals, len(x) of such an operand,
+// and operands whose own evaluation is elided (no traced access happens
+// that the original loop header would not also perform).
+func (r *rewriter) pureBound(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		return ok && id.Name == "len" && r.isBuiltin(e.Fun) &&
+			len(e.Args) == 1 && pureOperand(e.Args[0]) && r.elided(e.Args[0])
+	}
+	return pureOperand(e) && r.elided(e)
+}
+
+// elided reports whether evaluating the operand itself performs no traced
+// access: plain identifiers and field selections over value structs.
+// Selecting through a pointer (q.buf) is a traced heap read per iteration
+// in the per-element loop, so such operands are not hoistable.
+func (r *rewriter) elided(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.ParenExpr:
+		return r.elided(e.X)
+	case *ast.SelectorExpr:
+		sel, isSel := r.info.Selections[e]
+		if !isSel {
+			return true // package-qualified identifier
+		}
+		if sel.Kind() == types.FieldVal && isPointer(r.typeOf(e.X)) {
+			return false
+		}
+		return r.elided(e.X)
+	default:
+		return false
+	}
+}
+
+// cloneOperand rebuilds an identifier / selector-chain / literal / len()
+// operand as fresh position-free nodes, safe to splice into generated
+// code.
+func cloneOperand(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return ast.NewIdent(e.Name)
+	case *ast.ParenExpr:
+		return cloneOperand(e.X)
+	case *ast.SelectorExpr:
+		return &ast.SelectorExpr{X: cloneOperand(e.X), Sel: ast.NewIdent(e.Sel.Name)}
+	case *ast.BasicLit:
+		return &ast.BasicLit{Kind: e.Kind, Value: e.Value}
+	case *ast.CallExpr:
+		args := make([]ast.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = cloneOperand(a)
+		}
+		return &ast.CallExpr{Fun: cloneOperand(e.Fun), Args: args}
+	default:
+		return e
+	}
+}
+
+// mutatesVar reports whether the body assigns, increments, or takes the
+// address of the loop variable (closures included — a captured &i breaks
+// the canonical index progression).
+func (r *rewriter) mutatesVar(body *ast.BlockStmt, obj types.Object) bool {
+	uses := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && r.info.Uses[id] == obj
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if uses(l) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if uses(n.X) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && uses(n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN && (n.Key != nil && uses(n.Key) || n.Value != nil && uses(n.Value)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// dropRangeComments removes consumed //xpl:range comments from the file:
+// they annotate source the rewrite has already transformed, and the
+// printer would otherwise float them into the position-free inserted
+// calls.
+func dropRangeComments(f *ast.File, ranges []*rangePragma) {
+	if len(ranges) == 0 {
+		return
+	}
+	drop := map[token.Pos]bool{}
+	for _, p := range ranges {
+		if p.consumed {
+			drop[p.pos] = true
+		}
+	}
+	groups := f.Comments[:0]
+	for _, cg := range f.Comments {
+		list := cg.List[:0]
+		for _, c := range cg.List {
+			if !drop[c.Pos()] {
+				list = append(list, c)
+			}
+		}
+		if len(list) > 0 {
+			cg.List = list
+			groups = append(groups, cg)
+		}
+	}
+	f.Comments = groups
+}
+
+// escapeReason scans an //xpl:range loop body for early exits that would
+// break the "body runs for every index in [lo, hi)" premise. Branches
+// that bind to constructs nested inside the body (a nested loop's break,
+// a switch's break) are fine; function literals are opaque (return inside
+// one does not leave the loop).
+func escapeReason(body *ast.BlockStmt) string {
+	reason := ""
+	var walk func(s ast.Stmt, loop, sw int)
+	walk = func(s ast.Stmt, loop, sw int) {
+		if reason != "" {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			reason = "loop body returns early"
+		case *ast.BranchStmt:
+			switch {
+			case s.Tok == token.GOTO || s.Label != nil:
+				reason = "loop body has a goto or labeled branch"
+			case s.Tok == token.BREAK && loop == 0 && sw == 0:
+				reason = "loop body breaks out of the loop"
+			case s.Tok == token.CONTINUE && loop == 0:
+				reason = "loop body continues early"
+			}
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				walk(st, loop, sw)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walk(s.Init, loop, sw)
+			}
+			walk(s.Body, loop, sw)
+			if s.Else != nil {
+				walk(s.Else, loop, sw)
+			}
+		case *ast.ForStmt:
+			walk(s.Body, loop+1, sw)
+		case *ast.RangeStmt:
+			walk(s.Body, loop+1, sw)
+		case *ast.SwitchStmt:
+			walk(s.Body, loop, sw+1)
+		case *ast.TypeSwitchStmt:
+			walk(s.Body, loop, sw+1)
+		case *ast.SelectStmt:
+			walk(s.Body, loop, sw+1)
+		case *ast.CaseClause:
+			for _, st := range s.Body {
+				walk(st, loop, sw)
+			}
+		case *ast.CommClause:
+			for _, st := range s.Body {
+				walk(st, loop, sw)
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt, loop, sw)
+		}
+	}
+	for _, st := range body.List {
+		walk(st, 0, 0)
+	}
+	return reason
+}
+
+// block rewrites a block's statements, inserts any diagnostic pragmas
+// whose position falls between two of its statements, and applies
+// //xpl:range pragmas to the loops they precede.
 func (r *rewriter) block(b *ast.BlockStmt) {
 	var out []ast.Stmt
 	for _, s := range b.List {
@@ -769,6 +1178,15 @@ func (r *rewriter) block(b *ast.BlockStmt) {
 				d.consumed = true
 				out = append(out, r.diagStmt(d))
 			}
+		}
+		if rp := r.pendingRange(b.Lbrace, s.Pos()); rp != nil {
+			rp.consumed = true
+			if fs, ok := s.(*ast.ForStmt); ok {
+				out = append(out, r.rangeFor(rp, fs)...)
+				out = append(out, s)
+				continue
+			}
+			r.errf(rp.pos, "//xpl:range must immediately precede a for statement")
 		}
 		r.stmt(s)
 		out = append(out, s)

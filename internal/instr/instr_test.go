@@ -561,6 +561,202 @@ func total(b *box) int {
 	}
 }
 
+func TestRangePragmaCoalesces(t *testing.T) {
+	out := instrument(t, `package p
+func axpy(dst, src []float64, k float64, n int) {
+	//xpl:range
+	for i := 0; i < n; i++ {
+		dst[i] = src[i] * k
+	}
+}
+`)
+	// One hoisted call per site, in the per-element recording order
+	// (store target first, like *TraceW(&dst[i]) = *TraceR(&src[i])).
+	w := strings.Index(out, "xplrt.TraceRangeW(dst[0:n])")
+	r := strings.Index(out, "xplrt.TraceRangeR(src[0:n])")
+	if w < 0 || r < 0 || r < w {
+		t.Errorf("range calls missing or misordered:\n%s", out)
+	}
+	if !strings.Contains(out, "dst[i] = src[i] * k") {
+		t.Errorf("coalesced body sites were still wrapped:\n%s", out)
+	}
+	if strings.Contains(out, "TraceW(&dst[i])") || strings.Contains(out, "TraceR(&src[i])") {
+		t.Errorf("per-element traces left behind:\n%s", out)
+	}
+}
+
+func TestRangePragmaUpdateAndScope(t *testing.T) {
+	out := instrument(t, `package p
+
+type sc struct{}
+
+//xpl:scope s
+func kernel(s *sc, xs []int, n int) {
+	//xpl:range
+	for i := 0; i < n; i++ {
+		xs[i] += 2
+	}
+}
+`)
+	if !strings.Contains(out, "xplrt.ScopeRangeRW(s, xs[0:n])") {
+		t.Errorf("scoped read-modify-write range missing:\n%s", out)
+	}
+	if !strings.Contains(out, "xs[i] += 2") {
+		t.Errorf("coalesced site still wrapped:\n%s", out)
+	}
+}
+
+func TestRangePragmaConditionalFallsBack(t *testing.T) {
+	// The if condition runs every iteration (coalescable); the guarded
+	// store does not (kept per-element). A different index is never
+	// coalesced.
+	out := instrument(t, `package p
+func f(dst, c []int, j, n int) {
+	//xpl:range
+	for i := 0; i < n; i++ {
+		if c[i] > 0 {
+			dst[i] = c[j]
+		}
+	}
+}
+`)
+	if !strings.Contains(out, "xplrt.TraceRangeR(c[0:n])") {
+		t.Errorf("unconditional condition read not coalesced:\n%s", out)
+	}
+	if !strings.Contains(out, "*xplrt.TraceW(&dst[i]) = *xplrt.TraceR(&c[j])") {
+		t.Errorf("conditional store / foreign index lost per-element traces:\n%s", out)
+	}
+}
+
+func TestRangePragmaPointerBaseFallsBack(t *testing.T) {
+	// b.items reads through the pointer b every iteration; hoisting the
+	// site would drop those header reads, so it stays per-element — and
+	// with no coalescable site left, the pragma errors.
+	_, err := File("x.go", []byte(`package p
+type box struct{ items []int }
+func f(b *box, n int) {
+	//xpl:range
+	for i := 0; i < n; i++ {
+		b.items[i] = 0
+	}
+}
+`), Options{})
+	if err == nil || !strings.Contains(err.Error(), "no coalescable") {
+		t.Errorf("pointer-based operand coalesced, err=%v", err)
+	}
+}
+
+func TestRangePragmaValueStructBase(t *testing.T) {
+	out := instrument(t, `package p
+type grid struct{ cells []float64 }
+func clear(g grid, n int) {
+	//xpl:range
+	for i := 0; i < n; i++ {
+		g.cells[i] = 0
+	}
+}
+`)
+	if !strings.Contains(out, "xplrt.TraceRangeW(g.cells[0:n])") {
+		t.Errorf("value-struct slice field not coalesced:\n%s", out)
+	}
+}
+
+func TestRangePragmaErrors(t *testing.T) {
+	cases := map[string]string{
+		"not a for statement": `package p
+func f(x int) {
+	//xpl:range
+	x++
+	_ = x
+}
+`,
+		"non-canonical step": `package p
+func f(s []int, n int) {
+	//xpl:range
+	for i := 0; i < n; i += 2 {
+		s[i] = 0
+	}
+}
+`,
+		"early exit": `package p
+func f(s []int, n int) {
+	//xpl:range
+	for i := 0; i < n; i++ {
+		if s[i] == 0 {
+			break
+		}
+		s[i] = 1
+	}
+}
+`,
+		"loop variable mutated": `package p
+func f(s []int, n int) {
+	//xpl:range
+	for i := 0; i < n; i++ {
+		s[i] = 0
+		i++
+	}
+}
+`,
+		"impure bound": `package p
+func g() int { return 4 }
+func f(s []int) {
+	//xpl:range
+	for i := 0; i < g(); i++ {
+		s[i] = 0
+	}
+}
+`,
+		"unattached pragma": `package p
+//xpl:range
+var x int
+`,
+	}
+	for name, src := range cases {
+		if _, err := File("x.go", []byte(src), Options{}); err == nil {
+			t.Errorf("%s: bad //xpl:range accepted:\n%s", name, src)
+		}
+	}
+}
+
+func TestRangePragmaLenBound(t *testing.T) {
+	out := instrument(t, `package p
+func clear(s []int) {
+	//xpl:range
+	for i := 0; i < len(s); i++ {
+		s[i] = 0
+	}
+}
+`)
+	if !strings.Contains(out, "xplrt.TraceRangeW(s[0:len(s)])") {
+		t.Errorf("len(s) bound not hoisted:\n%s", out)
+	}
+}
+
+func TestRangePragmaNestedLoops(t *testing.T) {
+	// Each pragma binds to its own loop; the inner loop's bound may be the
+	// outer loop variable. Sites inside the inner loop never coalesce to
+	// the outer variable.
+	out := instrument(t, `package p
+func tri(s []int, n int) {
+	//xpl:range
+	for i := 0; i < n; i++ {
+		s[i] = 0
+		//xpl:range
+		for j := 0; j < i; j++ {
+			s[j] += 1
+		}
+	}
+}
+`)
+	if !strings.Contains(out, "xplrt.TraceRangeW(s[0:n])") {
+		t.Errorf("outer site not coalesced:\n%s", out)
+	}
+	if !strings.Contains(out, "xplrt.TraceRangeRW(s[0:i])") {
+		t.Errorf("inner site not coalesced to inner loop:\n%s", out)
+	}
+}
+
 func TestGoDeferAndFuncLit(t *testing.T) {
 	out := instrument(t, `package p
 

@@ -11,8 +11,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"xplacer/internal/detect"
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/record"
 	"xplacer/internal/shadow"
 	"xplacer/internal/trace"
 	"xplacer/xplrt"
@@ -139,6 +141,185 @@ func testEquivalence(t *testing.T, seed int64) {
 	}
 	if refUntracked == 0 {
 		t.Error("stream exercised no untracked accesses; weaken the generator check")
+	}
+}
+
+// rangeOp is one recorded operation: a scalar access (count == 1 recorded
+// via Record) or a strided range (recorded via RecordRange on one engine
+// and exploded into ascending per-element Records on the other).
+type rangeOp struct {
+	alloc  int // -1: untracked base
+	elem   int
+	count  int
+	stride int64 // bytes; may be negative (descending) or smaller than size
+	size   int64
+	skew   int64 // byte offset off the element grid (unaligned accesses)
+	dev    machine.Device
+	kind   memsim.AccessKind
+	scalar bool // use Record even when count == 1 was rolled
+}
+
+// TestRangeRecordEquivalence feeds one random stream of interleaved
+// scalar and range accesses through two engines — one recording ranges
+// with RecordRange, one exploding every range into per-element Record
+// calls — and requires byte-identical shadow state, identical kind and
+// untracked counts, identical heat maps, and identical findings. This is
+// the contract that makes the range fast path a pure optimization.
+//
+// Two regimes are checked. "buffered" keeps the engines' normal shard
+// buffering and uses element shapes that never straddle a 64-byte shard
+// line — the regime where the engine guarantees per-word recording order,
+// so the final state must match exactly. "flushed" adds skewed (unaligned)
+// and word-overlapping sweeps, which straddle shard lines; there even the
+// scalar engine's per-word order depends on relative shard drain times, so
+// the stream is flushed after every operation to pin both engines to
+// program order and isolate what is being tested: the run-length-encoded
+// application itself (splitting, clamping, untracked accounting) is exact.
+func TestRangeRecordEquivalence(t *testing.T) {
+	for _, seed := range []int64{2, 77, 20260805} {
+		for _, mode := range []string{"buffered", "flushed"} {
+			t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+				testRangeEquivalence(t, seed, mode == "flushed")
+			})
+		}
+	}
+}
+
+func testRangeEquivalence(t *testing.T, seed int64, flushEachOp bool) {
+	const (
+		numAllocs = 4
+		numOps    = 3000
+		elemSize  = 8
+	)
+	rng := rand.New(rand.NewSource(seed))
+	elems := make([]int, numAllocs)
+	for i := range elems {
+		elems[i] = 64 + rng.Intn(700)
+	}
+	strides := []int64{elemSize, 2 * elemSize, 3 * elemSize, -elemSize, -2 * elemSize}
+	if flushEachOp {
+		strides = append(strides, elemSize/2) // word-overlapping elements
+	}
+	ops := make([]rangeOp, numOps)
+	for i := range ops {
+		op := rangeOp{
+			alloc:  rng.Intn(numAllocs+1) - 1,
+			count:  1 + rng.Intn(64),
+			stride: strides[rng.Intn(len(strides))],
+			size:   elemSize,
+			dev:    machine.Device(rng.Intn(int(machine.NumDevices))),
+			kind:   memsim.AccessKind(rng.Intn(3)),
+			scalar: rng.Intn(4) == 0,
+		}
+		if flushEachOp && rng.Intn(8) == 0 {
+			op.skew = int64(1 + rng.Intn(int(elemSize)-1)) // off the word grid
+		}
+		if op.alloc >= 0 {
+			// Start anywhere, including near the end so long runs spill past
+			// the allocation into untracked territory.
+			op.elem = rng.Intn(elems[op.alloc])
+		}
+		ops[i] = op
+	}
+
+	build := func(useRange bool) (*shadow.Table, *record.Engine, *record.TableSink, *record.HeatmapSink) {
+		table := shadow.NewTable()
+		sink := record.NewTableSink(table)
+		eng := record.NewEngine(sink)
+		hm := record.NewHeatmapSink(table)
+		eng.AddSink(hm)
+		bases := make([]memsim.Addr, numAllocs)
+		for i := range bases {
+			bases[i] = memsim.Addr(0x200000 * (i + 1))
+			if _, err := table.InsertRange(bases[i], int64(elems[i])*elemSize, fmt.Sprintf("a%d", i), memsim.Managed, "test"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, op := range ops {
+			base := memsim.Addr(0x50) + memsim.Addr(op.skew)
+			if op.alloc >= 0 {
+				base = bases[op.alloc] + memsim.Addr(int64(op.elem)*elemSize+op.skew)
+			}
+			switch {
+			case op.scalar || op.count == 1:
+				eng.Record(op.dev, base, op.size, op.kind)
+			case useRange:
+				eng.RecordRange(op.dev, base, op.count, op.stride, op.size, op.kind)
+			default:
+				// Per-element reference: the same normalization RecordRange
+				// applies — a descending sweep records its words ascending.
+				b, s := base, op.stride
+				if s < 0 {
+					b += memsim.Addr(int64(op.count-1) * s)
+					s = -s
+				}
+				for k := 0; k < op.count; k++ {
+					eng.Record(op.dev, b+memsim.Addr(int64(k)*s), op.size, op.kind)
+				}
+			}
+			if flushEachOp {
+				eng.Flush()
+			}
+		}
+		eng.Flush()
+		return table, eng, sink, hm
+	}
+
+	refTable, refEng, refSink, refHM := build(false)
+	rngTable, rngEng, rngSink, rngHM := build(true)
+
+	refEntries, rngEntries := refTable.Entries(), rngTable.Entries()
+	if len(refEntries) != len(rngEntries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(refEntries), len(rngEntries))
+	}
+	for i := range refEntries {
+		if !bytesEqual(refEntries[i].Shadow, rngEntries[i].Shadow) {
+			t.Errorf("alloc %d: range shadow differs from per-element reference at word %d",
+				i, firstDiff(refEntries[i].Shadow, rngEntries[i].Shadow))
+		}
+	}
+
+	if rc, gc := refEng.Counts(), rngEng.Counts(); rc != gc {
+		t.Errorf("kind counts differ: reference %+v, range %+v", rc, gc)
+	}
+	if ru, gu := refSink.Untracked(), rngSink.Untracked(); ru != gu {
+		t.Errorf("untracked differs: reference %d, range %d", ru, gu)
+	} else if ru == 0 {
+		t.Error("stream exercised no untracked accesses; weaken the generator check")
+	}
+
+	// Heat maps: identical per-word counts and totals on every device.
+	refHeats, rngHeats := refHM.Heats(), rngHM.Heats()
+	if len(refHeats) != len(rngHeats) {
+		t.Fatalf("heat counts differ: %d vs %d", len(refHeats), len(rngHeats))
+	}
+	for i := range refHeats {
+		rh, gh := refHeats[i], rngHeats[i]
+		if rh.Base != gh.Base || rh.Words != gh.Words || rh.Totals != gh.Totals {
+			t.Errorf("heat %d header differs: ref{%x %d %v} vs range{%x %d %v}",
+				i, rh.Base, rh.Words, rh.Totals, gh.Base, gh.Words, gh.Totals)
+			continue
+		}
+		for d := range rh.Counts {
+			for w := range rh.Counts[d] {
+				if rh.Counts[d][w] != gh.Counts[d][w] {
+					t.Errorf("heat %d dev %d word %d: count %d vs %d", i, d, w, rh.Counts[d][w], gh.Counts[d][w])
+					break
+				}
+			}
+		}
+	}
+
+	// Findings: the detectors must see the same picture.
+	refFind := detect.Scan(refEntries, detect.DefaultOptions())
+	rngFind := detect.Scan(rngEntries, detect.DefaultOptions())
+	if len(refFind) != len(rngFind) {
+		t.Fatalf("finding counts differ: %d vs %d", len(refFind), len(rngFind))
+	}
+	for i := range refFind {
+		if refFind[i].String() != rngFind[i].String() {
+			t.Errorf("finding %d differs:\n  ref:   %s\n  range: %s", i, refFind[i], rngFind[i])
+		}
 	}
 }
 

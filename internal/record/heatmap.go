@@ -92,21 +92,19 @@ func (h *HeatmapSink) RotateOnClock(every machine.Duration, now func() machine.D
 	h.nextTick = h.epochFrom + every
 }
 
-// Apply implements Sink.
+// Apply implements Sink. Every batch — scalar or range-compacted — goes
+// through the same maybeRotate check before any counting, so a range
+// record draining after the simulated clock crossed a RotateOnClock
+// boundary lands in the epoch containing its drain time and can never
+// leak into the already-closed epoch.
 func (h *HeatmapSink) Apply(batch []shadow.Access, _ *Cursor) {
-	if h.now != nil {
-		if t := h.now(); t >= h.nextTick {
-			h.rotate(h.epochFrom)
-			h.epochFrom = h.nextTick
-			// Skip empty intervals so idle stretches do not mint epochs.
-			for h.nextTick <= t {
-				h.epochFrom = h.nextTick
-				h.nextTick += h.every
-			}
-		}
-	}
+	h.maybeRotate()
 	for i := range batch {
 		a := &batch[i]
+		if a.Count > 1 {
+			h.applyRange(a)
+			continue
+		}
 		e := h.last
 		if e == nil || e.Freed || !e.Contains(a.Addr) {
 			e = h.table.Find(a.Addr)
@@ -115,21 +113,110 @@ func (h *HeatmapSink) Apply(batch []shadow.Access, _ *Cursor) {
 			}
 			h.last = e
 		}
-		ht := h.heats[e]
-		if ht == nil {
-			ht = &Heat{Base: e.Base, Words: e.Words(), entry: e}
-			for d := range ht.Counts {
-				ht.Counts[d] = make([]uint32, ht.Words)
-			}
-			h.heats[e] = ht
-			h.order = append(h.order, ht)
-		}
+		ht := h.heatOf(e)
 		d := a.Dev
 		if int(d) >= len(ht.Counts) {
 			continue
 		}
 		first := int(a.Addr-e.Base) / shadow.WordSize
 		last := int(a.Addr+memsim.Addr(a.Size)-1-e.Base) / shadow.WordSize
+		if last >= ht.Words {
+			last = ht.Words - 1
+		}
+		for w := first; w <= last; w++ {
+			ht.Counts[d][w]++
+		}
+		ht.Totals[d] += uint64(last - first + 1)
+	}
+}
+
+// maybeRotate closes epochs the simulated clock has crossed since the
+// last batch; shared by the scalar and range paths.
+func (h *HeatmapSink) maybeRotate() {
+	if h.now == nil {
+		return
+	}
+	if t := h.now(); t >= h.nextTick {
+		h.rotate(h.epochFrom)
+		h.epochFrom = h.nextTick
+		// Skip empty intervals so idle stretches do not mint epochs.
+		for h.nextTick <= t {
+			h.epochFrom = h.nextTick
+			h.nextTick += h.every
+		}
+	}
+}
+
+// heatOf returns (creating on first touch) the heat state for an entry.
+func (h *HeatmapSink) heatOf(e *shadow.Entry) *Heat {
+	ht := h.heats[e]
+	if ht == nil {
+		ht = &Heat{Base: e.Base, Words: e.Words(), entry: e}
+		for d := range ht.Counts {
+			ht.Counts[d] = make([]uint32, ht.Words)
+		}
+		h.heats[e] = ht
+		h.order = append(h.order, ht)
+	}
+	return ht
+}
+
+// applyRange counts one run-length-encoded sweep without exploding it
+// into scalar records. Per-word counts stay element-exact: a run of
+// word-aligned, gapless, non-overlapping elements (stride == size,
+// word-multiple) bumps each covered word once in a single pass; any other
+// shape falls back to counting element by element, exactly as the scalar
+// path would have.
+func (h *HeatmapSink) applyRange(a *shadow.Access) {
+	count := int(a.Count)
+	stride := int64(a.Stride)
+	addr := a.Addr
+	for k := 0; k < count; {
+		e := h.last
+		if e == nil || e.Freed || !e.Contains(addr) {
+			e = h.table.Find(addr)
+			if e == nil {
+				k++ // untracked element: the TableSink tallies these
+				addr += memsim.Addr(stride)
+				continue
+			}
+			h.last = e
+		}
+		run := count - k
+		if stride > 0 {
+			// Longest prefix whose element starts stay inside e.
+			if r := int((int64(e.End-addr)-1)/stride) + 1; r < run {
+				run = r
+			}
+		}
+		if ht := h.heatOf(e); int(a.Dev) < len(ht.Counts) {
+			h.countRun(ht, a.Dev, addr, run, stride, int64(a.Size))
+		}
+		k += run
+		addr += memsim.Addr(int64(run) * stride)
+	}
+}
+
+// countRun adds one entry-local run to a heat's counts.
+func (h *HeatmapSink) countRun(ht *Heat, d machine.Device, addr memsim.Addr, run int, stride, size int64) {
+	if stride == size && addr%shadow.WordSize == 0 && stride%shadow.WordSize == 0 {
+		// Gapless, aligned, non-overlapping: each covered word belongs to
+		// exactly one element — count the whole span in one pass.
+		first := int(addr-ht.Base) / shadow.WordSize
+		last := int(addr+memsim.Addr(int64(run)*stride)-1-ht.Base) / shadow.WordSize
+		if last >= ht.Words {
+			last = ht.Words - 1
+		}
+		for w := first; w <= last; w++ {
+			ht.Counts[d][w]++
+		}
+		ht.Totals[d] += uint64(last - first + 1)
+		return
+	}
+	for k := 0; k < run; k++ {
+		a := addr + memsim.Addr(int64(k)*stride)
+		first := int(a-ht.Base) / shadow.WordSize
+		last := int(a+memsim.Addr(size)-1-ht.Base) / shadow.WordSize
 		if last >= ht.Words {
 			last = ht.Words - 1
 		}

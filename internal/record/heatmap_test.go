@@ -137,3 +137,73 @@ func TestHeatmapRotateOnClock(t *testing.T) {
 		t.Errorf("second closed epoch At = %v, want 100us", h.History[1].At)
 	}
 }
+
+// TestHeatmapRangeRotatesOnClock is the range-path regression for
+// clock-driven rotation: a batch containing only run-length-encoded
+// records must still run the rotation check before counting, so a range
+// draining after the simulated clock crossed an interval boundary lands
+// in the new epoch and never pollutes the closed one.
+func TestHeatmapRangeRotatesOnClock(t *testing.T) {
+	eng, hm := newHeatEngine(t)
+	var now machine.Duration
+	hm.RotateOnClock(100*machine.Microsecond, func() machine.Duration { return now })
+
+	eng.RecordRange(machine.CPU, 0x1000, 4, 4, 4, memsim.Write) // words 0-3
+	eng.Flush()
+	if hm.Epoch() != 0 {
+		t.Fatalf("epoch advanced without the clock: %d", hm.Epoch())
+	}
+
+	// The clock crosses a boundary; the next drained batch holds only a
+	// range record. It must close epoch 0 first and count in epoch 1.
+	now = 150 * machine.Microsecond
+	eng.RecordRange(machine.GPU, 0x1000, 8, 4, 4, memsim.Read) // words 0-7
+	eng.Flush()
+	if hm.Epoch() != 1 {
+		t.Fatalf("range-only batch did not rotate: epoch = %d, want 1", hm.Epoch())
+	}
+	h := hm.Heats()[0]
+	if len(h.History) != 1 {
+		t.Fatalf("history = %d entries, want 1", len(h.History))
+	}
+	if h.History[0].Total[machine.CPU] != 4 || h.History[0].Total[machine.GPU] != 0 {
+		t.Errorf("closed epoch polluted by the post-boundary range: %v", h.History[0].Total)
+	}
+	if h.Totals[machine.GPU] != 8 || h.Totals[machine.CPU] != 0 {
+		t.Errorf("open epoch totals = %v, want the GPU range only", h.Totals)
+	}
+}
+
+// TestHeatmapRangeCounts pins the per-word multiplicity of range records:
+// identical to per-element counting for contiguous, strided, and
+// word-overlapping sweeps.
+func TestHeatmapRangeCounts(t *testing.T) {
+	eng, hm := newHeatEngine(t)
+	eng.RecordRange(machine.CPU, 0x1000, 3, 8, 4, memsim.Read)  // words 0,2,4
+	eng.RecordRange(machine.GPU, 0x1004, 2, 8, 8, memsim.Write) // words 1-2, 3-4
+	eng.RecordRange(machine.CPU, 0x1020, 3, 4, 8, memsim.Write) // spans 8-10, each element two words
+	eng.Flush()
+
+	h := hm.Heats()[0]
+	for w, want := range map[int]uint32{0: 1, 2: 1, 4: 1, 1: 0} {
+		if got := h.Counts[machine.CPU][w]; got != want {
+			t.Errorf("CPU strided count word %d = %d, want %d", w, got, want)
+		}
+	}
+	for w, want := range map[int]uint32{1: 1, 2: 1, 3: 1, 4: 1} {
+		if got := h.Counts[machine.GPU][w]; got != want {
+			t.Errorf("GPU spanning count word %d = %d, want %d", w, got, want)
+		}
+	}
+	// Overlapping elements count once per element per covered word, like
+	// three scalar 8-byte accesses at 0x1020, 0x1024, 0x1028 would
+	// (words 8-9, 9-10, 10-11).
+	for w, want := range map[int]uint32{8: 1, 9: 2, 10: 2, 11: 1} {
+		if got := h.Counts[machine.CPU][w]; got != want {
+			t.Errorf("CPU overlapping count word %d = %d, want %d", w, got, want)
+		}
+	}
+	if h.Totals[machine.CPU] != 3+6 || h.Totals[machine.GPU] != 4 {
+		t.Errorf("totals = %v", h.Totals)
+	}
+}

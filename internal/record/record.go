@@ -65,7 +65,38 @@ const (
 	// the capacity stays modest (24 KiB of records) so that the buffers of
 	// many concurrent owners stay cache-resident.
 	bufferCap = 1024
+	// maxRun bounds one record's element count, stride, and size to the
+	// 32-bit fields of shadow.Access; RecordRange splits oversized sweeps
+	// and Record clamps a (nonsensical) multi-gigabyte element access.
+	maxRun = 1<<31 - 1
 )
+
+// clampSize bounds an element size to Access's 32-bit field. Element
+// accesses are a few bytes in practice (bulk effects are transfers, not
+// Records), so the branch never fires outside adversarial inputs.
+func clampSize(size int64) int32 {
+	if size > maxRun {
+		return maxRun
+	}
+	return int32(size)
+}
+
+// appendScalar writes one scalar access into the next slot of buf, which
+// must have spare capacity, and returns the extended slice. Field-by-field
+// slot assignment instead of appending a 6-field struct literal: the
+// literal makes the compiler materialize the Access on the stack with
+// narrow stores and reload it with wide ones — a store-forwarding stall
+// on every access that measurably slows the scalar hot path. Direct slot
+// stores keep it at the pre-range cost.
+func appendScalar(buf []shadow.Access, dev machine.Device, addr memsim.Addr, size int64, kind memsim.AccessKind) []shadow.Access {
+	n := len(buf)
+	buf = buf[:n+1]
+	a := &buf[n]
+	a.Dev, a.Kind, a.Size = dev, kind, clampSize(size)
+	a.Addr = addr
+	a.Count, a.Stride = 0, 0
+	return buf
+}
 
 // Cursor carries per-buffer sink state across batch applies: the
 // last-entry SMT lookup cache TableSink seeds RecordAll with, and the
@@ -97,9 +128,12 @@ type Counts struct {
 // kindCounts is the per-shard/per-buffer tally, indexed by AccessKind so
 // the hot path pays one branch-free increment instead of a switch; slot 3
 // (out-of-range kinds) merges into ReadWrites like the sinks treat them.
+// n is the number of element accesses the record represents: 1 for a
+// scalar, the element count for a run-length-encoded range, so the tallies
+// stay per-element exact either way.
 type kindCounts [4]int64
 
-func (c *kindCounts) add(kind memsim.AccessKind) { c[kind&3]++ }
+func (c *kindCounts) add(kind memsim.AccessKind, n int64) { c[kind&3] += n }
 
 func (c *kindCounts) empty() bool { return *c == kindCounts{} }
 
@@ -151,6 +185,11 @@ type Engine struct {
 	reads, writes, readWrites atomic.Int64
 
 	shards [NumShards]shard
+
+	// bulk and bulkCur are the scratch batch and cursor for multi-line
+	// range records (recordRun's flush-then-apply path); guarded by mu.
+	bulk    [1]shadow.Access
+	bulkCur Cursor
 }
 
 // NewEngine returns an enabled engine draining into the given sinks.
@@ -186,15 +225,92 @@ func (e *Engine) Record(dev machine.Device, addr memsim.Addr, size int64, kind m
 	if !e.dirty.Load() {
 		e.dirty.Store(true)
 	}
-	sh.cnt.add(kind)
+	sh.cnt.add(kind, 1)
 	if cap(sh.buf) == 0 {
 		sh.buf = make([]shadow.Access, 0, shardCap)
 	}
-	sh.buf = append(sh.buf, shadow.Access{Dev: dev, Kind: kind, Addr: addr, Size: size})
+	sh.buf = appendScalar(sh.buf, dev, addr, size, kind)
 	if len(sh.buf) >= shardCap {
 		e.drain(sh)
 	}
 	sh.mu.Unlock()
+}
+
+// RecordRange buffers a strided sweep — count elements of size bytes, the
+// k-th starting at base + k*stride — as a single run-length-encoded
+// record instead of count scalar records. Safe for concurrent callers. A
+// negative stride (descending sweep) is normalized: it touches the same
+// words, and within one range all elements share device and kind, so the
+// per-word shadow result is identical.
+//
+// Ordering: a run whose span stays inside one 64-byte line buffers in
+// that line's shard exactly like its scalar elements would (guarantee 1
+// holds verbatim). A wider run covers words owned by different shards, so
+// buffering it in any single shard could reorder it against scalar
+// accesses to the other lines; instead the engine flushes everything
+// recorded so far and applies the run as its own batch. For one recording
+// goroutine that preserves program order exactly; concurrent recorders
+// were never ordered against each other to begin with.
+func (e *Engine) RecordRange(dev machine.Device, base memsim.Addr, count int, stride, size int64, kind memsim.AccessKind) {
+	if e.disabled.Load() || count <= 0 || size <= 0 {
+		return
+	}
+	if stride < 0 {
+		base += memsim.Addr(int64(count-1) * stride)
+		stride = -stride
+	}
+	if count == 1 {
+		e.Record(dev, base, size, kind)
+		return
+	}
+	if stride > maxRun {
+		// Stride too wide for the 32-bit run encoding (never hit by real
+		// element sweeps); degrade to scalar records.
+		for k := 0; k < count; k++ {
+			e.Record(dev, base+memsim.Addr(int64(k)*stride), size, kind)
+		}
+		return
+	}
+	for count > maxRun {
+		e.recordRun(dev, base, maxRun, stride, size, kind)
+		base += memsim.Addr(int64(maxRun) * stride)
+		count -= maxRun
+	}
+	e.recordRun(dev, base, count, stride, size, kind)
+}
+
+// recordRun buffers one encodable run (1 <= count <= maxRun, 0 <= stride
+// <= maxRun); see RecordRange for the shard-vs-bulk routing rationale.
+func (e *Engine) recordRun(dev machine.Device, base memsim.Addr, count int, stride, size int64, kind memsim.AccessKind) {
+	span := int64(count-1)*stride + size
+	rec := shadow.Access{Dev: dev, Kind: kind, Addr: base, Size: clampSize(size), Count: int32(count), Stride: int32(stride)}
+	if line := uint64(base) >> shardShift; line == (uint64(base)+uint64(span-1))>>shardShift {
+		sh := &e.shards[line%NumShards]
+		sh.mu.Lock()
+		if !e.dirty.Load() {
+			e.dirty.Store(true)
+		}
+		sh.cnt.add(kind, int64(count))
+		if cap(sh.buf) == 0 {
+			sh.buf = make([]shadow.Access, 0, shardCap)
+		}
+		sh.buf = append(sh.buf, rec)
+		if len(sh.buf) >= shardCap {
+			e.drain(sh)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	// Multi-line run: flush, then apply as its own batch (lock order
+	// flushMu -> mu, consistent with a sweep's flushMu -> shard.mu -> mu).
+	var cnt kindCounts
+	cnt.add(kind, int64(count))
+	cnt.mergeInto(e)
+	e.Flush()
+	e.mu.Lock()
+	e.bulk[0] = rec
+	e.applyLocked(e.bulk[:], &e.bulkCur)
+	e.mu.Unlock()
 }
 
 // drain applies one shard's buffer to the sinks; the caller holds sh.mu.
@@ -316,13 +432,50 @@ func (b *Buffer) Record(dev machine.Device, addr memsim.Addr, size int64, kind m
 	if b.e.disabled.Load() {
 		return
 	}
-	b.cnt.add(kind)
+	b.cnt.add(kind, 1)
 	if cap(b.buf) == 0 {
 		b.buf = make([]shadow.Access, 0, bufferCap)
 	}
-	b.buf = append(b.buf, shadow.Access{Dev: dev, Kind: kind, Addr: addr, Size: size})
+	b.buf = appendScalar(b.buf, dev, addr, size, kind)
 	if len(b.buf) >= bufferCap {
 		b.Flush()
+	}
+}
+
+// RecordRange appends one run-length-encoded strided sweep (see
+// Engine.RecordRange for the encoding). The buffer is single-owner and
+// applies as one in-order batch, so unlike the shard path even multi-line
+// runs stay buffered: program order within the buffer is preserved by
+// construction.
+func (b *Buffer) RecordRange(dev machine.Device, base memsim.Addr, count int, stride, size int64, kind memsim.AccessKind) {
+	if b.e.disabled.Load() || count <= 0 || size <= 0 {
+		return
+	}
+	if stride < 0 {
+		base += memsim.Addr(int64(count-1) * stride)
+		stride = -stride
+	}
+	if stride > maxRun {
+		for k := 0; k < count; k++ {
+			b.Record(dev, base+memsim.Addr(int64(k)*stride), size, kind)
+		}
+		return
+	}
+	for count > 0 {
+		run := count
+		if run > maxRun {
+			run = maxRun
+		}
+		b.cnt.add(kind, int64(run))
+		if cap(b.buf) == 0 {
+			b.buf = make([]shadow.Access, 0, bufferCap)
+		}
+		b.buf = append(b.buf, shadow.Access{Dev: dev, Kind: kind, Addr: base, Size: clampSize(size), Count: int32(run), Stride: int32(stride)})
+		if len(b.buf) >= bufferCap {
+			b.Flush()
+		}
+		count -= run
+		base += memsim.Addr(int64(run) * stride)
 	}
 }
 

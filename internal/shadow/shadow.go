@@ -5,8 +5,11 @@
 // which processor wrote the word, which processor wrote it last, and which
 // (reader, value-origin) combinations occurred on reads. A sorted
 // allocation table — the shadow memory table, SMT — maps addresses to
-// shadow entries; lookup uses linear search below 64 entries and binary
-// search above, matching the prototype the paper describes in §IV-D.
+// shadow entries. Lookup goes through a two-level page index (radix map
+// from 4 KiB address page to owning entry), making find O(1); the sorted
+// table is kept for ordered iteration, overlap checks, and as the lookup
+// fallback on pages shared by several entries, where it still uses the
+// paper's §IV-D rule (linear search below 64 entries, binary above).
 package shadow
 
 import (
@@ -33,10 +36,33 @@ const (
 	ReadGG byte = 1 << 6 // GPU read a GPU-written value
 )
 
-// linearCutoff is the SMT size at which lookup switches from linear to
-// binary search (§IV-D: "linear search when the number of allocations is
-// less than 64, and binary search otherwise").
+// linearCutoff is the SMT size at which the sorted-table lookup switches
+// from linear to binary search (§IV-D: "linear search when the number of
+// allocations is less than 64, and binary search otherwise"). The sorted
+// search is now the fallback behind the page index below; it still
+// resolves pages shared by more than one entry.
 const linearCutoff = 64
+
+// Page-index geometry. The index is a two-level radix structure over
+// 4 KiB address pages: a directory map keyed by the high page bits points
+// at fixed-size leaves of per-page slots. A slot holds the one entry
+// covering that page, nil when the page is untracked, or the sharedPage
+// sentinel when several small entries share the page (possible for
+// xplrt-traced real heap addresses), in which case lookup falls back to
+// the sorted table. This makes find O(1) for the overwhelmingly common
+// cases — hit in a page-owning entry, or a miss — independent of the
+// number of allocations.
+const (
+	pageShift = 12 // 4 KiB index pages
+	leafBits  = 9  // 512 pages (2 MiB of address space) per leaf
+	leafSlots = 1 << leafBits
+)
+
+// pageLeaf is one directory leaf: per-page owner slots.
+type pageLeaf [leafSlots]*Entry
+
+// sharedPage marks an index page covered by more than one entry.
+var sharedPage = &Entry{Label: "<shared index page>"}
 
 // WordSize is the user-memory granularity of one shadow byte.
 const WordSize = 4
@@ -128,12 +154,13 @@ func (e *Entry) wordIndex(addr memsim.Addr) int { return int(addr-e.Base) / Word
 // lock via RecordAll.
 type Table struct {
 	entries []*Entry
-	byID    map[int]*Entry // AllocID -> entry, simulated allocations only
-	lookups int64          // total lookup operations (overhead accounting)
+	byID    map[int]*Entry       // AllocID -> entry, simulated allocations only
+	dir     map[uint64]*pageLeaf // page index directory: page>>leafBits -> leaf
+	lookups int64                // total lookup operations (overhead accounting)
 }
 
 // NewTable returns an empty SMT.
-func NewTable() *Table { return &Table{byID: map[int]*Entry{}} }
+func NewTable() *Table { return &Table{byID: map[int]*Entry{}, dir: map[uint64]*pageLeaf{}} }
 
 // Len returns the number of entries (live and freed-but-retained).
 func (t *Table) Len() int { return len(t.entries) }
@@ -182,7 +209,43 @@ func (t *Table) InsertRange(base memsim.Addr, size int64, label string, kind mem
 	t.entries = append(t.entries, nil)
 	copy(t.entries[i+1:], t.entries[i:])
 	t.entries[i] = e
+	t.indexInsert(e)
 	return e, nil
+}
+
+// indexInsert claims the entry's pages in the page index. A page already
+// owned by another entry degrades to the sharedPage sentinel; lookups on
+// it fall back to the sorted table.
+func (t *Table) indexInsert(e *Entry) {
+	if t.dir == nil {
+		t.dir = map[uint64]*pageLeaf{}
+	}
+	first := uint64(e.Base) >> pageShift
+	last := uint64(e.End-1) >> pageShift
+	for p := first; p <= last; p++ {
+		leaf := t.dir[p>>leafBits]
+		if leaf == nil {
+			leaf = &pageLeaf{}
+			t.dir[p>>leafBits] = leaf
+		}
+		switch slot := &leaf[p&(leafSlots-1)]; *slot {
+		case nil:
+			*slot = e
+		case e:
+		default:
+			*slot = sharedPage
+		}
+	}
+}
+
+// rebuildIndex reconstructs the page index from the live entry list; used
+// by the cold removal path (DropFreed) instead of tracking per-page
+// reference counts.
+func (t *Table) rebuildIndex() {
+	t.dir = map[uint64]*pageLeaf{}
+	for _, e := range t.entries {
+		t.indexInsert(e)
+	}
 }
 
 // Find returns the entry containing addr, or nil if the address is not
@@ -202,6 +265,27 @@ func (t *Table) FindAny(addr memsim.Addr) *Entry { return t.find(addr) }
 
 func (t *Table) find(addr memsim.Addr) *Entry {
 	t.lookups++
+	leaf := t.dir[uint64(addr)>>(pageShift+leafBits)]
+	if leaf == nil {
+		return nil // no entry covers the 2 MiB around addr
+	}
+	e := leaf[(uint64(addr)>>pageShift)&(leafSlots-1)]
+	switch e {
+	case nil:
+		return nil // untracked page
+	case sharedPage:
+		return t.searchSorted(addr) // several entries share the page
+	default:
+		if e.Contains(addr) {
+			return e
+		}
+		return nil // sole owner of the page, but addr misses its range
+	}
+}
+
+// searchSorted is the pre-index §IV-D lookup over the sorted entry list,
+// kept as the fallback for pages covered by more than one entry.
+func (t *Table) searchSorted(addr memsim.Addr) *Entry {
 	n := len(t.entries)
 	if n < linearCutoff {
 		for _, e := range t.entries {
@@ -246,7 +330,11 @@ func (t *Table) DropFreed() {
 	for i := len(kept); i < len(t.entries); i++ {
 		t.entries[i] = nil
 	}
+	dropped := len(t.entries) != len(kept)
 	t.entries = kept
+	if dropped {
+		t.rebuildIndex()
+	}
 }
 
 // Record registers an access of size bytes at addr and reports whether the
@@ -284,14 +372,90 @@ func (e *Entry) record(addr memsim.Addr, size int64, dev machine.Device, kind me
 	}
 }
 
-// Access is one buffered element access. Concurrent recording front ends
+// recordRange applies a strided sweep of count elements (size bytes each,
+// starting stride bytes apart) whose element starts all lie in the entry.
+// It is exact with respect to the per-word semantics of applying `record`
+// per element:
+//
+//   - For Read and Write the shadow transition is idempotent (tab∘tab =
+//     tab), so a gapless run (stride <= size) collapses to ONE table
+//     application per covered word — the bulk fast path.
+//   - ReadWrite is not idempotent (a second application adds the
+//     Read{dev,dev}-origin flag), so the run collapses only when no word
+//     is shared by two elements: word-aligned elements with stride ==
+//     size. Every other shape takes the per-element sweep, which applies
+//     the table exactly as many times per word as scalar recording would.
+//
+// Gapped runs (stride > size) always take the per-element sweep so
+// untouched words stay untouched.
+func (e *Entry) recordRange(addr memsim.Addr, count int, stride, size int64, dev machine.Device, kind memsim.AccessKind) {
+	e.EverTouched = true
+	if count <= 0 || size <= 0 {
+		return
+	}
+	if int(dev) >= len(updateTab) || int(kind) >= len(updateTab[0]) {
+		for k := 0; k < count; k++ {
+			e.record(addr+memsim.Addr(int64(k)*stride), size, dev, kind)
+		}
+		return
+	}
+	tab := &updateTab[dev][kind]
+	if count > 1 && stride <= size &&
+		(kind != memsim.ReadWrite ||
+			(stride == size && addr%WordSize == 0 && stride%WordSize == 0)) {
+		first := e.wordIndex(addr)
+		last := e.wordIndex(addr + memsim.Addr(int64(count-1)*stride+size) - 1)
+		if last >= len(e.Shadow) {
+			last = len(e.Shadow) - 1
+		}
+		for i := first; i <= last; i++ {
+			e.Shadow[i] = tab[e.Shadow[i]]
+		}
+		return
+	}
+	for k := 0; k < count; k++ {
+		a := addr + memsim.Addr(int64(k)*stride)
+		first := e.wordIndex(a)
+		last := e.wordIndex(a + memsim.Addr(size) - 1)
+		if last >= len(e.Shadow) {
+			last = len(e.Shadow) - 1
+		}
+		for i := first; i <= last; i++ {
+			e.Shadow[i] = tab[e.Shadow[i]]
+		}
+	}
+}
+
+// Access is one buffered access. Concurrent recording front ends
 // (xplrt's address shards, trace.Tracer) append these to per-shard buffers
 // on the hot path and apply them in batch at flush points.
+//
+// Count and Stride run-length-encode a strided sweep: Count elements of
+// Size bytes each, the k-th starting at Addr + k*Stride. Count 0 or 1 is
+// a scalar element access, so plain literals without the new fields keep
+// their pre-range meaning. Stride is non-negative (front ends normalize
+// descending sweeps, which touch the same words).
+//
+// All three run fields are 32-bit on purpose: element accesses are a few
+// bytes (bulk effects go through transfers, not Record), and keeping the
+// struct at 24 bytes — the same size it had before the run encoding —
+// is what keeps the scalar buffered hot path's memory traffic unchanged.
+// Producers clamp oversized values rather than letting them wrap.
 type Access struct {
-	Dev  machine.Device
-	Kind memsim.AccessKind
-	Addr memsim.Addr
-	Size int64
+	Dev    machine.Device
+	Kind   memsim.AccessKind
+	Size   int32
+	Addr   memsim.Addr
+	Count  int32
+	Stride int32
+}
+
+// Elems returns the number of element accesses the entry encodes.
+func (a *Access) Elems() int64 {
+	if a.Count > 1 {
+		return int64(a.Count)
+	}
+	return 1
 }
 
 // RecordAll applies a batch of buffered accesses in order. hint seeds the
@@ -304,6 +468,12 @@ func (t *Table) RecordAll(batch []Access, hint *Entry) (last *Entry, untracked i
 	last = hint
 	for i := range batch {
 		a := &batch[i]
+		if a.Count > 1 {
+			var un int
+			last, un = t.recordRange(a, last)
+			untracked += un
+			continue
+		}
 		e := last
 		if e == nil || e.Freed || !e.Contains(a.Addr) {
 			e = t.Find(a.Addr)
@@ -313,7 +483,42 @@ func (t *Table) RecordAll(batch []Access, hint *Entry) (last *Entry, untracked i
 			}
 			last = e
 		}
-		e.record(a.Addr, a.Size, a.Dev, a.Kind)
+		e.record(a.Addr, int64(a.Size), a.Dev, a.Kind)
+	}
+	return last, untracked
+}
+
+// recordRange resolves a run-length-encoded sweep against the table and
+// applies it entry by entry: each traced sub-run becomes one bulk
+// recordRange on its entry, and elements that start in no traced entry
+// count as untracked exactly like their scalar equivalents would.
+func (t *Table) recordRange(a *Access, hint *Entry) (last *Entry, untracked int) {
+	last = hint
+	count := int(a.Count)
+	stride := int64(a.Stride)
+	addr := a.Addr
+	for k := 0; k < count; {
+		e := last
+		if e == nil || e.Freed || !e.Contains(addr) {
+			e = t.Find(addr)
+		}
+		if e == nil {
+			untracked++
+			k++
+			addr += memsim.Addr(stride)
+			continue
+		}
+		last = e
+		run := count - k
+		if stride > 0 {
+			// Longest prefix whose element starts stay inside e.
+			if r := int((int64(e.End-addr)-1)/stride) + 1; r < run {
+				run = r
+			}
+		}
+		e.recordRange(addr, run, stride, int64(a.Size), a.Dev, a.Kind)
+		k += run
+		addr += memsim.Addr(int64(run) * stride)
 	}
 	return last, untracked
 }

@@ -300,7 +300,7 @@ func TestRecordAllMatchesSequentialRecord(t *testing.T) {
 	accesses = append(accesses, Access{Dev: machine.CPU, Kind: memsim.Read, Addr: 0xdead0000, Size: 4})
 	tracked := 0
 	for _, ac := range accesses {
-		if ref.Record(ac.Dev, ac.Addr, ac.Size, ac.Kind) {
+		if ref.Record(ac.Dev, ac.Addr, int64(ac.Size), ac.Kind) {
 			tracked++
 		}
 	}

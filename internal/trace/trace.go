@@ -154,6 +154,14 @@ func (t *Tracer) TraceAccess(dev machine.Device, _ *memsim.Alloc, addr memsim.Ad
 	t.eng.Record(dev, addr, size, kind)
 }
 
+// TraceAccessRange implements cuda.RangeTracer: a strided sweep of count
+// elements of size bytes, the k-th at addr + k*stride, recorded as one
+// run-length-encoded entry with the exact per-word semantics of count
+// TraceAccess calls in ascending order.
+func (t *Tracer) TraceAccessRange(dev machine.Device, _ *memsim.Alloc, addr memsim.Addr, count int, stride, size int64, kind memsim.AccessKind) {
+	t.eng.RecordRange(dev, addr, count, stride, size, kind)
+}
+
 // TraceTransfer implements cuda.Tracer: host-to-device copies are recorded
 // as CPU writes of the range, device-to-host copies as CPU reads (§III-C,
 // "Unnecessary data transfers"). Buffered accesses are flushed first so

@@ -22,7 +22,7 @@ type liveRun struct {
 
 // captureRun executes app uninstrumented with what-if capture enabled and
 // snapshots the trace, the final host clock, and the driver statistics.
-func captureRun(t *testing.T, plat *machine.Platform, app func(*core.Session) error) liveRun {
+func captureRun(t testing.TB, plat *machine.Platform, app func(*core.Session) error) liveRun {
 	t.Helper()
 	var lr liveRun
 	if _, err := core.Run(plat, false, func(s *core.Session) error {

@@ -28,7 +28,9 @@ package whatif
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
@@ -110,7 +112,20 @@ func candidatePlacements(kind memsim.Kind) []um.Placement {
 // Analyze replays the trace under every candidate placement of every
 // allocation (one at a time), ranks the predictions, and replays the
 // combined per-allocation winners once for the whole-run best prediction.
+// Candidate replays run on a worker pool sized to GOMAXPROCS; use
+// AnalyzeParallel to pin the worker count. The result is deterministic and
+// identical to a sequential analysis regardless of worker count.
 func Analyze(events []timeline.Event, plat *machine.Platform) (*Result, error) {
+	return AnalyzeParallel(events, plat, 0)
+}
+
+// AnalyzeParallel is Analyze with an explicit candidate-replay worker
+// count; workers < 1 means GOMAXPROCS. Every Replay builds its own
+// simulator state from the read-only event stream, so the candidate
+// replays are embarrassingly parallel; results are assembled in the fixed
+// (allocation, candidate) order, making the output — including error
+// selection — byte-identical across worker counts.
+func AnalyzeParallel(events []timeline.Event, plat *machine.Platform, workers int) (*Result, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("whatif: empty trace")
 	}
@@ -156,6 +171,62 @@ func Analyze(events []timeline.Event, plat *machine.Platform) (*Result, error) {
 		labels[ai.id] = ai.label
 	}
 
+	// Enumerate the candidate replays in the fixed (allocation, candidate)
+	// order and run them on the worker pool; the assembly loop below
+	// consumes the results in the same order, so the report and the error
+	// choice cannot depend on scheduling.
+	type job struct {
+		id        int // alloc ID
+		label     string
+		placement um.Placement
+	}
+	var jobs []job
+	for _, ai := range allocs {
+		for _, p := range candidatePlacements(ai.kind) {
+			if p != um.PlaceObserved {
+				jobs = append(jobs, job{id: ai.id, label: ai.label, placement: p})
+			}
+		}
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	preds := make([]machine.Duration, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) > 0 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					j := jobs[i]
+					out, err := Replay(events, plat, map[int]um.Placement{j.id: j.placement})
+					if err != nil {
+						errs[i] = fmt.Errorf("whatif: %s=%s: %w", j.label, j.placement, err)
+						continue
+					}
+					preds[i] = out.Total
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs { // first error in job order, as sequentially
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	jobIdx := 0
 	for _, ai := range allocs {
 		cands := candidatePlacements(ai.kind)
 		if cands == nil {
@@ -174,11 +245,8 @@ func Analyze(events []timeline.Event, plat *machine.Platform) (*Result, error) {
 			if p == um.PlaceObserved {
 				c.Predicted = base.Total
 			} else {
-				out, err := Replay(events, plat, map[int]um.Placement{ai.id: p})
-				if err != nil {
-					return nil, fmt.Errorf("whatif: %s=%s: %w", ai.label, p, err)
-				}
-				c.Predicted = out.Total
+				c.Predicted = preds[jobIdx]
+				jobIdx++
 			}
 			c.Delta = c.Predicted - base.Total
 			if p == um.PlaceExplicit && ai.hostAccessed {

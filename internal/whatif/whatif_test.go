@@ -3,6 +3,7 @@ package whatif_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -153,8 +154,91 @@ func TestResultTextAndJSON(t *testing.T) {
 	}
 }
 
+// TestAnalyzeParallelDeterministic pins the parallel analysis contract:
+// the full report — candidate order, winner selection, and error-free
+// totals — is byte-identical across worker counts, including the
+// sequential worker pool of one.
+func TestAnalyzeParallelDeterministic(t *testing.T) {
+	plat := machine.IntelPascal()
+	lr := captureRun(t, plat, func(s *core.Session) error {
+		c := s.Ctx
+		grid, err := c.MallocManaged(1<<18, "grid")
+		if err != nil {
+			return err
+		}
+		coeff, err := c.MallocManaged(1<<16, "coeff")
+		if err != nil {
+			return err
+		}
+		buf, err := c.Malloc(1<<16, "buf")
+		if err != nil {
+			return err
+		}
+		host := c.Host()
+		for off := int64(0); off < grid.Size; off += 8 {
+			host.Access(grid, grid.Base+memsim.Addr(off), 8, memsim.Write)
+		}
+		for off := int64(0); off < coeff.Size; off += 8 {
+			host.Access(coeff, coeff.Base+memsim.Addr(off), 8, memsim.Write)
+		}
+		c.MemcpyH2D(buf, 0, make([]byte, buf.Size))
+		for i := 0; i < 6; i++ {
+			c.LaunchSync("stencil", func(e *cuda.Exec) {
+				for off := int64(0); off < grid.Size; off += 8 {
+					e.Access(grid, grid.Base+memsim.Addr(off), 8, memsim.ReadWrite)
+				}
+				for off := int64(0); off < coeff.Size; off += 8 {
+					e.Access(coeff, coeff.Base+memsim.Addr(off), 8, memsim.Read)
+				}
+				e.Access(buf, buf.Base, 8, memsim.ReadWrite)
+			})
+		}
+		return c.Free(grid)
+	})
+
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		res, err := whatif.AnalyzeParallel(lr.events, plat, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt bytes.Buffer
+		res.Text(&txt)
+		raw = append(raw, txt.Bytes()...)
+		if want == nil {
+			want = raw
+			continue
+		}
+		if !bytes.Equal(raw, want) {
+			t.Errorf("workers=%d report diverged from workers=1:\n%s\n--- vs ---\n%s", workers, raw, want)
+		}
+	}
+}
+
 func TestAnalyzeEmptyTrace(t *testing.T) {
 	if _, err := whatif.Analyze(nil, machine.IntelPascal()); err == nil {
 		t.Fatal("Analyze(nil) succeeded; want error")
+	}
+}
+
+// BenchmarkAnalyzeParallelWorkers measures the candidate-replay worker
+// pool: the same analysis at one worker and at four. The outputs are
+// byte-identical (TestAnalyzeParallelDeterministic); only wall-clock
+// should move.
+func BenchmarkAnalyzeParallelWorkers(b *testing.B) {
+	plat := machine.IntelPascal()
+	lr := captureRun(b, plat, syntheticApp)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := whatif.AnalyzeParallel(lr.events, plat, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -242,6 +242,139 @@ func ScopeRW[T any](s *DeviceScope, p *T) *T {
 	return p
 }
 
+// sliceRange derives the (base address, element count, element size) of a
+// slice for the range-trace entry points.
+func sliceRange[T any](xs []T) (memsim.Addr, int, int64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	return memsim.Addr(uintptr(unsafe.Pointer(&xs[0]))), len(xs), int64(unsafe.Sizeof(xs[0]))
+}
+
+// TraceRangeR records a read of every element of xs as one
+// run-length-encoded range — the compact equivalent of calling TraceR on
+// each &xs[i] in order, at a fraction of the recording cost. It returns
+// xs, so a sweep can be traced where the slice is used.
+func TraceRangeR[T any](xs []T) []T {
+	if base, n, sz := sliceRange(xs); n > 0 {
+		rt.eng.RecordRange(Device(defaultDev.Load()), base, n, sz, sz, memsim.Read)
+	}
+	return xs
+}
+
+// TraceRangeW records a write of every element of xs as one range (the
+// compact equivalent of per-element TraceW calls).
+func TraceRangeW[T any](xs []T) []T {
+	if base, n, sz := sliceRange(xs); n > 0 {
+		rt.eng.RecordRange(Device(defaultDev.Load()), base, n, sz, sz, memsim.Write)
+	}
+	return xs
+}
+
+// TraceRangeRW records a read-modify-write of every element of xs as one
+// range (the compact equivalent of per-element TraceRW calls).
+func TraceRangeRW[T any](xs []T) []T {
+	if base, n, sz := sliceRange(xs); n > 0 {
+		rt.eng.RecordRange(Device(defaultDev.Load()), base, n, sz, sz, memsim.ReadWrite)
+	}
+	return xs
+}
+
+// TraceRangeStridedR records a read of xs[0], xs[step], xs[2*step], … as
+// one strided range — the shape of a column sweep over a row-major
+// matrix. step must be positive.
+func TraceRangeStridedR[T any](xs []T, step int) []T {
+	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
+		rt.eng.RecordRange(Device(defaultDev.Load()), base, (n+step-1)/step, int64(step)*sz, sz, memsim.Read)
+	}
+	return xs
+}
+
+// TraceRangeStridedW is TraceRangeStridedR for writes.
+func TraceRangeStridedW[T any](xs []T, step int) []T {
+	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
+		rt.eng.RecordRange(Device(defaultDev.Load()), base, (n+step-1)/step, int64(step)*sz, sz, memsim.Write)
+	}
+	return xs
+}
+
+// TraceRangeStridedRW is TraceRangeStridedR for read-modify-writes.
+func TraceRangeStridedRW[T any](xs []T, step int) []T {
+	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
+		rt.eng.RecordRange(Device(defaultDev.Load()), base, (n+step-1)/step, int64(step)*sz, sz, memsim.ReadWrite)
+	}
+	return xs
+}
+
+// ScopeRangeR records a read of every element of xs in the scope's role,
+// through the scope's private buffer (no locking). A nil scope falls back
+// to the process-default role.
+func ScopeRangeR[T any](s *DeviceScope, xs []T) []T {
+	if s == nil {
+		return TraceRangeR(xs)
+	}
+	if base, n, sz := sliceRange(xs); n > 0 {
+		s.buf.RecordRange(s.dev, base, n, sz, sz, memsim.Read)
+	}
+	return xs
+}
+
+// ScopeRangeW is ScopeRangeR for writes.
+func ScopeRangeW[T any](s *DeviceScope, xs []T) []T {
+	if s == nil {
+		return TraceRangeW(xs)
+	}
+	if base, n, sz := sliceRange(xs); n > 0 {
+		s.buf.RecordRange(s.dev, base, n, sz, sz, memsim.Write)
+	}
+	return xs
+}
+
+// ScopeRangeRW is ScopeRangeR for read-modify-writes.
+func ScopeRangeRW[T any](s *DeviceScope, xs []T) []T {
+	if s == nil {
+		return TraceRangeRW(xs)
+	}
+	if base, n, sz := sliceRange(xs); n > 0 {
+		s.buf.RecordRange(s.dev, base, n, sz, sz, memsim.ReadWrite)
+	}
+	return xs
+}
+
+// ScopeRangeStridedR records a read of xs[0], xs[step], … in the scope's
+// role (see TraceRangeStridedR).
+func ScopeRangeStridedR[T any](s *DeviceScope, xs []T, step int) []T {
+	if s == nil {
+		return TraceRangeStridedR(xs, step)
+	}
+	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
+		s.buf.RecordRange(s.dev, base, (n+step-1)/step, int64(step)*sz, sz, memsim.Read)
+	}
+	return xs
+}
+
+// ScopeRangeStridedW is ScopeRangeStridedR for writes.
+func ScopeRangeStridedW[T any](s *DeviceScope, xs []T, step int) []T {
+	if s == nil {
+		return TraceRangeStridedW(xs, step)
+	}
+	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
+		s.buf.RecordRange(s.dev, base, (n+step-1)/step, int64(step)*sz, sz, memsim.Write)
+	}
+	return xs
+}
+
+// ScopeRangeStridedRW is ScopeRangeStridedR for read-modify-writes.
+func ScopeRangeStridedRW[T any](s *DeviceScope, xs []T, step int) []T {
+	if s == nil {
+		return TraceRangeStridedRW(xs, step)
+	}
+	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
+		s.buf.RecordRange(s.dev, base, (n+step-1)/step, int64(step)*sz, sz, memsim.ReadWrite)
+	}
+	return xs
+}
+
 // Register makes an allocation visible to the tracer. v must be a pointer
 // or a slice; the covered byte range is derived from the element type.
 // Registering the same or an overlapping range twice is ignored (the first
