@@ -184,6 +184,26 @@ func BenchmarkTraceOverheadSingle(b *testing.B) {
 	reportHotPath(b, 1, 1<<20)
 }
 
+// BenchmarkTraceOverheadPatternSink compares the recording hot path with
+// and without the access-pattern classifier sink attached. The sink adds
+// nothing to the buffered append; its cost is paid at drain time — one
+// delta fold per scalar access, O(1) per RLE range record — so the
+// all-scalar workload here is its worst case. Acceptance bar:
+// overhead_x < 2 (range-coalesced workloads see no measurable change).
+func BenchmarkTraceOverheadPatternSink(b *testing.B) {
+	const total = 1 << 20
+	bare, classified := math.Inf(1), math.Inf(1)
+	for i := 0; i < b.N; i++ {
+		bare = math.Min(bare, bench.TraceHotPath(1, total))
+		classified = math.Min(classified, bench.TraceHotPathPatterns(1, total))
+	}
+	b.ReportMetric(bare, "bare_ns_per_access")
+	b.ReportMetric(classified, "pattern_ns_per_access")
+	if bare > 0 {
+		b.ReportMetric(classified/bare, "overhead_x")
+	}
+}
+
 // BenchmarkTraceRangeSweep measures the run-length-encoded range path
 // against the scalar buffered path on the same sweep workload. One
 // ScopeRange call replaces a block's worth of ScopeR calls, so the

@@ -10,8 +10,9 @@
 //	xplacer -app backprop|gaussian|lud|nn|cfd [-size N] [-optimize]
 //
 // The final diagnostic (summaries, access maps for -maps, a per-word
-// access-frequency heat map for -heatmap, anti-pattern findings with
-// remedies) is printed to stdout. -timeline exports the run's simulated
+// access-frequency heat map for -heatmap, per-kernel access-pattern
+// classes for -patterns, anti-pattern findings with remedies) is printed
+// to stdout. -timeline exports the run's simulated
 // event timeline as Chrome trace-format JSON (loadable in Perfetto or
 // chrome://tracing); -fail-on makes the exit status reflect selected
 // finding kinds, for CI gates; -whatif captures the run's access
@@ -33,6 +34,7 @@ import (
 	"xplacer/internal/detect"
 	"xplacer/internal/diag"
 	"xplacer/internal/machine"
+	"xplacer/internal/pattern"
 	"xplacer/internal/record"
 	"xplacer/internal/timeline"
 	"xplacer/internal/whatif"
@@ -56,6 +58,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the final report as JSON")
 		maps      = flag.String("maps", "", "also print access maps for this allocation label")
 		heatmap   = flag.Bool("heatmap", false, "record per-word access frequencies and include the heat map in the final report")
+		patterns  = flag.Bool("patterns", false, "classify per-kernel access patterns (sequential/strided/scatter/random) and include them in the final report")
 		advise    = flag.Bool("advise", false, "derive placement recommendations from the final report")
 		profile   = flag.Bool("profile", false, "print the simulated-time breakdown and per-kernel profile")
 		timelineF = flag.String("timeline", "", "export the event timeline as Chrome trace JSON to this file (view in Perfetto)")
@@ -101,6 +104,12 @@ func main() {
 			hm.RotateOnClock(every, s.Ctx.Now)
 		}
 		s.Tracer.AddSink(hm)
+	}
+	var ps *pattern.Sink
+	if *patterns {
+		// Classify access structure per (kernel span, allocation, device);
+		// span start times come from the simulated clock.
+		ps = s.Tracer.EnablePatterns(s.Ctx.Now)
 	}
 
 	switch *app {
@@ -191,6 +200,12 @@ func main() {
 	if hm != nil {
 		// Diagnostic flushed the tracer, so the heat counts are complete.
 		rep.Heatmap = diag.SummarizeHeatmap(hm, 64)
+	}
+	if ps != nil {
+		// Likewise quiescent; penalties are scaled to this platform's
+		// coalescing knob so the report matches what the cost model charged.
+		rep.Patterns = diag.SummarizePatterns(ps, plat.CoalescePenaltyPct)
+		rep.Patterns.AnnotateHeatmap(rep.Heatmap)
 	}
 	if *whatIf {
 		// The diagnostic flushed the trailing host window, so the trace is

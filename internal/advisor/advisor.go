@@ -134,10 +134,36 @@ func Recommend(rep diag.Report, opt Options) []Recommendation {
 		}
 		r := recommendOne(s, opt)
 		if r != nil {
+			r.Rationale += citePattern(rep.Patterns.Alloc(s.AllocID))
 			out = append(out, *r)
 		}
 	}
 	return out
+}
+
+// citePattern renders an allocation's access-pattern digest (when the run
+// was observed with -patterns) as a rationale suffix. Uncoalesced classes
+// get an explicit caveat: placement advice moves the pages, but a scatter
+// or random walk still wastes most of each memory transaction, so the
+// win is bounded until the access order itself changes.
+func citePattern(pa *diag.PatternAlloc) string {
+	if pa == nil || pa.Class == "" || pa.Class == "unknown" {
+		return ""
+	}
+	where := ""
+	if pa.Span != "" && pa.Span != "(start)" {
+		where = " in " + pa.Span
+	}
+	s := fmt.Sprintf(" [%s pattern: %s%s", pa.Dev, pa.Class, where)
+	switch pa.Class {
+	case "scatter", "random":
+		s += "; coalescing-limited — placement alone will not recover the transaction waste"
+	case "strided":
+		if pa.StrideBytes != 0 {
+			s += fmt.Sprintf(", stride %dB", pa.StrideBytes)
+		}
+	}
+	return s + "]"
 }
 
 // recommendOne applies the decision rules to one summary.

@@ -11,7 +11,11 @@ import (
 
 func run(t *testing.T, plat *machine.Platform, cfg Config, instrument bool) (Result, *core.Session) {
 	t.Helper()
-	s, err := core.NewSessionConfig(plat, core.Config{Instrument: instrument})
+	opt := core.WithInstrumentation()
+	if !instrument {
+		opt = core.WithoutInstrumentation()
+	}
+	s, err := core.NewSession(plat, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

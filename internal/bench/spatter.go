@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"math/rand"
+)
+
+// SpatterKind enumerates the parameterized gather/scatter families of the
+// Spatter benchmark suite (Lavin et al.): index streams whose structure —
+// not whose footprint — determines coalescing efficiency. They are the
+// calibration corpus for the access-pattern classifier (internal/pattern):
+// each family has a known ground-truth class, so a table-driven test can
+// assert the classifier labels every family correctly.
+type SpatterKind int
+
+const (
+	// SpatterUniform is UNIFORM:stride — the k-th access hits element
+	// k*stride. Stride 1 is a unit sweep (sequential); wider strides are
+	// the classic column-walk (strided).
+	SpatterUniform SpatterKind = iota
+	// SpatterStencil is the Laplacian-style neighborhood sweep: each sweep
+	// position i emits its neighborhood (i-1, i, i+1). No single delta
+	// dominates, but every step stays within a few elements (sequential by
+	// the locality rule).
+	SpatterStencil
+	// SpatterGatherLocal is an index-driven gather with a bounded window: a
+	// sweeping base plus a random offset within ±window/2 elements.
+	// Irregular, but jumps never leave the neighborhood (scatter).
+	SpatterGatherLocal
+	// SpatterRandom picks uniformly over the whole buffer: far jumps
+	// dominate (random).
+	SpatterRandom
+)
+
+func (k SpatterKind) String() string {
+	switch k {
+	case SpatterUniform:
+		return "uniform"
+	case SpatterStencil:
+		return "stencil"
+	case SpatterGatherLocal:
+		return "gather-local"
+	default:
+		return "random"
+	}
+}
+
+// SpatterConfig parameterizes one generated index stream.
+type SpatterConfig struct {
+	Kind SpatterKind
+	// N is the target buffer length in elements; generated indices lie in
+	// [0, N).
+	N int
+	// Count is the number of accesses to generate.
+	Count int
+	// Stride is the element stride of SpatterUniform (default 1).
+	Stride int
+	// Window is the neighborhood width of SpatterGatherLocal, in elements
+	// (default 64).
+	Window int
+	// Seed drives the random families deterministically.
+	Seed int64
+}
+
+// SpatterIndices generates the element-index stream for a configuration.
+// The same configuration always yields the same stream.
+func SpatterIndices(cfg SpatterConfig) []int {
+	if cfg.N <= 0 || cfg.Count <= 0 {
+		return nil
+	}
+	stride := cfg.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 64
+	}
+	if window > cfg.N {
+		window = cfg.N
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, cfg.Count)
+	switch cfg.Kind {
+	case SpatterUniform:
+		for k := range idx {
+			idx[k] = (k * stride) % cfg.N
+		}
+	case SpatterStencil:
+		// Neighborhood sweep: position i emits i-1, i, i+1 (clamped), then
+		// the base advances — three accesses per point, all within reach.
+		base := 1
+		for k := 0; k < cfg.Count; k += 3 {
+			for j, off := range [3]int{-1, 0, 1} {
+				if k+j >= cfg.Count {
+					break
+				}
+				p := base + off
+				if p < 0 {
+					p = 0
+				}
+				idx[k+j] = p % cfg.N
+			}
+			base++
+			if base >= cfg.N-1 {
+				base = 1
+			}
+		}
+	case SpatterGatherLocal:
+		base := window / 2
+		for k := range idx {
+			p := base + rng.Intn(window) - window/2
+			if p < 0 {
+				p = 0
+			}
+			idx[k] = p % cfg.N
+			base++
+			if base >= cfg.N-window/2 {
+				base = window / 2
+			}
+		}
+	default: // SpatterRandom
+		for k := range idx {
+			idx[k] = rng.Intn(cfg.N)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"xplacer/internal/memsim"
+	"xplacer/internal/pattern"
+	"xplacer/xplrt"
+)
+
+const (
+	spatterN     = 4096 // elements in the target buffer
+	spatterCount = 3000 // accesses per stream
+	spatterElem  = 8    // int64 elements
+)
+
+// TestSpatterClassifierCorpus asserts the classifier's ground truth: every
+// Spatter family must get its known class. The streams feed a Tracker
+// directly — the same accumulation the simulator and the sink both use.
+func TestSpatterClassifierCorpus(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  SpatterConfig
+		want pattern.Class
+	}{
+		{"uniform-unit", SpatterConfig{Kind: SpatterUniform, N: spatterN, Count: spatterCount, Stride: 1}, pattern.Sequential},
+		{"uniform-stride4", SpatterConfig{Kind: SpatterUniform, N: spatterN, Count: spatterCount, Stride: 4}, pattern.Strided},
+		{"uniform-stride32", SpatterConfig{Kind: SpatterUniform, N: spatterN, Count: spatterCount, Stride: 32}, pattern.Strided},
+		{"stencil", SpatterConfig{Kind: SpatterStencil, N: spatterN, Count: spatterCount}, pattern.Sequential},
+		{"gather-local", SpatterConfig{Kind: SpatterGatherLocal, N: spatterN, Count: spatterCount, Window: 64, Seed: 1}, pattern.Scatter},
+		{"random", SpatterConfig{Kind: SpatterRandom, N: spatterN, Count: spatterCount, Seed: 1}, pattern.Random},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var tr pattern.Tracker
+			base := memsim.Addr(0x100000)
+			for _, i := range SpatterIndices(c.cfg) {
+				tr.Note(base+memsim.Addr(i*spatterElem), spatterElem)
+			}
+			r := tr.Classify()
+			if r.Class != c.want {
+				t.Fatalf("%s classified as %s (stride %dB, %d samples), want %s",
+					c.name, r.Class, r.Stride, r.Samples, c.want)
+			}
+			if c.want == pattern.Strided {
+				wantStride := int64(c.cfg.Stride * spatterElem)
+				if r.Stride != wantStride {
+					t.Errorf("dominant stride = %dB, want %dB", r.Stride, wantStride)
+				}
+			}
+		})
+	}
+}
+
+// TestSpatterSinkClassifiesThroughDrainPath runs one strided stream
+// through the full plain-Go pipeline — scope buffer, engine drain,
+// pattern sink — and checks the sink's row agrees with the direct
+// Tracker classification.
+func TestSpatterSinkClassifiesThroughDrainPath(t *testing.T) {
+	xplrt.Reset()
+	defer xplrt.Reset()
+	ps := xplrt.EnablePatterns()
+	xs := xplrt.Slice[int64](spatterN, "xs")
+	idx := SpatterIndices(SpatterConfig{Kind: SpatterUniform, N: spatterN, Count: spatterCount, Stride: 4})
+	xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) {
+		for _, i := range idx {
+			_ = *xplrt.ScopeR(s, &xs[i])
+		}
+	})
+	xplrt.Flush()
+	for _, row := range ps.Rows() {
+		if row.Alloc != "xs" || row.Dev != xplrt.GPU {
+			continue
+		}
+		if row.Result.Class != pattern.Strided || row.Result.Stride != 4*spatterElem {
+			t.Fatalf("sink row = %s stride %dB, want strided stride %dB",
+				row.Result.Class, row.Result.Stride, 4*spatterElem)
+		}
+		return
+	}
+	t.Fatal("no GPU stream for xs in the pattern sink")
+}
+
+// TestSpatterClassificationChangesNoShadowState replays the same access
+// stream with and without the pattern sink attached: classification is
+// observe-only, so shadow bytes and untracked counts must be identical.
+// The stream mixes scalar scoped accesses with an RLE range record to
+// cover both sink fold paths.
+func TestSpatterClassificationChangesNoShadowState(t *testing.T) {
+	run := func(withSink bool) ([]byte, int64) {
+		xplrt.Reset()
+		if withSink {
+			xplrt.EnablePatterns()
+		}
+		xs := xplrt.Slice[int64](spatterN, "xs")
+		idx := SpatterIndices(SpatterConfig{Kind: SpatterGatherLocal, N: spatterN, Count: spatterCount, Window: 64, Seed: 7})
+		xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) {
+			for _, i := range idx {
+				*xplrt.ScopeRW(s, &xs[i])++
+			}
+			xplrt.ScopeRange(s, xplrt.Read, xs[:512])
+			xplrt.ScopeRange(s, xplrt.Write, xs[:2048], xplrt.Stride(4))
+		})
+		xplrt.Range(xplrt.Read, xs[:64])
+		untracked := xplrt.Untracked() // flushes
+		return append([]byte(nil), xplrt.ShadowOf(xs)...), untracked
+	}
+	plain, plainUn := run(false)
+	classified, classifiedUn := run(true)
+	xplrt.Reset()
+	if !bytes.Equal(plain, classified) {
+		t.Error("shadow bytes differ with the pattern sink attached")
+	}
+	if plainUn != classifiedUn {
+		t.Errorf("untracked counts differ: %d without sink, %d with", plainUn, classifiedUn)
+	}
+}

@@ -41,10 +41,25 @@ func hotPathSlices() [][]float64 {
 // ns per access over `total` accesses from `goroutines` concurrent GPU-role
 // workers, including the final flush.
 func TraceHotPath(goroutines, total int) float64 {
+	return traceHotPath(goroutines, total, false)
+}
+
+// TraceHotPathPatterns is TraceHotPath with an access-pattern classifier
+// sink attached. The sink folds whole drained batches — it adds no
+// per-access work — so this figure should stay within noise of the bare
+// path; BenchmarkTraceOverheadPatternSink reports the ratio.
+func TraceHotPathPatterns(goroutines, total int) float64 {
+	return traceHotPath(goroutines, total, true)
+}
+
+func traceHotPath(goroutines, total int, patterns bool) float64 {
 	if goroutines < 1 {
 		goroutines = 1
 	}
 	xplrt.Reset()
+	if patterns {
+		xplrt.EnablePatterns()
+	}
 	slices := hotPathSlices()
 	per := total / goroutines
 	start := time.Now()
@@ -110,9 +125,9 @@ func RangeSweepHotPath(goroutines, total, stride int) float64 {
 						n = per - i
 					}
 					if stride == 1 {
-						xplrt.ScopeRangeR(s, xs[:n])
+						xplrt.ScopeRange(s, xplrt.Read, xs[:n])
 					} else {
-						xplrt.ScopeRangeStridedR(s, xs[:(n-1)*stride+1], stride)
+						xplrt.ScopeRange(s, xplrt.Read, xs[:(n-1)*stride+1], xplrt.Stride(stride))
 					}
 					i += n
 				}

@@ -23,6 +23,7 @@ import (
 
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/pattern"
 	"xplacer/internal/timeline"
 	"xplacer/internal/um"
 )
@@ -742,6 +743,7 @@ func (c *Context) Launch(s *Stream, name string, body func(e *Exec)) {
 	c.kernels++
 	e := &Exec{ctx: c, dev: machine.GPU}
 	body(e)
+	e.stampPatterns(c.plat)
 	dur := c.plat.KernelLaunch + e.kernelDuration(c.plat)
 	start := c.tl.Clock().Reserve(s.id, dur)
 	c.tl.Clock().Advance(machine.Microsecond) // async launch issue overhead
@@ -811,14 +813,17 @@ type Exec struct {
 	dev  machine.Device
 	host bool
 
-	local  machine.Duration
-	remote machine.Duration
 	serial machine.Duration
+	// allocs accumulates per-allocation state, indexed by alloc ID: the
+	// local/remote memory time the kernel spent on the allocation (kept
+	// per allocation so the coalescing multiplier can scale each
+	// allocation's memory time by its own classified pattern), the
+	// distinct-page short circuit, and the access-pattern tracker.
+	allocs []allocState
 	// Distinct-page tracking: each page a kernel touches costs
-	// PageTouchCost (GPU TLB misses / page-table walks). lastPage is a
-	// per-allocation short circuit so sequential streams stay cheap.
+	// PageTouchCost (GPU TLB misses / page-table walks). The per-
+	// allocation lastPage short circuit keeps sequential streams cheap.
 	touched   map[memsim.Addr]struct{}
-	lastPage  []memsim.Addr // by alloc ID; page number + 1, 0 = none yet
 	pageCount int
 	// Optional GPU L2 model (§VI future work): lines seen by this kernel.
 	// Enabled only when the platform sets GPUL2Bytes.
@@ -833,6 +838,24 @@ type Exec struct {
 	work machine.Duration
 	// cap aggregates per-page access totals while what-if capture is on.
 	cap accessCapture
+}
+
+// allocState is one allocation's per-kernel accumulation: memory time by
+// residency, the last page touched (page number + 1, 0 = none yet), and
+// the access-pattern tracker the coalescing multiplier derives from.
+type allocState struct {
+	lastPage      memsim.Addr
+	local, remote machine.Duration
+	pat           pattern.Tracker
+}
+
+// allocState returns (growing the slice as needed) the per-allocation
+// state for an alloc ID.
+func (e *Exec) allocState(id int) *allocState {
+	for id >= len(e.allocs) {
+		e.allocs = append(e.allocs, allocState{})
+	}
+	return &e.allocs[id]
 }
 
 // Device returns the device this execution context runs on.
@@ -900,24 +923,26 @@ func (e *Exec) access(a *memsim.Alloc, addr memsim.Addr, size int64, kind memsim
 		e.ctx.tl.Clock().Advance(t)
 		return
 	}
-	e.local += cost.Local
-	e.remote += cost.Remote
+	st := e.allocState(a.ID)
+	st.local += cost.Local
+	st.remote += cost.Remote
 	e.serial += cost.Serial
 	e.faults += cost.Faults
 	e.migBytes += cost.MigratedBytes
-	e.notePage(a.ID, addr)
+	e.notePage(st, addr)
+	st.pat.Note(addr, size)
 	if e.ctx.whatif {
 		e.cap.note(a.ID, int32(int64(addr-a.Base)>>e.ctx.pageShift), (size+3)/4, kind != memsim.Read)
 	}
 	if e.ctx.plat.GPUL2Bytes > 0 && cost.Remote == 0 && cost.Faults == 0 {
-		e.noteLine(addr, size)
+		e.noteLine(st, addr, size)
 	}
 }
 
 // noteLine models the optional GPU L2 (§VI): a repeat access to a line the
 // kernel already touched — while the kernel's line footprint still fits in
 // the cache — is re-priced from GPUAccess to GPUL2Hit.
-func (e *Exec) noteLine(addr memsim.Addr, size int64) {
+func (e *Exec) noteLine(st *allocState, addr memsim.Addr, size int64) {
 	line := e.ctx.plat.GPUL2Line
 	if line <= 0 {
 		line = 128
@@ -930,8 +955,8 @@ func (e *Exec) noteLine(addr memsim.Addr, size int64) {
 		if int64(len(e.l2lines))*line <= e.ctx.plat.GPUL2Bytes {
 			// Hit: refund the local DRAM cost, charge the hit cost.
 			words := machine.Duration((size + 3) / 4)
-			e.local -= e.ctx.plat.GPUAccess * words
-			e.local += e.ctx.plat.GPUL2Hit * words
+			st.local -= e.ctx.plat.GPUAccess * words
+			st.local += e.ctx.plat.GPUL2Hit * words
 			e.l2hits++
 		}
 		return
@@ -942,15 +967,12 @@ func (e *Exec) noteLine(addr memsim.Addr, size int64) {
 // notePage records the page of an access for the per-kernel distinct-page
 // cost. The per-allocation last-page cache keeps sequential streams off
 // the map.
-func (e *Exec) notePage(allocID int, addr memsim.Addr) {
+func (e *Exec) notePage(st *allocState, addr memsim.Addr) {
 	pg := addr/memsim.Addr(e.ctx.plat.PageSize) + 1
-	for allocID >= len(e.lastPage) {
-		e.lastPage = append(e.lastPage, 0)
-	}
-	if e.lastPage[allocID] == pg {
+	if st.lastPage == pg {
 		return
 	}
-	e.lastPage[allocID] = pg
+	st.lastPage = pg
 	if e.touched == nil {
 		e.touched = make(map[memsim.Addr]struct{})
 	}
@@ -967,8 +989,8 @@ func (e *Exec) notePage(allocID int, addr memsim.Addr) {
 // already pays.
 func (e *Exec) touchedAllocs() []int {
 	var out []int
-	for id, pg := range e.lastPage {
-		if pg != 0 {
+	for id := range e.allocs {
+		if e.allocs[id].lastPage != 0 {
 			out = append(out, id)
 		}
 	}
@@ -1034,13 +1056,57 @@ func FoldKernelCost(p *machine.Platform, k KernelCost) machine.Duration {
 	return d
 }
 
+// ScaleCoalesce inflates a span's per-allocation memory time by its
+// classified coalescing penalty: local and remote time grow by pct
+// percent, in the exact integer arithmetic both the live launch and the
+// what-if replay use, so observed-placement replay stays bit-exact.
+func ScaleCoalesce(d machine.Duration, pct int) machine.Duration {
+	if pct <= 0 || d == 0 {
+		return d
+	}
+	return d * machine.Duration(100+pct) / 100
+}
+
 // kernelDuration folds the accumulated costs into the kernel's simulated
-// duration via FoldKernelCost.
+// duration via FoldKernelCost. Each allocation's local and remote memory
+// time is first scaled by that allocation's coalescing penalty — the
+// per-(kernel, allocation) multiplier derived from its classified access
+// pattern. With CoalescePenaltyPct == 0 the fold degenerates to the plain
+// sum of per-allocation buckets.
 func (e *Exec) kernelDuration(p *machine.Platform) machine.Duration {
-	return FoldKernelCost(p, KernelCost{
-		Local: e.local, Remote: e.remote, Serial: e.serial, Work: e.work,
+	k := KernelCost{
+		Serial: e.serial, Work: e.work,
 		Faults: e.faults, MigratedBytes: e.migBytes, PagesTouched: e.pageCount,
-	})
+	}
+	for i := range e.allocs {
+		st := &e.allocs[i]
+		if st.local == 0 && st.remote == 0 {
+			continue
+		}
+		pct := st.pat.Classify().PenaltyPct(p.CoalescePenaltyPct)
+		k.Local += ScaleCoalesce(st.local, pct)
+		k.Remote += ScaleCoalesce(st.remote, pct)
+	}
+	return FoldKernelCost(p, k)
+}
+
+// stampPatterns attaches each accessed allocation's classified pattern —
+// class, dominant stride, and the coalescing penalty kernelDuration will
+// charge — to the what-if capture aggregate, so candidate replays price
+// coalescing from the captured multiplier instead of re-deriving it.
+func (e *Exec) stampPatterns(p *machine.Platform) {
+	for i := range e.cap.accessed {
+		aa := &e.cap.accessed[i]
+		if aa.AllocID < 0 || aa.AllocID >= len(e.allocs) {
+			continue
+		}
+		r := e.allocs[aa.AllocID].pat.Classify()
+		aa.Pattern = timeline.Pattern{
+			Class:       r.Class.String(),
+			StrideBytes: r.Stride,
+			PenaltyPct:  r.PenaltyPct(p.CoalescePenaltyPct),
+		}
+	}
 }
 
 func maxDur(a, b machine.Duration) machine.Duration {

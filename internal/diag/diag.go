@@ -101,6 +101,9 @@ type Report struct {
 	// record.HeatmapSink observed the run (see SummarizeHeatmap); nil
 	// otherwise.
 	Heatmap *HeatmapSummary
+	// Patterns holds the access-pattern classification when a pattern.Sink
+	// observed the run (see SummarizePatterns); nil otherwise.
+	Patterns *PatternsSummary
 	// WhatIf holds the placement what-if analysis when the run was
 	// captured and analyzed (cmd/xplacer -whatif); nil otherwise.
 	WhatIf *whatif.Result
@@ -180,6 +183,9 @@ func (r *Report) Text(w io.Writer) {
 	}
 	if r.Heatmap != nil {
 		r.Heatmap.Text(w)
+	}
+	if r.Patterns != nil {
+		r.Patterns.Text(w)
 	}
 }
 

@@ -27,6 +27,10 @@ type HeatAlloc struct {
 	HotCount uint64 `json:"hotCount"`
 	CPURow   string `json:"cpuRow,omitempty"`
 	GPURow   string `json:"gpuRow,omitempty"`
+	// Pattern is the allocation's dominant access-pattern class, filled in
+	// by PatternsSummary.AnnotateHeatmap when a pattern sink observed the
+	// run; empty otherwise.
+	Pattern string `json:"pattern,omitempty"`
 }
 
 // HeatEpoch is one closed epoch's per-allocation totals.
@@ -140,6 +144,9 @@ func (s *HeatmapSummary) Text(w io.Writer) {
 		fmt.Fprintf(w, "%s (%d words): %d CPU / %d GPU word accesses", a.Label, a.Words, a.CPUAccesses, a.GPUAccesses)
 		if a.HotCount > 0 {
 			fmt.Fprintf(w, ", hottest word %d (%dx)", a.HotWord, a.HotCount)
+		}
+		if a.Pattern != "" {
+			fmt.Fprintf(w, ", pattern %s", a.Pattern)
 		}
 		fmt.Fprintln(w)
 		fmt.Fprintf(w, "  CPU %s\n", a.CPURow)

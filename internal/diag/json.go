@@ -8,15 +8,26 @@ import (
 	"xplacer/internal/whatif"
 )
 
+// SchemaVersion identifies the report's JSON layout; consumers should
+// check it before assuming fields. History (documented in DESIGN.md §5d):
+//
+//	1 — implicit (no schema_version key): title/allocations/findings plus
+//	    optional heatmap and whatif blocks.
+//	2 — adds schema_version, the optional top-level "patterns" block, and
+//	    the optional per-allocation "pattern" digest.
+const SchemaVersion = 2
+
 // jsonReport is the machine-readable serialization of a Report, for
 // tooling that post-processes diagnostics (the structured counterpart of
 // the paper's raw CSV output).
 type jsonReport struct {
-	Title    string          `json:"title,omitempty"`
-	Allocs   []jsonAlloc     `json:"allocations"`
-	Findings []jsonFinding   `json:"findings"`
-	Heatmap  *HeatmapSummary `json:"heatmap,omitempty"`
-	WhatIf   *whatif.Result  `json:"whatif,omitempty"`
+	SchemaVersion int              `json:"schema_version"`
+	Title         string           `json:"title,omitempty"`
+	Allocs        []jsonAlloc      `json:"allocations"`
+	Findings      []jsonFinding    `json:"findings"`
+	Heatmap       *HeatmapSummary  `json:"heatmap,omitempty"`
+	Patterns      *PatternsSummary `json:"patterns,omitempty"`
+	WhatIf        *whatif.Result   `json:"whatif,omitempty"`
 }
 
 type jsonAlloc struct {
@@ -37,6 +48,9 @@ type jsonAlloc struct {
 	TransferredOut int64  `json:"bytesOut,omitempty"`
 
 	Kernels []string `json:"kernels,omitempty"`
+	// Pattern is the allocation's access-pattern digest (schema v2),
+	// present when a pattern sink observed the run.
+	Pattern *PatternAlloc `json:"pattern,omitempty"`
 }
 
 type jsonFinding struct {
@@ -52,7 +66,13 @@ type jsonFinding struct {
 
 // JSON writes the report as indented JSON.
 func (r *Report) JSON(w io.Writer) error {
-	out := jsonReport{Title: r.Title, Heatmap: r.Heatmap, WhatIf: r.WhatIf}
+	out := jsonReport{
+		SchemaVersion: SchemaVersion,
+		Title:         r.Title,
+		Heatmap:       r.Heatmap,
+		Patterns:      r.Patterns,
+		WhatIf:        r.WhatIf,
+	}
 	for _, s := range r.Allocs {
 		out.Allocs = append(out.Allocs, jsonAlloc{
 			Label:          s.Label,
@@ -71,6 +91,7 @@ func (r *Report) JSON(w io.Writer) error {
 			TransferredIn:  s.TransferredIn,
 			TransferredOut: s.TransferredOut,
 			Kernels:        s.Kernels,
+			Pattern:        r.Patterns.Alloc(s.AllocID),
 		})
 	}
 	for _, f := range r.Findings {

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -58,6 +59,39 @@ func goTool(t *testing.T) string {
 // normalization keeps the goldens stable if one starts to.
 var wallRE = regexp.MustCompile(`(?i)(wall[ -]?time[^0-9]*)[0-9][0-9a-zµ.]*`)
 
+// maxKnownSchema is the newest report schema_version this harness knows
+// how to normalize (see diag.SchemaVersion). Bumping the schema without
+// teaching the harness fails loudly below, forcing the masking rules to
+// be reviewed before the goldens are regenerated.
+const maxKnownSchema = 2
+
+// schemaVersionRE extracts the declared schema version from JSON reports;
+// reports before v2 carried no version key (implicit v1).
+var schemaVersionRE = regexp.MustCompile(`"schema_version":\s*(\d+)`)
+
+func schemaVersion(b []byte) int {
+	m := schemaVersionRE.FindSubmatch(b)
+	if m == nil {
+		return 1
+	}
+	v, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		return 1
+	}
+	return v
+}
+
+// normalizeReport is the version-aware entry point: it reads the schema
+// version the output itself declares and applies that version's masking
+// rules. v1 and v2 share them; future versions hook in here.
+func normalizeReport(t *testing.T, b []byte) []byte {
+	t.Helper()
+	if v := schemaVersion(b); v > maxKnownSchema {
+		t.Fatalf("report declares schema_version %d but the harness knows only v%d — review normalize() before regenerating goldens", v, maxKnownSchema)
+	}
+	return normalize(b)
+}
+
 // normalize makes captured output diffable across machines and runs:
 // CRLF to LF, trailing whitespace stripped, wall-clock durations masked,
 // exactly one trailing newline.
@@ -86,7 +120,7 @@ func runAndCompare(t *testing.T, name string, args ...string) {
 	if err := cmd.Run(); err != nil {
 		t.Fatalf("%v: %v\nstderr:\n%s", args, err, stderr.String())
 	}
-	got := normalize(stdout.Bytes())
+	got := normalizeReport(t, stdout.Bytes())
 	golden := filepath.Join(root, "internal", "goldenreport", "testdata", name+".golden")
 	if *update {
 		if err := os.WriteFile(golden, got, 0o644); err != nil {
@@ -163,6 +197,12 @@ func TestReportJSONGoldens(t *testing.T) {
 			"-cols", "64", "-rows", "41", "-pyramid", "10", "-json", "-whatif"},
 		"report-sw": {"run", "./cmd/xplacer", "-app", "sw",
 			"-size", "24", "-json", "-whatif"},
+		// The -patterns runs pin the access-pattern classification block
+		// (schema v2): per-span stream classes and per-alloc digests.
+		"report-pathfinder-patterns": {"run", "./cmd/xplacer", "-app", "pathfinder",
+			"-cols", "64", "-rows", "41", "-pyramid", "10", "-json", "-patterns"},
+		"report-sw-patterns": {"run", "./cmd/xplacer", "-app", "sw",
+			"-size", "24", "-json", "-patterns"},
 	}
 	names := make([]string, 0, len(cases))
 	for n := range cases {

@@ -35,8 +35,9 @@
 //	    (for i := lo; i < hi; i++): every unconditional base[i] access in
 //	    the body — base a plain slice-typed operand, index exactly the
 //	    loop variable — is hoisted into one compact range-trace call
-//	    before the loop, xplrt.TraceRangeR/W/RW(base[lo:hi]) (ScopeRange*
-//	    inside an //xpl:scope function), and left unwrapped in the body.
+//	    before the loop, xplrt.Range(xplrt.Read|Write|ReadWrite, base[lo:hi])
+//	    (xplrt.ScopeRange(s, kind, ...) inside an //xpl:scope function), and
+//	    left unwrapped in the body.
 //	    Per-word shadow semantics are identical to the per-element
 //	    instrumentation (each such site touches word i exactly once, at
 //	    iteration i, so site-major emission preserves every word's access
@@ -447,6 +448,19 @@ func (m mode) traceFn() string {
 		return "TraceRW"
 	default:
 		return "TraceR"
+	}
+}
+
+// kindName is the xplrt access-kind constant for the mode, used by the
+// generic range-tracing calls (xplrt.Range / xplrt.ScopeRange).
+func (m mode) kindName() string {
+	switch m {
+	case store:
+		return "Write"
+	case update:
+		return "ReadWrite"
+	default:
+		return "Read"
 	}
 }
 
@@ -953,17 +967,21 @@ func (r *rewriter) rangeFor(p *rangePragma, s *ast.ForStmt) []ast.Stmt {
 	return pre
 }
 
-// rangeCall builds xplrt.TraceRangeX(base[lo:hi]) — ScopeRangeX(s, ...)
-// inside an //xpl:scope function.
+// rangeCall builds xplrt.Range(xplrt.Kind, base[lo:hi]) —
+// xplrt.ScopeRange(s, xplrt.Kind, base[lo:hi]) inside an //xpl:scope
+// function.
 func (r *rewriter) rangeCall(site rangeSite, lo, hi ast.Expr) ast.Stmt {
 	r.usedRuntime = true
-	suffix := strings.TrimPrefix(site.mode.traceFn(), "Trace")
-	fn := "TraceRange" + suffix
+	kind := &ast.SelectorExpr{
+		X:   ast.NewIdent(r.opt.RuntimeAlias),
+		Sel: ast.NewIdent(site.mode.kindName()),
+	}
 	sl := &ast.SliceExpr{X: site.base, Low: cloneOperand(lo), High: cloneOperand(hi)}
-	args := []ast.Expr{sl}
+	fn := "Range"
+	args := []ast.Expr{kind, sl}
 	if r.scope != "" {
-		fn = "ScopeRange" + suffix
-		args = []ast.Expr{ast.NewIdent(r.scope), sl}
+		fn = "ScopeRange"
+		args = []ast.Expr{ast.NewIdent(r.scope), kind, sl}
 	}
 	return &ast.ExprStmt{X: &ast.CallExpr{
 		Fun: &ast.SelectorExpr{

@@ -572,8 +572,8 @@ func axpy(dst, src []float64, k float64, n int) {
 `)
 	// One hoisted call per site, in the per-element recording order
 	// (store target first, like *TraceW(&dst[i]) = *TraceR(&src[i])).
-	w := strings.Index(out, "xplrt.TraceRangeW(dst[0:n])")
-	r := strings.Index(out, "xplrt.TraceRangeR(src[0:n])")
+	w := strings.Index(out, "xplrt.Range(xplrt.Write, dst[0:n])")
+	r := strings.Index(out, "xplrt.Range(xplrt.Read, src[0:n])")
 	if w < 0 || r < 0 || r < w {
 		t.Errorf("range calls missing or misordered:\n%s", out)
 	}
@@ -598,7 +598,7 @@ func kernel(s *sc, xs []int, n int) {
 	}
 }
 `)
-	if !strings.Contains(out, "xplrt.ScopeRangeRW(s, xs[0:n])") {
+	if !strings.Contains(out, "xplrt.ScopeRange(s, xplrt.ReadWrite, xs[0:n])") {
 		t.Errorf("scoped read-modify-write range missing:\n%s", out)
 	}
 	if !strings.Contains(out, "xs[i] += 2") {
@@ -620,7 +620,7 @@ func f(dst, c []int, j, n int) {
 	}
 }
 `)
-	if !strings.Contains(out, "xplrt.TraceRangeR(c[0:n])") {
+	if !strings.Contains(out, "xplrt.Range(xplrt.Read, c[0:n])") {
 		t.Errorf("unconditional condition read not coalesced:\n%s", out)
 	}
 	if !strings.Contains(out, "*xplrt.TraceW(&dst[i]) = *xplrt.TraceR(&c[j])") {
@@ -656,7 +656,7 @@ func clear(g grid, n int) {
 	}
 }
 `)
-	if !strings.Contains(out, "xplrt.TraceRangeW(g.cells[0:n])") {
+	if !strings.Contains(out, "xplrt.Range(xplrt.Write, g.cells[0:n])") {
 		t.Errorf("value-struct slice field not coalesced:\n%s", out)
 	}
 }
@@ -728,7 +728,7 @@ func clear(s []int) {
 	}
 }
 `)
-	if !strings.Contains(out, "xplrt.TraceRangeW(s[0:len(s)])") {
+	if !strings.Contains(out, "xplrt.Range(xplrt.Write, s[0:len(s)])") {
 		t.Errorf("len(s) bound not hoisted:\n%s", out)
 	}
 }
@@ -749,10 +749,10 @@ func tri(s []int, n int) {
 	}
 }
 `)
-	if !strings.Contains(out, "xplrt.TraceRangeW(s[0:n])") {
+	if !strings.Contains(out, "xplrt.Range(xplrt.Write, s[0:n])") {
 		t.Errorf("outer site not coalesced:\n%s", out)
 	}
-	if !strings.Contains(out, "xplrt.TraceRangeRW(s[0:i])") {
+	if !strings.Contains(out, "xplrt.Range(xplrt.ReadWrite, s[0:i])") {
 		t.Errorf("inner site not coalesced to inner loop:\n%s", out)
 	}
 }

@@ -200,6 +200,18 @@ type Platform struct {
 	// unaffected.
 	FaultStallPct int
 
+	// CoalescePenaltyPct is the maximum coalescing-inefficiency inflation
+	// of a kernel's per-allocation memory time, in percent (300 = 4x for a
+	// fully random walk). The effective per-(kernel, allocation) penalty is
+	// derived from the classified access pattern (internal/pattern): 0 for
+	// sequential sweeps and stencils, a stride-proportional share for
+	// uniform strided walks, half for bounded gather/scatter, the full
+	// value for random access. Zero disables coalescing modelling. The
+	// classification is placement-invariant (the access sequence does not
+	// depend on where pages reside), so the multiplier scales a kernel's
+	// memory time identically under every candidate placement.
+	CoalescePenaltyPct int
+
 	// GPUL2Bytes enables the optional GPU L2 cache model the paper lists
 	// as future work (§VI: "a runtime could more precisely model the GPU
 	// memory hierarchy"). Zero (the default, used by all presets) disables
@@ -236,6 +248,8 @@ func (p *Platform) Validate() error {
 		return fmt.Errorf("machine: %s: FaultConcurrency must be positive, got %d", p.Name, p.FaultConcurrency)
 	case p.RemoteConcurrency <= 0:
 		return fmt.Errorf("machine: %s: RemoteConcurrency must be positive, got %d", p.Name, p.RemoteConcurrency)
+	case p.CoalescePenaltyPct < 0:
+		return fmt.Errorf("machine: %s: CoalescePenaltyPct must be non-negative, got %d", p.Name, p.CoalescePenaltyPct)
 	}
 	return nil
 }
@@ -300,6 +314,7 @@ func IntelPascal() *Platform {
 		FaultConcurrency:          16,
 		PageTouchCost:             60 * Nanosecond,
 		FaultStallPct:             1100,
+		CoalescePenaltyPct:        300,
 	}
 }
 
@@ -327,6 +342,7 @@ func IntelVolta() *Platform {
 		FaultConcurrency:          32,
 		PageTouchCost:             50 * Nanosecond,
 		FaultStallPct:             1100,
+		CoalescePenaltyPct:        300,
 	}
 }
 
@@ -363,6 +379,9 @@ func IBMVolta() *Platform {
 		FaultConcurrency:          32,
 		PageTouchCost:             50 * Nanosecond,
 		FaultStallPct:             0,
+		// GPU DRAM coalescing behaviour does not depend on the host link;
+		// the Volta memory system matches the PCIe testbeds.
+		CoalescePenaltyPct: 300,
 	}
 }
 

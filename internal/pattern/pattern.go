@@ -1,0 +1,274 @@
+// Package pattern classifies per-(kernel-span, allocation) memory access
+// structure into sequential / strided / scatter / random — the "how was it
+// walked" dimension the shadow bits cannot express (they saturate after
+// the first touch and record only who accessed a word). The taxonomy
+// follows Spatter's parameterized gather/scatter families: a uniform
+// unit-stride sweep coalesces perfectly, a wide uniform stride wastes most
+// of each memory transaction, an index-driven gather/scatter with a
+// bounded neighborhood still hits a few transactions per warp, and a
+// random walk touches one transaction per element.
+//
+// Tracker is the accumulation core: a compact start-to-start delta
+// histogram plus locality aggregates, cheap enough to update per element
+// access on the simulator's pricing path and foldable from run-length-
+// encoded range records in O(1) per record. Two independent consumers use
+// it:
+//
+//   - internal/cuda keeps one Tracker per (kernel, allocation) while a
+//     kernel body executes and derives a coalescing-efficiency multiplier
+//     (Result.PenaltyPct against machine.Platform.CoalescePenaltyPct) that
+//     scales the kernel's per-allocation memory time.
+//   - Sink rides the recording engine's drain path (a record.Sink), folding
+//     scalar batches and RLE range records into per-(span, allocation,
+//     device) Trackers for observability: the xplacer -patterns report,
+//     advisor rationales, and heat-map class annotations.
+package pattern
+
+import (
+	"xplacer/internal/memsim"
+)
+
+// Class is the coalescing-relevant access-pattern family of one stream.
+type Class uint8
+
+// Classes, ordered from fully coalesced to fully uncoalesced.
+const (
+	// Unknown marks streams with too few samples to classify.
+	Unknown Class = iota
+	// Sequential covers unit-stride sweeps and small-neighborhood stencils:
+	// consecutive accesses stay within a few elements of each other, so a
+	// warp's worth of accesses lands in a handful of memory transactions.
+	Sequential
+	// Strided is a dominant uniform stride wider than one element — a
+	// column walk over a row-major matrix. Efficiency degrades with the
+	// stride-to-element ratio until each element occupies its own
+	// transaction.
+	Strided
+	// Scatter is index-driven access within a bounded neighborhood
+	// (Spatter's gather/scatter with a local index buffer): irregular, but
+	// with enough locality that transactions are shared occasionally.
+	Scatter
+	// Random is unstructured access with frequent far jumps; every element
+	// pays a full transaction.
+	Random
+)
+
+func (c Class) String() string {
+	switch c {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case Scatter:
+		return "scatter"
+	case Random:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// Classifier thresholds. The dominance rule catches uniform patterns, the
+// locality rule catches stencil mixes the dominance rule would miss, and
+// the reach rule separates bounded gather/scatter from random walks.
+const (
+	// maxDeltas bounds the histogram; sequential and strided streams use
+	// one slot, and anything that overflows 16 distinct deltas is already
+	// irregular (the overflow tally keeps the totals exact).
+	maxDeltas = 16
+	// minSamples is the number of deltas below which a stream stays
+	// Unknown rather than being classified from noise.
+	minSamples = 8
+	// domPct: a single delta covering at least this share of all samples
+	// makes the stream uniform (sequential or strided by its width).
+	domPct = 85
+	// localPct: deltas within localReach elements covering at least this
+	// share make the stream sequential-like (stencil neighborhoods — what
+	// a GPU coalescer still serves from few transactions).
+	localPct = 85
+	// localReach is the neighborhood radius of the locality rule, in
+	// elements.
+	localReach = 4
+	// farBytes is the jump width beyond which an access stops looking like
+	// a bounded-neighborhood gather and starts looking random.
+	farBytes = 4096
+	// farPctMax: streams whose far-jump share stays at or below this are
+	// Scatter; above it they are Random.
+	farPctMax = 30
+	// maxStrideRatio caps the stride-to-element ratio the penalty scale
+	// distinguishes; beyond ~32 elements every access owns a transaction
+	// and wider strides cost the same.
+	maxStrideRatio = 32
+)
+
+// delta is one histogram slot: a start-to-start address delta and how
+// often it occurred.
+type delta struct {
+	d, n int64
+}
+
+// Tracker accumulates the access structure of one stream. The zero value
+// is ready to use; Tracker is a value type so callers can keep slices of
+// per-allocation trackers without allocation churn.
+type Tracker struct {
+	total    int64 // classified samples (deltas, not accesses)
+	local    int64 // samples with |delta| <= localReach*element
+	far      int64 // samples with |delta| > farBytes
+	overflow int64 // samples whose delta found no free histogram slot
+	elem     int64 // last seen element size in bytes
+	last     memsim.Addr
+	hasLast  bool
+	nd       int
+	hist     [maxDeltas]delta
+}
+
+// Note observes one element access of size bytes at addr.
+func (t *Tracker) Note(addr memsim.Addr, size int64) {
+	if t.hasLast {
+		t.noteDelta(int64(addr)-int64(t.last), 1, size)
+	} else {
+		t.hasLast = true
+		t.elem = size
+	}
+	t.last = addr
+}
+
+// NoteRun observes a run-length-encoded sweep — count elements of size
+// bytes, the k-th at addr + k*stride — in O(1): one transition delta from
+// the previous access plus count-1 deltas of stride. The result is
+// identical to count Note calls in ascending order.
+func (t *Tracker) NoteRun(addr memsim.Addr, count int, stride, size int64) {
+	if count <= 0 {
+		return
+	}
+	if t.hasLast {
+		t.noteDelta(int64(addr)-int64(t.last), 1, size)
+	} else {
+		t.hasLast = true
+		t.elem = size
+	}
+	if count > 1 {
+		t.noteDelta(stride, int64(count-1), size)
+	}
+	t.last = addr + memsim.Addr(int64(count-1)*stride)
+}
+
+// Samples returns the number of classified deltas so far.
+func (t *Tracker) Samples() int64 { return t.total }
+
+func (t *Tracker) noteDelta(d, n, size int64) {
+	t.total += n
+	t.elem = size
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs <= localReach*size {
+		t.local += n
+	} else if abs > farBytes {
+		t.far += n
+	}
+	for i := 0; i < t.nd; i++ {
+		if t.hist[i].d == d {
+			t.hist[i].n += n
+			return
+		}
+	}
+	if t.nd < maxDeltas {
+		t.hist[t.nd] = delta{d: d, n: n}
+		t.nd++
+		return
+	}
+	t.overflow += n
+}
+
+// Result is one stream's classification: the class, the dominant
+// start-to-start stride (Strided only), the element size the stride is
+// measured against, and how many samples the verdict rests on.
+type Result struct {
+	Class   Class
+	Stride  int64 // dominant delta in bytes; 0 unless Class == Strided
+	Elem    int64 // element size in bytes
+	Samples int64
+}
+
+// Classify derives the stream's class from the accumulated structure.
+// It is pure: calling it never mutates the tracker, so the simulator and
+// the observability layer can classify the same tracker independently and
+// agree.
+func (t *Tracker) Classify() Result {
+	r := Result{Elem: t.elem, Samples: t.total}
+	if t.total < minSamples {
+		return r
+	}
+	var dom delta
+	for i := 0; i < t.nd; i++ {
+		if t.hist[i].n > dom.n {
+			dom = t.hist[i]
+		}
+	}
+	abs := dom.d
+	if abs < 0 {
+		abs = -abs
+	}
+	elem := t.elem
+	if elem <= 0 {
+		elem = 1
+	}
+	switch {
+	case dom.n*100 >= domPct*t.total:
+		if abs <= elem {
+			// Unit stride (or overlapping/same-word steps): coalesces.
+			r.Class = Sequential
+		} else {
+			r.Class = Strided
+			r.Stride = dom.d
+		}
+	case t.local*100 >= localPct*t.total:
+		// No single dominant delta, but the steps stay within a small
+		// neighborhood — a stencil, served like a sequential sweep.
+		r.Class = Sequential
+	case t.far*100 <= farPctMax*t.total:
+		r.Class = Scatter
+	default:
+		r.Class = Random
+	}
+	return r
+}
+
+// PenaltyPct maps the classification to a coalescing-inefficiency
+// multiplier in percent, scaled to the platform's maximum (
+// machine.Platform.CoalescePenaltyPct): 0 for coalesced or unclassified
+// streams, a stride-ratio-proportional share for strided walks (saturating
+// at maxStrideRatio elements, where every access owns its transaction),
+// half the maximum for bounded gather/scatter, the full maximum for random
+// walks. The mapping is integer arithmetic only, so live pricing and
+// what-if replay derive bit-identical multipliers.
+func (r Result) PenaltyPct(maxPct int) int {
+	if maxPct <= 0 {
+		return 0
+	}
+	switch r.Class {
+	case Strided:
+		elem := r.Elem
+		if elem <= 0 {
+			elem = 1
+		}
+		ratio := r.Stride / elem
+		if ratio < 0 {
+			ratio = -ratio
+		}
+		if ratio > maxStrideRatio {
+			ratio = maxStrideRatio
+		}
+		if ratio < 2 {
+			return 0
+		}
+		return maxPct * int(ratio-1) / (maxStrideRatio - 1)
+	case Scatter:
+		return maxPct / 2
+	case Random:
+		return maxPct
+	}
+	return 0
+}

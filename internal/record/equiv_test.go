@@ -1,7 +1,7 @@
 // Cross-front-end equivalence: one random access stream, fed through
 // (1) direct per-access shadow.Table.Record calls (the unbatched
 // reference), (2) trace.Tracer (the simulated-runtime front end), and
-// (3) xplrt's sharded path (the plain-Go front end). All three must
+// (3) xplrt's scoped-buffer path (the plain-Go front end). All three must
 // produce byte-identical shadow state and identical untracked counts —
 // the property that lets both front ends share one recording engine.
 package record_test
@@ -94,7 +94,8 @@ func testEquivalence(t *testing.T, seed int64) {
 	}
 	st := tr.Stats() // flushes
 
-	// (3) xplrt over real heap slices, through the scope-less shard path.
+	// (3) xplrt over real heap slices, through per-goroutine device scopes
+	// (the plain-Go front end's buffered path).
 	xplrt.Reset()
 	defer xplrt.Reset()
 	slices := make([][]int64, numAllocs)
@@ -103,21 +104,24 @@ func testEquivalence(t *testing.T, seed int64) {
 	}
 	junk := new(int64) // never registered: the untracked target
 	for _, s := range steps {
-		xplrt.SetDevice(s.dev)
 		p := junk
 		if s.alloc >= 0 {
 			p = &slices[s.alloc][s.elem]
 		}
-		switch s.kind {
-		case memsim.Read:
-			_ = *xplrt.TraceR(p)
-		case memsim.Write:
-			*xplrt.TraceW(p) = 1
-		default:
-			*xplrt.TraceRW(p)++
-		}
+		// One scope per step: the scope flushes when OnDevice returns, so
+		// the global access order (which the read-origin bits depend on)
+		// matches the other two front ends.
+		xplrt.OnDevice(s.dev, func(sc *xplrt.DeviceScope) {
+			switch s.kind {
+			case memsim.Read:
+				_ = *xplrt.ScopeR(sc, p)
+			case memsim.Write:
+				*xplrt.ScopeW(sc, p) = 1
+			default:
+				*xplrt.ScopeRW(sc, p)++
+			}
+		})
 	}
-	xplrt.SetDevice(machine.CPU)
 	xplrtUntracked := xplrt.Untracked() // flushes
 
 	// Shadow state must be byte-identical across all three.

@@ -119,6 +119,24 @@ type PageAccess struct {
 	Accesses      int64
 }
 
+// Pattern is a span's classified access structure for one allocation,
+// stamped by the emitter (internal/cuda derives it from its per-kernel
+// trackers; see internal/pattern for the taxonomy). The what-if replayer
+// consumes only PenaltyPct — the captured coalescing multiplier — so
+// candidate rankings price coalescing without re-deriving the class;
+// Class and StrideBytes are carried for reporting. The struct is local to
+// this package so the timeline stays a leaf that imports only machine.
+type Pattern struct {
+	// Class is the pattern.Class name ("sequential", "strided", "scatter",
+	// "random", "unknown"); empty when no classification was stamped.
+	Class string
+	// StrideBytes is the dominant start-to-start stride of strided walks.
+	StrideBytes int64
+	// PenaltyPct is the coalescing-inefficiency multiplier applied to the
+	// span's memory time for this allocation, in percent extra.
+	PenaltyPct int
+}
+
 // AllocAccess is one span's access aggregate for one allocation: the
 // pages it touched, in first-touch order. It is the compact trace the
 // what-if replay engine (internal/whatif) re-prices under candidate
@@ -126,6 +144,9 @@ type PageAccess struct {
 type AllocAccess struct {
 	AllocID int
 	Pages   []PageAccess
+	// Pattern is the span's classified access structure for this
+	// allocation (kernel spans only; zero for host phases).
+	Pattern Pattern
 }
 
 // Event is one typed, timestamped occurrence on the simulated timeline.

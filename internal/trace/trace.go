@@ -23,6 +23,7 @@ import (
 
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/pattern"
 	"xplacer/internal/record"
 	"xplacer/internal/shadow"
 	"xplacer/internal/um"
@@ -53,6 +54,13 @@ type Stats struct {
 type Tracer struct {
 	sink *record.TableSink
 	eng  *record.Engine
+
+	// patterns is the optional access-pattern classifier sink
+	// (EnablePatterns). While attached, every kernel launch becomes a
+	// drain point so accesses attribute to the span of the kernel that
+	// made them; nil keeps the launch wrapper a bare counter increment
+	// and the flush schedule unchanged.
+	patterns *pattern.Sink
 
 	// Wrapper event counters; element-access kind counts live in the
 	// engine, untracked counts in the sink.
@@ -195,9 +203,39 @@ func (t *Tracer) TraceTransfer(a *memsim.Alloc, dir um.TransferDir, off, n int64
 	})
 }
 
+// EnablePatterns attaches an access-pattern classifier (pattern.Sink)
+// over the tracer's shadow table and returns it. now (optional) is the
+// simulated clock the sink stamps span start times with — pass
+// Context.Now so -patterns rows line up with the exported timeline.
+// While the sink is attached, every kernel launch flushes the access
+// buffers and opens a new attribution span; without it the launch
+// wrapper stays a counter increment, so existing flush schedules (and
+// the golden reports derived from them) are unaffected.
+func (t *Tracer) EnablePatterns(now func() machine.Duration) *pattern.Sink {
+	var ps *pattern.Sink
+	t.eng.Locked(func() {
+		ps = pattern.NewSink(t.sink.Table())
+		ps.SetClock(now)
+	})
+	t.eng.AddSink(ps)
+	t.patterns = ps
+	return ps
+}
+
+// Patterns returns the attached pattern sink, or nil.
+func (t *Tracer) Patterns() *pattern.Sink { return t.patterns }
+
 // TraceKernelLaunch implements cuda.Tracer (the kernel-launch wrapper of
-// Table I).
-func (t *Tracer) TraceKernelLaunch(string) { t.kernels.Add(1) }
+// Table I). With a pattern sink attached the launch is also a drain
+// point: buffered accesses flush into the previous span, then the new
+// span opens under the engine lock.
+func (t *Tracer) TraceKernelLaunch(name string) {
+	t.kernels.Add(1)
+	if ps := t.patterns; ps != nil {
+		t.eng.Flush()
+		t.eng.Locked(func() { ps.BeginSpan(name) })
+	}
+}
 
 // Name attaches a user-level label to the allocation's SMT entry — the
 // runtime effect of the XplAllocData argument expansion of

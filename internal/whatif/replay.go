@@ -316,14 +316,24 @@ func (r *replayer) kernelEvent(ev *timeline.Event) error {
 			return fmt.Errorf("kernel access to unknown allocation %d", aa.AllocID)
 		}
 		k.PagesTouched += len(aa.Pages)
+		// Sum this allocation's memory time separately, then scale it by
+		// the captured coalescing penalty — the same per-allocation
+		// integer multiply the live launch applied, on per-allocation sums
+		// that partition the same access costs, so the observed-placement
+		// replay stays bit-exact. The penalty is placement-invariant (the
+		// access sequence does not depend on page residency), which is why
+		// candidate replays reuse the captured value.
+		var local, remote machine.Duration
 		for _, pa := range aa.Pages {
 			c := r.drv.AccessAggregate(machine.GPU, ra.a, pa.Page, pa.Reads, pa.Writes, pa.Accesses)
-			k.Local += c.Local
-			k.Remote += c.Remote
+			local += c.Local
+			remote += c.Remote
 			k.Serial += c.Serial
 			k.Faults += c.Faults
 			k.MigratedBytes += c.MigratedBytes
 		}
+		k.Local += cuda.ScaleCoalesce(local, aa.Pattern.PenaltyPct)
+		k.Remote += cuda.ScaleCoalesce(remote, aa.Pattern.PenaltyPct)
 		if ra.place == um.PlaceExplicit && writes(aa) > 0 {
 			ra.gpuDirty = true
 		}

@@ -18,11 +18,11 @@ func Example() {
 		*xplrt.TraceW(&xs[i]) = float64(i)
 	}
 
-	// "GPU" role: consume two values.
-	xplrt.SetDevice(xplrt.GPU)
-	sum := *xplrt.TraceR(&xs[0]) + *xplrt.TraceR(&xs[1])
-	_ = sum
-	xplrt.SetDevice(xplrt.CPU)
+	// "GPU" role: consume two values inside a device scope.
+	xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) {
+		sum := *xplrt.ScopeR(s, &xs[0]) + *xplrt.ScopeR(s, &xs[1])
+		_ = sum
+	})
 
 	xplrt.TracePrint(os.Stdout, xplrt.ExpandAll(xplrt.Arg(&xs[0], "xs"))...)
 	// Output:

@@ -51,6 +51,7 @@ import (
 	"xplacer/internal/diag"
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/pattern"
 	"xplacer/internal/record"
 	"xplacer/internal/shadow"
 )
@@ -130,6 +131,20 @@ func EnableHeatmap() *record.HeatmapSink {
 	rt.eng.Locked(func() { hm = record.NewHeatmapSink(rt.sink.Table()) })
 	rt.eng.AddSink(hm)
 	return hm
+}
+
+// EnablePatterns attaches an access-pattern classifier (a pattern.Sink)
+// over the current shadow table and returns it. The sink folds batches
+// drained from now on into per-allocation stride structure; plain Go
+// programs have no kernel launches, so every stream stays in span 0
+// unless the caller marks phases itself via Sink.BeginSpan (inside
+// a flush; see the pattern package). Like EnableHeatmap, a later Reset
+// orphans the sink.
+func EnablePatterns() *pattern.Sink {
+	var ps *pattern.Sink
+	rt.eng.Locked(func() { ps = pattern.NewSink(rt.sink.Table()) })
+	rt.eng.AddSink(ps)
+	return ps
 }
 
 // Untracked reports how many recorded accesses hit no registered
@@ -251,126 +266,170 @@ func sliceRange[T any](xs []T) (memsim.Addr, int, int64) {
 	return memsim.Addr(uintptr(unsafe.Pointer(&xs[0]))), len(xs), int64(unsafe.Sizeof(xs[0]))
 }
 
-// TraceRangeR records a read of every element of xs as one
-// run-length-encoded range — the compact equivalent of calling TraceR on
-// each &xs[i] in order, at a fraction of the recording cost. It returns
-// xs, so a sweep can be traced where the slice is used.
-func TraceRangeR[T any](xs []T) []T {
+// AccessKind is the kind of one traced access, re-exported so range
+// callers need no second import.
+type AccessKind = memsim.AccessKind
+
+// Access kinds for Range and ScopeRange.
+const (
+	Read      = memsim.Read
+	Write     = memsim.Write
+	ReadWrite = memsim.ReadWrite
+)
+
+// RangeOpt configures Range and ScopeRange. It is a small value type (not
+// a closure), so the variadic option slice of a strided call stays off the
+// heap and the hot path pays nothing for the flexibility.
+type RangeOpt struct {
+	stride int
+}
+
+// Stride makes the range strided: only elements 0, step, 2*step, … are
+// recorded — the shape of a column sweep over a row-major matrix. A
+// non-positive step is ignored (the range stays contiguous).
+func Stride(step int) RangeOpt { return RangeOpt{stride: step} }
+
+// rangeStep folds the options into the element step (1 = contiguous).
+func rangeStep(opts []RangeOpt) int {
+	step := 1
+	for _, o := range opts {
+		if o.stride > 0 {
+			step = o.stride
+		}
+	}
+	return step
+}
+
+// Range records an access of the given kind to the elements of xs as one
+// run-length-encoded range — the compact equivalent of per-element
+// TraceR/W/RW calls in ascending order, at a fraction of the recording
+// cost. It returns xs, so a sweep can be traced where the slice is used:
+//
+//	sum(xplrt.Range(xplrt.Read, xs))
+//	copy(xplrt.Range(xplrt.Write, dst), src)
+//	sumCol(xplrt.Range(xplrt.Read, xs[c:], xplrt.Stride(cols)), cols)
+//
+// Range is the consolidated entry point replacing the deprecated
+// TraceRange{R,W,RW}[Strided] family. The access is charged to the
+// process-wide default role; scoped code uses ScopeRange.
+func Range[T any](kind AccessKind, xs []T, opts ...RangeOpt) []T {
 	if base, n, sz := sliceRange(xs); n > 0 {
-		rt.eng.RecordRange(Device(defaultDev.Load()), base, n, sz, sz, memsim.Read)
+		if step := rangeStep(opts); step == 1 {
+			rt.eng.RecordRange(Device(defaultDev.Load()), base, n, sz, sz, kind)
+		} else {
+			rt.eng.RecordRange(Device(defaultDev.Load()), base, (n+step-1)/step, int64(step)*sz, sz, kind)
+		}
 	}
 	return xs
 }
 
-// TraceRangeW records a write of every element of xs as one range (the
-// compact equivalent of per-element TraceW calls).
-func TraceRangeW[T any](xs []T) []T {
+// ScopeRange is Range in the scope's role, through the scope's private
+// buffer (no locking). A nil scope falls back to the process-default role.
+// It is a package-level generic function rather than a DeviceScope method
+// because Go methods cannot introduce type parameters.
+func ScopeRange[T any](s *DeviceScope, kind AccessKind, xs []T, opts ...RangeOpt) []T {
+	if s == nil {
+		return Range(kind, xs, opts...)
+	}
 	if base, n, sz := sliceRange(xs); n > 0 {
-		rt.eng.RecordRange(Device(defaultDev.Load()), base, n, sz, sz, memsim.Write)
+		if step := rangeStep(opts); step == 1 {
+			s.buf.RecordRange(s.dev, base, n, sz, sz, kind)
+		} else {
+			s.buf.RecordRange(s.dev, base, (n+step-1)/step, int64(step)*sz, sz, kind)
+		}
 	}
 	return xs
 }
+
+// TraceRangeR records a read of every element of xs as one range.
+//
+// Deprecated: use Range(Read, xs).
+func TraceRangeR[T any](xs []T) []T { return Range(Read, xs) }
+
+// TraceRangeW records a write of every element of xs as one range.
+//
+// Deprecated: use Range(Write, xs).
+func TraceRangeW[T any](xs []T) []T { return Range(Write, xs) }
 
 // TraceRangeRW records a read-modify-write of every element of xs as one
-// range (the compact equivalent of per-element TraceRW calls).
-func TraceRangeRW[T any](xs []T) []T {
-	if base, n, sz := sliceRange(xs); n > 0 {
-		rt.eng.RecordRange(Device(defaultDev.Load()), base, n, sz, sz, memsim.ReadWrite)
-	}
-	return xs
-}
+// range.
+//
+// Deprecated: use Range(ReadWrite, xs).
+func TraceRangeRW[T any](xs []T) []T { return Range(ReadWrite, xs) }
 
 // TraceRangeStridedR records a read of xs[0], xs[step], xs[2*step], … as
-// one strided range — the shape of a column sweep over a row-major
-// matrix. step must be positive.
+// one strided range. step must be positive.
+//
+// Deprecated: use Range(Read, xs, Stride(step)).
 func TraceRangeStridedR[T any](xs []T, step int) []T {
-	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
-		rt.eng.RecordRange(Device(defaultDev.Load()), base, (n+step-1)/step, int64(step)*sz, sz, memsim.Read)
+	if step > 0 {
+		return Range(Read, xs, Stride(step))
 	}
 	return xs
 }
 
 // TraceRangeStridedW is TraceRangeStridedR for writes.
+//
+// Deprecated: use Range(Write, xs, Stride(step)).
 func TraceRangeStridedW[T any](xs []T, step int) []T {
-	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
-		rt.eng.RecordRange(Device(defaultDev.Load()), base, (n+step-1)/step, int64(step)*sz, sz, memsim.Write)
+	if step > 0 {
+		return Range(Write, xs, Stride(step))
 	}
 	return xs
 }
 
 // TraceRangeStridedRW is TraceRangeStridedR for read-modify-writes.
+//
+// Deprecated: use Range(ReadWrite, xs, Stride(step)).
 func TraceRangeStridedRW[T any](xs []T, step int) []T {
-	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
-		rt.eng.RecordRange(Device(defaultDev.Load()), base, (n+step-1)/step, int64(step)*sz, sz, memsim.ReadWrite)
+	if step > 0 {
+		return Range(ReadWrite, xs, Stride(step))
 	}
 	return xs
 }
 
-// ScopeRangeR records a read of every element of xs in the scope's role,
-// through the scope's private buffer (no locking). A nil scope falls back
-// to the process-default role.
-func ScopeRangeR[T any](s *DeviceScope, xs []T) []T {
-	if s == nil {
-		return TraceRangeR(xs)
-	}
-	if base, n, sz := sliceRange(xs); n > 0 {
-		s.buf.RecordRange(s.dev, base, n, sz, sz, memsim.Read)
-	}
-	return xs
-}
+// ScopeRangeR records a read of every element of xs in the scope's role.
+//
+// Deprecated: use ScopeRange(s, Read, xs).
+func ScopeRangeR[T any](s *DeviceScope, xs []T) []T { return ScopeRange(s, Read, xs) }
 
 // ScopeRangeW is ScopeRangeR for writes.
-func ScopeRangeW[T any](s *DeviceScope, xs []T) []T {
-	if s == nil {
-		return TraceRangeW(xs)
-	}
-	if base, n, sz := sliceRange(xs); n > 0 {
-		s.buf.RecordRange(s.dev, base, n, sz, sz, memsim.Write)
-	}
-	return xs
-}
+//
+// Deprecated: use ScopeRange(s, Write, xs).
+func ScopeRangeW[T any](s *DeviceScope, xs []T) []T { return ScopeRange(s, Write, xs) }
 
 // ScopeRangeRW is ScopeRangeR for read-modify-writes.
-func ScopeRangeRW[T any](s *DeviceScope, xs []T) []T {
-	if s == nil {
-		return TraceRangeRW(xs)
-	}
-	if base, n, sz := sliceRange(xs); n > 0 {
-		s.buf.RecordRange(s.dev, base, n, sz, sz, memsim.ReadWrite)
-	}
-	return xs
-}
+//
+// Deprecated: use ScopeRange(s, ReadWrite, xs).
+func ScopeRangeRW[T any](s *DeviceScope, xs []T) []T { return ScopeRange(s, ReadWrite, xs) }
 
 // ScopeRangeStridedR records a read of xs[0], xs[step], … in the scope's
-// role (see TraceRangeStridedR).
+// role. step must be positive.
+//
+// Deprecated: use ScopeRange(s, Read, xs, Stride(step)).
 func ScopeRangeStridedR[T any](s *DeviceScope, xs []T, step int) []T {
-	if s == nil {
-		return TraceRangeStridedR(xs, step)
-	}
-	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
-		s.buf.RecordRange(s.dev, base, (n+step-1)/step, int64(step)*sz, sz, memsim.Read)
+	if step > 0 {
+		return ScopeRange(s, Read, xs, Stride(step))
 	}
 	return xs
 }
 
 // ScopeRangeStridedW is ScopeRangeStridedR for writes.
+//
+// Deprecated: use ScopeRange(s, Write, xs, Stride(step)).
 func ScopeRangeStridedW[T any](s *DeviceScope, xs []T, step int) []T {
-	if s == nil {
-		return TraceRangeStridedW(xs, step)
-	}
-	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
-		s.buf.RecordRange(s.dev, base, (n+step-1)/step, int64(step)*sz, sz, memsim.Write)
+	if step > 0 {
+		return ScopeRange(s, Write, xs, Stride(step))
 	}
 	return xs
 }
 
 // ScopeRangeStridedRW is ScopeRangeStridedR for read-modify-writes.
+//
+// Deprecated: use ScopeRange(s, ReadWrite, xs, Stride(step)).
 func ScopeRangeStridedRW[T any](s *DeviceScope, xs []T, step int) []T {
-	if s == nil {
-		return TraceRangeStridedRW(xs, step)
-	}
-	if base, n, sz := sliceRange(xs); n > 0 && step > 0 {
-		s.buf.RecordRange(s.dev, base, (n+step-1)/step, int64(step)*sz, sz, memsim.ReadWrite)
+	if step > 0 {
+		return ScopeRange(s, ReadWrite, xs, Stride(step))
 	}
 	return xs
 }

@@ -38,9 +38,9 @@ func TestDeviceRoles(t *testing.T) {
 	Reset()
 	xs := Slice[int32](8, "xs")
 	*TraceW(&xs[3]) = 7 // CPU write
-	SetDevice(GPU)
-	_ = *TraceR(&xs[3]) // GPU read of a CPU value
-	SetDevice(CPU)
+	OnDevice(GPU, func(s *DeviceScope) {
+		_ = *ScopeR(s, &xs[3]) // GPU read of a CPU value
+	})
 	r := Report()
 	s := r.Allocs[0]
 	if s.ReadCG != 1 {
