@@ -234,6 +234,27 @@ func BenchmarkTraceRangeSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkShadowBulkApply measures the drain-side shadow application:
+// one recorded access spanning a 4096-word block (applied word-at-a-time
+// over 8 shadow bytes per step) against 4096 single-word accesses through
+// the table-driven per-byte update. The bulk path is what grouped batch
+// application rides on, so its advantage here bounds what the drain can
+// save on contiguous traffic.
+func BenchmarkShadowBulkApply(b *testing.B) {
+	const words, total = 4096, 1 << 22
+	bulk, scalar := math.Inf(1), math.Inf(1)
+	for i := 0; i < b.N; i++ {
+		bn, sn := bench.BulkApplyHotPath(words, total)
+		bulk = math.Min(bulk, bn)
+		scalar = math.Min(scalar, sn)
+	}
+	b.ReportMetric(bulk, "bulk_ns_per_word")
+	b.ReportMetric(scalar, "scalar_ns_per_word")
+	if bulk > 0 {
+		b.ReportMetric(scalar/bulk, "bulk_speedup_x")
+	}
+}
+
 // BenchmarkTable3Overhead measures the instrumentation overhead on one
 // representative workload and the per-access microbenchmark ratio.
 func BenchmarkTable3Overhead(b *testing.B) {

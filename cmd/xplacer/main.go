@@ -36,6 +36,8 @@ import (
 	"xplacer/internal/machine"
 	"xplacer/internal/pattern"
 	"xplacer/internal/record"
+	"xplacer/internal/shadow"
+	"xplacer/internal/spill"
 	"xplacer/internal/timeline"
 	"xplacer/internal/whatif"
 )
@@ -65,6 +67,7 @@ func main() {
 		failOn    = flag.String("fail-on", "", "comma-separated finding kinds that make the exit status non-zero (e.g. alternating-cpu-gpu-access,unused-allocation)")
 		whatIf    = flag.Bool("whatif", false, "capture the run's access aggregates and predict the best placement per allocation by replay")
 		hmEpoch   = flag.Duration("heatmap-epoch", 0, "with -heatmap: close a heat-map epoch every interval of simulated time (e.g. 100us)")
+		budget    = flag.Int("trace-budget", 0, "with -heatmap/-patterns: retain at most this many bytes of trace in memory, spilling the access log to disk and replaying it for the final report (0: unbounded, analyze live)")
 		seed      = flag.Int64("seed", 1, "input seed")
 	)
 	flag.Parse()
@@ -95,21 +98,34 @@ func main() {
 		s.Ctx.SetWhatIfCapture(true)
 	}
 	var hm *record.HeatmapSink
-	if *heatmap {
-		// Observe access frequencies against the tracer's table; the sink
-		// sees every batch the recording engine drains from here on.
-		hm = record.NewHeatmapSink(s.Tracer.Table())
-		if *hmEpoch > 0 {
-			every := machine.Duration(hmEpoch.Nanoseconds()) * machine.Nanosecond
-			hm.RotateOnClock(every, s.Ctx.Now)
-		}
-		s.Tracer.AddSink(hm)
-	}
 	var ps *pattern.Sink
-	if *patterns {
-		// Classify access structure per (kernel span, allocation, device);
-		// span start times come from the simulated clock.
-		ps = s.Tracer.EnablePatterns(s.Ctx.Now)
+	var sp *spill.Sink
+	if *budget > 0 && (*heatmap || *patterns) {
+		// Bounded-memory mode: instead of live heat-map/pattern state, the
+		// drained batches serialize to a spill log capped at -trace-budget
+		// bytes of retained memory, and the analyses replay the log after
+		// the run. The shadow table, findings, and what-if capture are
+		// unaffected — they retain O(allocations), not O(accesses).
+		sp = spill.New(*budget)
+		sp.SetClock(s.Ctx.Now)
+		s.Tracer.EnableSpill(sp)
+		defer sp.Close()
+	} else {
+		if *heatmap {
+			// Observe access frequencies against the tracer's table; the sink
+			// sees every batch the recording engine drains from here on.
+			hm = record.NewHeatmapSink(s.Tracer.Table())
+			if *hmEpoch > 0 {
+				every := machine.Duration(hmEpoch.Nanoseconds()) * machine.Nanosecond
+				hm.RotateOnClock(every, s.Ctx.Now)
+			}
+			s.Tracer.AddSink(hm)
+		}
+		if *patterns {
+			// Classify access structure per (kernel span, allocation, device);
+			// span start times come from the simulated clock.
+			ps = s.Tracer.EnablePatterns(s.Ctx.Now)
+		}
 	}
 
 	switch *app {
@@ -176,6 +192,58 @@ func main() {
 		fmt.Printf("density sum: %g\n", res.DensitySum)
 	default:
 		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	if sp != nil {
+		// Replay the spilled access log into fresh heat-map/pattern sinks,
+		// before the final diagnostic drops freed entries. Replayed accesses
+		// all predate the frees (TraceFree drains first, and the log
+		// preserves drain order), so freed entries are made visible for the
+		// duration of the replay to resolve them the way the live sinks did.
+		s.Tracer.Flush()
+		var replayNow machine.Duration
+		clock := func() machine.Duration { return replayNow }
+		if *heatmap {
+			hm = record.NewHeatmapSink(s.Tracer.Table())
+			if *hmEpoch > 0 {
+				every := machine.Duration(hmEpoch.Nanoseconds()) * machine.Nanosecond
+				hm.RotateOnClock(every, clock)
+			}
+		}
+		if *patterns {
+			ps = pattern.NewSink(s.Tracer.Table())
+			ps.SetClock(clock)
+		}
+		var freed []*shadow.Entry
+		for _, e := range s.Tracer.Table().Entries() {
+			if e.Freed {
+				e.Freed = false
+				freed = append(freed, e)
+			}
+		}
+		err := sp.Replay(
+			func(b []shadow.Access) {
+				if hm != nil {
+					hm.Apply(b, nil)
+				}
+				if ps != nil {
+					ps.Apply(b, nil)
+				}
+			},
+			func(name string, at machine.Duration) {
+				replayNow = at
+				if ps != nil {
+					ps.BeginSpan(name)
+				}
+			},
+			func(at machine.Duration) { replayNow = at },
+		)
+		for _, e := range freed {
+			e.Freed = true
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	// Access maps before the final (resetting) diagnostic.

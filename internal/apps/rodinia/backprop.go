@@ -151,10 +151,18 @@ func RunBackprop(s *core.Session, cfg BackpropConfig) (BackpropResult, error) {
 
 	// layerforward: partial[j-1] = sum_i weights[i][j] * input[i].
 	ctx.LaunchSync("bpnn_layerforward", func(e *cuda.Exec) {
+		q := e.NoTrace()
 		for j := 1; j <= hid; j++ {
+			// Each hidden unit sweeps one weight column (stride hid+1
+			// floats) and the whole input vector — trace them as compact
+			// ranges, one per syntactic access site, and price the loads
+			// through the untraced view. The per-word flags match the
+			// per-element trace exactly (same words, same kinds).
+			e.TraceRange(memsim.Read, weightsCuda, int64(j)*4, in+1, int64(hid+1)*4, 4)
+			e.TraceRange(memsim.Read, inputCuda, 0, in+1, 4, 4)
 			var sum float64
 			for i := 0; i <= in; i++ {
-				sum += float64(wv.load(e, int64(i*(hid+1)+j))) * float64(iv.load(e, int64(i)))
+				sum += float64(wv.load(q, int64(i*(hid+1)+j))) * float64(iv.load(q, int64(i)))
 			}
 			partial.Store(e, int64(j-1), sum)
 		}
@@ -183,12 +191,24 @@ func RunBackprop(s *core.Session, cfg BackpropConfig) (BackpropResult, error) {
 	// on the first epoch, matching the reference).
 	const eta, momentum = 0.3, 0.3
 	ctx.LaunchSync("bpnn_adjust_weights", func(e *cuda.Exec) {
+		q := e.NoTrace()
 		for i := 0; i <= in; i++ {
+			// Per input unit: the delta vector, one input element, and one
+			// weight row (read-modify-write) plus its momentum row — the
+			// reads trace before the writes, preserving the read-before-
+			// write order every word sees in the per-element version.
+			rowOff := int64(i*(hid+1)+1) * 4
+			e.TraceRange(memsim.Read, deltaCuda, 4, hid, 4, 4)
+			e.TraceRange(memsim.Read, inputCuda, int64(i)*4, 1, 4, 4)
+			e.TraceRange(memsim.Read, prevWeightsCuda, rowOff, hid, 4, 4)
+			e.TraceRange(memsim.Read, weightsCuda, rowOff, hid, 4, 4)
+			e.TraceRange(memsim.Write, weightsCuda, rowOff, hid, 4, 4)
+			e.TraceRange(memsim.Write, prevWeightsCuda, rowOff, hid, 4, 4)
 			for j := 1; j <= hid; j++ {
 				idx := int64(i*(hid+1) + j)
-				dw := eta*dv.load(e, int64(j))*iv.load(e, int64(i)) + momentum*pv.load(e, idx)
-				wv.store(e, idx, wv.load(e, idx)+dw)
-				pv.store(e, idx, dw)
+				dw := eta*dv.load(q, int64(j))*iv.load(q, int64(i)) + momentum*pv.load(q, idx)
+				wv.store(q, idx, wv.load(q, idx)+dw)
+				pv.store(q, idx, dw)
 			}
 		}
 	})

@@ -148,15 +148,20 @@ type SMTCutoffRow struct {
 
 // AblationSMTCutoff measures the per-access tracing cost as the number of
 // allocations grows across the linear/binary search switch at 64 entries
-// (§IV-D).
+// (§IV-D). The allocations are sub-page (1 KiB, four to a shadow page) so
+// every lookup takes the sorted-table fallback the cutoff governs — for
+// whole-page owners the two-level page index answers in O(1) and the
+// cutoff never fires — and consecutive accesses cycle through the
+// allocations so neither the drain-side last-entry cache nor scalar
+// coalescing can short-circuit the search.
 func AblationSMTCutoff() []SMTCutoffRow {
 	var rows []SMTCutoffRow
 	for _, n := range []int{8, 16, 32, 48, 63, 64, 128, 256, 512} {
-		sp := memsim.NewSpace(64 << 10)
+		sp := memsim.NewSpace(256)
 		tr := trace.New()
 		var allocs []*memsim.Alloc
 		for i := 0; i < n; i++ {
-			a, err := sp.Alloc(64<<10, memsim.Managed, fmt.Sprintf("a%d", i))
+			a, err := sp.Alloc(1<<10, memsim.Managed, fmt.Sprintf("a%d", i))
 			if err != nil {
 				panic(err)
 			}
@@ -167,7 +172,7 @@ func AblationSMTCutoff() []SMTCutoffRow {
 		start := time.Now()
 		for i := 0; i < iters; i++ {
 			a := allocs[i%n]
-			tr.TraceAccess(machine.GPU, a, a.Base+memsim.Addr((i*64)&0xFFF8), 8, memsim.Read)
+			tr.TraceAccess(machine.GPU, a, a.Base+memsim.Addr((i*8)&0x3F8), 8, memsim.Read)
 		}
 		rows = append(rows, SMTCutoffRow{
 			Entries:  n,

@@ -141,6 +141,40 @@ func RangeSweepHotPath(goroutines, total, stride int) float64 {
 	return float64(elapsed.Nanoseconds()) / float64(per*goroutines)
 }
 
+// BulkApplyHotPath measures the drain-side shadow application: ns per
+// covered word when one recorded access spans a whole block of words (the
+// word-at-a-time bulk path over 8 shadow bytes per step) against one
+// single-word access per word (the table-driven scalar path). Both run
+// against the same live table, so the figure isolates the shadow-byte
+// update itself — lookup and batching costs are identical.
+func BulkApplyHotPath(words, total int) (bulkNs, scalarNs float64) {
+	if words < 1 {
+		words = 1
+	}
+	table := shadow.NewTable()
+	base := memsim.Addr(0x100000)
+	if _, err := table.InsertRange(base, int64(words)*4, "bulk", memsim.Managed, "bench"); err != nil {
+		panic(err)
+	}
+	iters := total / words
+	if iters < 1 {
+		iters = 1
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		table.Record(machine.GPU, base, int64(words)*4, memsim.Read)
+	}
+	bulkNs = float64(time.Since(start).Nanoseconds()) / float64(iters*words)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		for w := 0; w < words; w++ {
+			table.Record(machine.GPU, base+memsim.Addr(w*4), 4, memsim.Read)
+		}
+	}
+	scalarNs = float64(time.Since(start).Nanoseconds()) / float64(iters*words)
+	return bulkNs, scalarNs
+}
+
 // globalLockRecorder reproduces the pre-sharding runtime design: one
 // process-global mutex around a per-access SMT lookup and shadow update.
 // It is kept as the comparison baseline for BenchmarkTraceOverheadParallel.

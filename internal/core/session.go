@@ -35,11 +35,9 @@ type Session struct {
 	intervalStart machine.Duration
 }
 
-// Config adjusts session construction.
-//
-// Deprecated: Config survives for NewSessionConfig callers; new code
-// configures sessions with Option values (WithoutInstrumentation,
-// WithDetect) passed to NewSession.
+// Config is the resolved session construction state that Option values
+// fold into; callers configure sessions with NewSession's options
+// (WithoutInstrumentation, WithDetect) rather than building one directly.
 type Config struct {
 	// Instrument enables the tracer (default in NewSession).
 	Instrument bool
@@ -85,13 +83,6 @@ func NewSession(plat *machine.Platform, opts ...Option) (*Session, error) {
 // NewSession(plat, WithoutInstrumentation()).
 func NewPlainSession(plat *machine.Platform) (*Session, error) {
 	return NewSession(plat, WithoutInstrumentation())
-}
-
-// NewSessionConfig creates a session with an explicit Config.
-//
-// Deprecated: use NewSession with options.
-func NewSessionConfig(plat *machine.Platform, cfg Config) (*Session, error) {
-	return newSession(plat, cfg)
 }
 
 func newSession(plat *machine.Platform, cfg Config) (*Session, error) {

@@ -135,16 +135,6 @@ func TestSessionOptions(t *testing.T) {
 	}
 }
 
-func TestNewSessionConfigShim(t *testing.T) {
-	s, err := NewSessionConfig(machine.IntelPascal(), Config{Instrument: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !s.Instrumented() {
-		t.Error("deprecated NewSessionConfig broken")
-	}
-}
-
 func TestDefaultDetectOptionsApplied(t *testing.T) {
 	s := MustSession(machine.IntelPascal())
 	if s.Opt.DensityThresholdPct != 50 || s.Opt.MinBlockWords != 32 {

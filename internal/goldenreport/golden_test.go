@@ -197,6 +197,8 @@ func TestReportJSONGoldens(t *testing.T) {
 			"-cols", "64", "-rows", "41", "-pyramid", "10", "-json", "-whatif"},
 		"report-sw": {"run", "./cmd/xplacer", "-app", "sw",
 			"-size", "24", "-json", "-whatif"},
+		"report-backprop": {"run", "./cmd/xplacer", "-app", "backprop",
+			"-size", "32", "-json", "-whatif"},
 		// The -patterns runs pin the access-pattern classification block
 		// (schema v2): per-span stream classes and per-alloc digests.
 		"report-pathfinder-patterns": {"run", "./cmd/xplacer", "-app", "pathfinder",
@@ -213,5 +215,32 @@ func TestReportJSONGoldens(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			runAndCompare(t, name, cases[name]...)
 		})
+	}
+}
+
+// TestSpillBudgetMatchesUnbounded pins the bounded-memory guarantee's
+// other half: a run whose trace spills to disk under a deliberately tiny
+// -trace-budget must produce the exact same diagnostic JSON — heat map,
+// pattern classes, findings, what-if — as the unbounded live-sink run.
+func TestSpillBudgetMatchesUnbounded(t *testing.T) {
+	root := repoRoot(t)
+	run := func(extra ...string) []byte {
+		args := append([]string{"run", "./cmd/xplacer", "-app", "sw", "-size", "24",
+			"-json", "-whatif", "-patterns", "-heatmap"}, extra...)
+		cmd := exec.Command(goTool(t), args...)
+		cmd.Dir = root
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\nstderr:\n%s", args, err, stderr.String())
+		}
+		return normalizeReport(t, stdout.Bytes())
+	}
+	unbounded := run()
+	budgeted := run("-trace-budget", "4096")
+	if !bytes.Equal(unbounded, budgeted) {
+		t.Errorf("spill-budget report drifted from the unbounded run:\n%s",
+			diffHint(string(unbounded), string(budgeted)))
 	}
 }

@@ -9,11 +9,13 @@ package record_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"xplacer/internal/detect"
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
+	"xplacer/internal/pattern"
 	"xplacer/internal/record"
 	"xplacer/internal/shadow"
 	"xplacer/internal/trace"
@@ -323,6 +325,223 @@ func testRangeEquivalence(t *testing.T, seed int64, flushEachOp bool) {
 	for i := range refFind {
 		if refFind[i].String() != rngFind[i].String() {
 			t.Errorf("finding %d differs:\n  ref:   %s\n  range: %s", i, refFind[i], rngFind[i])
+		}
+	}
+}
+
+// fuzzOp is one operation of a worker's precomputed script: a scalar
+// access (count == 1), a strided range, or a flush barrier.
+type fuzzOp struct {
+	elem      int
+	count     int
+	stride    int64
+	dev       machine.Device
+	kind      memsim.AccessKind
+	untracked bool
+	flush     bool // call Engine.Flush after the access
+}
+
+// TestConcurrentInterleavedEquivalence races several goroutines, each
+// interleaving Record, RecordRange, and Flush calls against one shared
+// engine, and requires the result — shadow bytes, kind counts, untracked
+// tally, heat maps, and pattern classifications — to be identical to a
+// sequential replay that explodes every range into per-element scalar
+// records. Workers touch disjoint allocations, so the engine's per-word
+// ordering guarantee (each goroutine's accesses apply in its program
+// order) pins the expected state exactly; the test is the concurrency
+// half of the range-equivalence contract above.
+func TestConcurrentInterleavedEquivalence(t *testing.T) {
+	for _, seed := range []int64{5, 99, 20260808} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			testConcurrentInterleaved(t, seed)
+		})
+	}
+}
+
+func testConcurrentInterleaved(t *testing.T, seed int64) {
+	const (
+		workers  = 8
+		opsEach  = 2500
+		elemSize = 8
+	)
+	rng := rand.New(rand.NewSource(seed))
+	elems := make([]int, workers)
+	scripts := make([][]fuzzOp, workers)
+	// Stride menu mixes ascending, descending, and word-overlapping
+	// (stride < size) sweeps; the engine's global sequence stamps keep even
+	// overlapping words in one worker's program order.
+	strides := []int64{elemSize, 2 * elemSize, 3 * elemSize, -elemSize, elemSize / 2}
+	for w := range scripts {
+		elems[w] = 64 + rng.Intn(700)
+		ops := make([]fuzzOp, opsEach)
+		for i := range ops {
+			op := fuzzOp{
+				count:     1 + rng.Intn(32),
+				stride:    strides[rng.Intn(len(strides))],
+				dev:       machine.Device(rng.Intn(int(machine.NumDevices))),
+				kind:      memsim.AccessKind(rng.Intn(3)),
+				untracked: rng.Intn(16) == 0,
+				flush:     rng.Intn(64) == 0,
+			}
+			// Start anywhere, including near the end so long runs spill into
+			// untracked territory past the allocation.
+			op.elem = rng.Intn(elems[w])
+			ops[i] = op
+		}
+		scripts[w] = ops
+	}
+
+	// Each worker owns one allocation (and one untracked address), so no
+	// word is shared across goroutines and the final state is deterministic.
+	bases := make([]memsim.Addr, workers)
+	for w := range bases {
+		bases[w] = memsim.Addr(0x100000 * (w + 1))
+	}
+	opAddr := func(w int, op fuzzOp) memsim.Addr {
+		if op.untracked {
+			return memsim.Addr(0x100 + w*64)
+		}
+		return bases[w] + memsim.Addr(int64(op.elem)*elemSize)
+	}
+
+	build := func(concurrent bool) (*shadow.Table, *record.Engine, *record.TableSink, *record.HeatmapSink, *pattern.Sink) {
+		table := shadow.NewTable()
+		sink := record.NewTableSink(table)
+		eng := record.NewEngine(sink)
+		hm := record.NewHeatmapSink(table)
+		ps := pattern.NewSink(table)
+		eng.AddSink(hm)
+		eng.AddSink(ps)
+		for w := range bases {
+			if _, err := table.InsertRange(bases[w], int64(elems[w])*elemSize, fmt.Sprintf("a%d", w), memsim.Managed, "test"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runWorker := func(w int) {
+			for _, op := range scripts[w] {
+				addr := opAddr(w, op)
+				switch {
+				case op.count == 1:
+					eng.Record(op.dev, addr, elemSize, op.kind)
+				case concurrent:
+					eng.RecordRange(op.dev, addr, op.count, op.stride, elemSize, op.kind)
+				default:
+					// Scalar explosion with RecordRange's normalization: a
+					// descending sweep records its elements ascending.
+					b, s := addr, op.stride
+					if s < 0 {
+						b += memsim.Addr(int64(op.count-1) * s)
+						s = -s
+					}
+					for k := 0; k < op.count; k++ {
+						eng.Record(op.dev, b+memsim.Addr(int64(k)*s), elemSize, op.kind)
+					}
+				}
+				if op.flush {
+					eng.Flush()
+				}
+			}
+		}
+		if concurrent {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					runWorker(w)
+				}(w)
+			}
+			wg.Wait()
+		} else {
+			for w := 0; w < workers; w++ {
+				runWorker(w)
+			}
+		}
+		eng.Flush()
+		return table, eng, sink, hm, ps
+	}
+
+	refTable, refEng, refSink, refHM, refPS := build(false)
+	conTable, conEng, conSink, conHM, conPS := build(true)
+
+	refEntries, conEntries := refTable.Entries(), conTable.Entries()
+	if len(refEntries) != workers || len(conEntries) != workers {
+		t.Fatalf("entry counts: sequential %d, concurrent %d", len(refEntries), len(conEntries))
+	}
+	for i := range refEntries {
+		if !bytesEqual(refEntries[i].Shadow, conEntries[i].Shadow) {
+			t.Errorf("alloc %d: concurrent shadow differs from sequential explosion at word %d",
+				i, firstDiff(refEntries[i].Shadow, conEntries[i].Shadow))
+		}
+	}
+
+	if rc, gc := refEng.Counts(), conEng.Counts(); rc != gc {
+		t.Errorf("kind counts differ: sequential %+v, concurrent %+v", rc, gc)
+	}
+	if ru, gu := refSink.Untracked(), conSink.Untracked(); ru != gu {
+		t.Errorf("untracked differs: sequential %d, concurrent %d", ru, gu)
+	} else if ru == 0 {
+		t.Error("stream exercised no untracked accesses; weaken the generator check")
+	}
+
+	// Heat maps: per-word counts are sums, so they must match regardless of
+	// interleaving.
+	refHeats, conHeats := refHM.Heats(), conHM.Heats()
+	if len(refHeats) != len(conHeats) {
+		t.Fatalf("heat counts differ: %d vs %d", len(refHeats), len(conHeats))
+	}
+	for i := range refHeats {
+		rh, gh := refHeats[i], conHeats[i]
+		if rh.Base != gh.Base || rh.Words != gh.Words || rh.Totals != gh.Totals {
+			t.Errorf("heat %d header differs: seq{%x %d %v} vs con{%x %d %v}",
+				i, rh.Base, rh.Words, rh.Totals, gh.Base, gh.Words, gh.Totals)
+			continue
+		}
+		for d := range rh.Counts {
+			for w := range rh.Counts[d] {
+				if rh.Counts[d][w] != gh.Counts[d][w] {
+					t.Errorf("heat %d dev %d word %d: count %d vs %d", i, d, w, rh.Counts[d][w], gh.Counts[d][w])
+					break
+				}
+			}
+		}
+	}
+
+	// Pattern classifications: each (span, alloc, device) stream is fed by
+	// exactly one worker, so its delta structure — and therefore its class,
+	// dominant stride, and sample count — is independent of the global
+	// interleaving.
+	type rowKey struct {
+		span  int
+		alloc string // label; InsertRange entries share AllocID -1
+		dev   machine.Device
+	}
+	rowMap := func(rows []pattern.Row) map[rowKey]pattern.Result {
+		m := make(map[rowKey]pattern.Result, len(rows))
+		for _, r := range rows {
+			k := rowKey{span: r.SpanSeq, alloc: r.Alloc, dev: r.Dev}
+			if _, dup := m[k]; dup {
+				t.Fatalf("duplicate pattern stream key %+v", k)
+			}
+			m[k] = r.Result
+		}
+		return m
+	}
+	refRows, conRows := rowMap(refPS.Rows()), rowMap(conPS.Rows())
+	if len(refRows) == 0 {
+		t.Fatal("no pattern streams classified")
+	}
+	if len(refRows) != len(conRows) {
+		t.Fatalf("pattern stream counts differ: %d vs %d", len(refRows), len(conRows))
+	}
+	for k, rv := range refRows {
+		gv, ok := conRows[k]
+		if !ok {
+			t.Errorf("pattern stream %+v missing from concurrent run", k)
+			continue
+		}
+		if rv != gv {
+			t.Errorf("pattern stream %+v differs: sequential %+v, concurrent %+v", k, rv, gv)
 		}
 	}
 }

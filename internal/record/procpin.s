@@ -1,0 +1,2 @@
+// Empty assembly file: its presence lets procpin.go declare bodyless
+// functions resolved by //go:linkname against the runtime.

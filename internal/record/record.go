@@ -1,34 +1,42 @@
 // Package record is the shared recording engine behind XPlacer's two
 // instrumentation front ends: the simulated runtime (internal/trace) and
 // the plain-Go runtime (xplrt). Both front ends used to carry their own
-// copy of the same machinery — address-sharded access buffers, batched
-// drains with a last-entry SMT lookup cache, enable/disable, flush
-// semantics. The engine owns exactly one implementation of it,
-// parameterized by a small Sink interface, so every observer of the access
-// stream (the canonical shadow-table sink, access heat maps, future
-// pattern visualizers) plugs in once and works for every front end.
+// copy of the same machinery — access buffers, batched drains with a
+// last-entry SMT lookup cache, enable/disable, flush semantics. The
+// engine owns exactly one implementation of it, parameterized by a small
+// Sink interface, so every observer of the access stream (the canonical
+// shadow-table sink, access heat maps, pattern classifiers, spill logs)
+// plugs in once and works for every front end.
 //
 // # Hot path
 //
-// Record appends, under a briefly-held per-shard lock, to one of a fixed
-// set of buffers sharded by address: same word, same shard, so the
-// per-word access order the detectors depend on is preserved even under
-// concurrent recording. A Buffer is the lock-free variant for
-// single-owner (goroutine-private) recording, used by xplrt's
-// DeviceScope. Neither path touches a sink until a buffer fills or a
-// flush point is reached.
+// Record appends to an execution-local buffer slot: the recording
+// goroutine's current P picks the slot (a procPin hint), so concurrent
+// recorders land on different slots and touch no shared cache lines —
+// unlike the previous design, which sharded buffers by *address* and made
+// two goroutines sweeping the same allocation fight over one shard lock.
+// Each appended record carries a global sequence stamp; the drain sweep
+// gathers every slot and merges the records back into stamp order before
+// the sinks see them, so the per-word ordering the detectors depend on is
+// reconstructed at drain time instead of being imposed on the hot path.
+// A Buffer is the still-cheaper variant for single-owner
+// (goroutine-private) recording, used by xplrt's DeviceScope: it needs
+// neither slot selection nor stamps, because one owner appending in
+// program order and applying the whole buffer as one batch is already
+// ordered. Neither path touches a sink until a buffer fills or a flush
+// point is reached.
 //
 // # Flush ordering guarantees
 //
-// These are the engine-wide ordering rules every front end inherits
-// (previously documented separately, and slightly differently, in xplrt
-// and trace):
+// These are the engine-wide ordering rules every front end inherits:
 //
-//  1. Within one shard (and therefore for any single word), accesses
-//     apply to the sinks in recording order.
-//  2. Flush drains every shard; after it returns, everything recorded
+//  1. For any single word, accesses recorded through Record/RecordRange
+//     apply to the sinks in recording order. (The drain merge restores
+//     global sequence order, which is stronger: the entire Record stream
+//     applies in the order the stamps were taken.)
+//  2. Flush drains every slot; after it returns, everything recorded
 //     through Record before the call is visible to the sinks.
-//  3. A Buffer drain flushes the shared shards first, so accesses
+//  3. A Buffer drain flushes the shared slots first, so accesses
 //     recorded through Record before a buffer section (e.g. CPU
 //     initialization preceding a GPU scope) apply before the buffer's
 //     own batch.
@@ -43,6 +51,8 @@
 package record
 
 import (
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -52,15 +62,15 @@ import (
 )
 
 const (
-	// NumShards fixes the number of access-buffer shards. An access at
-	// addr goes to shard (addr>>shardShift)%NumShards: 64-byte granularity
-	// keeps every shadow word (and any small access spanning words) on one
-	// shard, so per-word ordering survives concurrent recording.
-	NumShards  = 64
-	shardShift = 6
-	// shardCap is the per-shard buffer capacity; a full shard drains into
-	// the sinks immediately.
-	shardCap = 1024
+	// NumSlots fixes the number of per-P buffer slots. The recording
+	// goroutine's current P indexes the array (mod NumSlots), so up to
+	// NumSlots processors record with no slot contention at all; a
+	// contended or stolen slot falls over to the next free one.
+	NumSlots = 64
+	// slotCap is the per-slot buffer capacity; a slot filling up triggers
+	// a whole-engine sweep (per-word ordering needs the merge, so slots
+	// cannot drain individually).
+	slotCap = 1024
 	// bufferCap is the per-Buffer capacity. Buffers are goroutine-private;
 	// the capacity stays modest (24 KiB of records) so that the buffers of
 	// many concurrent owners stay cache-resident.
@@ -69,6 +79,9 @@ const (
 	// 32-bit fields of shadow.Access; RecordRange splits oversized sweeps
 	// and Record clamps a (nonsensical) multi-gigabyte element access.
 	maxRun = 1<<31 - 1
+	// lineShift is the 64-byte cache-line granularity used to decide when
+	// a range record applies at record time (see Engine.recordRun).
+	lineShift = 6
 )
 
 // clampSize bounds an element size to Access's 32-bit field. Element
@@ -101,9 +114,10 @@ func appendScalar(buf []shadow.Access, dev machine.Device, addr memsim.Addr, siz
 // Cursor carries per-buffer sink state across batch applies: the
 // last-entry SMT lookup cache TableSink seeds RecordAll with, and the
 // engine generation the cache was filled under. The engine keeps one
-// cursor per shard and one per Buffer, and nils the cached entry whenever
-// the generation moved (Invalidate) so a front end that swaps its table
-// can never apply a batch against a stale *shadow.Entry.
+// cursor for the merged Record stream and one per Buffer, and nils the
+// cached entry whenever the generation moved (Invalidate) so a front end
+// that swaps its table can never apply a batch against a stale
+// *shadow.Entry.
 type Cursor struct {
 	// Last is the last shadow entry the sink resolved; nil after an
 	// invalidation.
@@ -112,20 +126,19 @@ type Cursor struct {
 }
 
 // Sink consumes drained access batches. Apply calls are serialized by the
-// engine's lock and receive batches in per-shard (per-word) recording
-// order. cur is the batch's cursor; only the table-backed sink uses it,
-// so an engine should host at most one cursor-consuming sink.
+// engine's lock and receive batches in per-word recording order. cur is
+// the batch's cursor; only the table-backed sink uses it, so an engine
+// should host at most one cursor-consuming sink.
 type Sink interface {
 	Apply(batch []shadow.Access, cur *Cursor)
 }
 
-// Counts tallies recorded accesses by kind. Counts are merged from
-// per-shard counters at drain time, so they are exact only after a Flush.
+// Counts tallies recorded accesses by kind.
 type Counts struct {
 	Reads, Writes, ReadWrites int64
 }
 
-// kindCounts is the per-shard/per-buffer tally, indexed by AccessKind so
+// kindCounts is the per-slot/per-buffer tally, indexed by AccessKind so
 // the hot path pays one branch-free increment instead of a switch; slot 3
 // (out-of-range kinds) merges into ReadWrites like the sinks treat them.
 // n is the number of element accesses the record represents: 1 for a
@@ -145,15 +158,23 @@ func (c *kindCounts) mergeInto(e *Engine) {
 	*c = kindCounts{}
 }
 
-// shard is one access buffer plus its cursor and kind counters. The
-// counters are plain fields updated under mu — cheaper than per-access
-// atomics — and merged into the engine totals when the shard drains.
-type shard struct {
-	mu  sync.Mutex
-	buf []shadow.Access
-	cur Cursor
-	cnt kindCounts
+// pslot is one execution-local buffer: the access records, their global
+// sequence stamps (parallel slices), and the slot's kind counters. The
+// leading pad keeps concurrently-owned slots off each other's cache
+// lines — the whole point of per-P buffering.
+type pslot struct {
+	_    [64]byte
+	held atomic.Bool
+	buf  []shadow.Access
+	seq  []uint64
+	cnt  kindCounts
 }
+
+// tryLock attempts to take slot ownership without blocking.
+func (s *pslot) tryLock() bool { return s.held.CompareAndSwap(false, true) }
+
+// unlock releases slot ownership.
+func (s *pslot) unlock() { s.held.Store(false) }
 
 // Engine is the concurrency-safe recording engine. Record may be called
 // from concurrent goroutines; sink application happens in batches under
@@ -161,12 +182,12 @@ type shard struct {
 type Engine struct {
 	// mu serializes sink application and guards the sink list; front ends
 	// take it through Locked for their own sink-state inspections.
-	// Lock order is always flushMu -> shard.mu -> mu, never the reverse;
-	// nothing acquires flushMu while holding a shard lock or mu (which is
+	// Lock order is always flushMu -> slot locks -> mu, never the reverse;
+	// nothing acquires flushMu while holding a slot lock or mu (which is
 	// why Locked's fn must not call Flush).
 	mu    sync.Mutex
 	sinks []Sink
-	// flushMu serializes whole-engine shard sweeps (see Flush).
+	// flushMu serializes whole-engine slot sweeps (see Flush).
 	flushMu sync.Mutex
 
 	// disabled is the recording switch; the zero value means enabled, so
@@ -175,21 +196,30 @@ type Engine struct {
 	// gen is the cache generation; Invalidate bumps it and every cursor
 	// re-syncs (dropping its cached entry) at its next apply.
 	gen atomic.Uint64
-	// dirty is set by Record whenever a shard takes an access (or a kind
-	// count), and cleared by the Flush that sweeps the shards. While it is
+	// dirty is set by Record whenever a slot takes an access (or a kind
+	// count), and cleared by the Flush that sweeps the slots. While it is
 	// clear, Flush is a no-op — so Buffer drains in scope-only workloads
-	// (no shard-path recording at all) skip the 64 idle shard locks of
+	// (no slot-path recording at all) skip the NumSlots idle slot locks of
 	// ordering guarantee 3 instead of paying them on every drain.
 	dirty atomic.Bool
+	// seq issues the global per-record order stamps the drain merge sorts
+	// by. Stamps are taken while holding a slot lock, so within one slot
+	// they are strictly increasing and the merge input is a set of sorted
+	// runs.
+	seq atomic.Uint64
 
 	reads, writes, readWrites atomic.Int64
 
-	shards [NumShards]shard
+	slots [NumSlots]pslot
 
-	// bulk and bulkCur are the scratch batch and cursor for multi-line
-	// range records (recordRun's flush-then-apply path); guarded by mu.
-	bulk    [1]shadow.Access
-	bulkCur Cursor
+	// scratch and scratchSeq are the reusable merge buffers a sweep
+	// gathers every slot's pending records into; guarded by flushMu.
+	scratch    []shadow.Access
+	scratchSeq []uint64
+	// mergedCur is the single sink cursor for the merged Record stream
+	// (per-slot cursors would be meaningless: slots hold execution
+	// locality, not address locality); guarded by mu.
+	mergedCur Cursor
 }
 
 // NewEngine returns an enabled engine draining into the given sinks.
@@ -214,26 +244,53 @@ func (e *Engine) SetEnabled(on bool) { e.disabled.Store(!on) }
 // Enabled reports whether access recording is active.
 func (e *Engine) Enabled() bool { return !e.disabled.Load() }
 
-// Record buffers one access, draining the address's shard into the sinks
-// if it fills. Safe for concurrent callers.
+// lockSlot picks and locks an execution-local slot: the current P's slot
+// when free (the uncontended common case — one cache line no other P is
+// writing), otherwise the next free slot. The pin is released before the
+// CAS, so the hint can go stale under migration; that costs locality, not
+// correctness — the sequence stamps restore order at drain time. The
+// search never blocks on a held slot (a preempted holder must not stall
+// recording); after a full empty circuit it yields the processor.
+func (e *Engine) lockSlot() *pslot {
+	i := procHint() % NumSlots
+	for spins := 1; ; spins++ {
+		s := &e.slots[i]
+		if s.tryLock() {
+			return s
+		}
+		if i++; i == NumSlots {
+			i = 0
+		}
+		if spins%NumSlots == 0 {
+			// All slots busy (a sweep holds every lock, or massive
+			// oversubscription): let the holders run.
+			runtime.Gosched()
+		}
+	}
+}
+
+// Record buffers one access in an execution-local slot, sweeping the
+// engine if the slot fills. Safe for concurrent callers.
 func (e *Engine) Record(dev machine.Device, addr memsim.Addr, size int64, kind memsim.AccessKind) {
 	if e.disabled.Load() {
 		return
 	}
-	sh := &e.shards[(uint64(addr)>>shardShift)%NumShards]
-	sh.mu.Lock()
+	s := e.lockSlot()
 	if !e.dirty.Load() {
 		e.dirty.Store(true)
 	}
-	sh.cnt.add(kind, 1)
-	if cap(sh.buf) == 0 {
-		sh.buf = make([]shadow.Access, 0, shardCap)
+	s.cnt.add(kind, 1)
+	if cap(s.buf) == 0 {
+		s.buf = make([]shadow.Access, 0, slotCap)
+		s.seq = make([]uint64, 0, slotCap)
 	}
-	sh.buf = appendScalar(sh.buf, dev, addr, size, kind)
-	if len(sh.buf) >= shardCap {
-		e.drain(sh)
+	s.buf = appendScalar(s.buf, dev, addr, size, kind)
+	s.seq = append(s.seq, e.seq.Add(1))
+	full := len(s.buf) >= slotCap
+	s.unlock()
+	if full {
+		e.Flush()
 	}
-	sh.mu.Unlock()
 }
 
 // RecordRange buffers a strided sweep — count elements of size bytes, the
@@ -242,15 +299,6 @@ func (e *Engine) Record(dev machine.Device, addr memsim.Addr, size int64, kind m
 // negative stride (descending sweep) is normalized: it touches the same
 // words, and within one range all elements share device and kind, so the
 // per-word shadow result is identical.
-//
-// Ordering: a run whose span stays inside one 64-byte line buffers in
-// that line's shard exactly like its scalar elements would (guarantee 1
-// holds verbatim). A wider run covers words owned by different shards, so
-// buffering it in any single shard could reorder it against scalar
-// accesses to the other lines; instead the engine flushes everything
-// recorded so far and applies the run as its own batch. For one recording
-// goroutine that preserves program order exactly; concurrent recorders
-// were never ordered against each other to begin with.
 func (e *Engine) RecordRange(dev machine.Device, base memsim.Addr, count int, stride, size int64, kind memsim.AccessKind) {
 	if e.disabled.Load() || count <= 0 || size <= 0 {
 		return
@@ -280,51 +328,38 @@ func (e *Engine) RecordRange(dev machine.Device, base memsim.Addr, count int, st
 }
 
 // recordRun buffers one encodable run (1 <= count <= maxRun, 0 <= stride
-// <= maxRun); see RecordRange for the shard-vs-bulk routing rationale.
+// <= maxRun). The run buffers in a slot like any scalar — one stamped
+// record, ordered by the drain merge — with one historical wrinkle kept
+// on purpose: a run spanning more than one 64-byte line flushes the
+// engine immediately after buffering, so it reaches the sinks at record
+// time. Clock-driven sinks (HeatmapSink.RotateOnClock) attribute a batch
+// to the simulated time it drains; wide runs have applied at record time
+// since the range encoding was introduced, and moving them to the next
+// natural flush point would silently shift their epoch attribution.
 func (e *Engine) recordRun(dev machine.Device, base memsim.Addr, count int, stride, size int64, kind memsim.AccessKind) {
 	span := int64(count-1)*stride + size
-	rec := shadow.Access{Dev: dev, Kind: kind, Addr: base, Size: clampSize(size), Count: int32(count), Stride: int32(stride)}
-	if line := uint64(base) >> shardShift; line == (uint64(base)+uint64(span-1))>>shardShift {
-		sh := &e.shards[line%NumShards]
-		sh.mu.Lock()
-		if !e.dirty.Load() {
-			e.dirty.Store(true)
-		}
-		sh.cnt.add(kind, int64(count))
-		if cap(sh.buf) == 0 {
-			sh.buf = make([]shadow.Access, 0, shardCap)
-		}
-		sh.buf = append(sh.buf, rec)
-		if len(sh.buf) >= shardCap {
-			e.drain(sh)
-		}
-		sh.mu.Unlock()
-		return
+	s := e.lockSlot()
+	if !e.dirty.Load() {
+		e.dirty.Store(true)
 	}
-	// Multi-line run: flush, then apply as its own batch (lock order
-	// flushMu -> mu, consistent with a sweep's flushMu -> shard.mu -> mu).
-	var cnt kindCounts
-	cnt.add(kind, int64(count))
-	cnt.mergeInto(e)
-	e.Flush()
-	e.mu.Lock()
-	e.bulk[0] = rec
-	e.applyLocked(e.bulk[:], &e.bulkCur)
-	e.mu.Unlock()
-}
-
-// drain applies one shard's buffer to the sinks; the caller holds sh.mu.
-func (e *Engine) drain(sh *shard) {
-	if !sh.cnt.empty() {
-		sh.cnt.mergeInto(e)
+	s.cnt.add(kind, int64(count))
+	if cap(s.buf) == 0 {
+		s.buf = make([]shadow.Access, 0, slotCap)
+		s.seq = make([]uint64, 0, slotCap)
 	}
-	if len(sh.buf) == 0 {
-		return
+	n := len(s.buf)
+	s.buf = s.buf[:n+1]
+	a := &s.buf[n]
+	a.Dev, a.Kind, a.Size = dev, kind, clampSize(size)
+	a.Addr = base
+	a.Count, a.Stride = int32(count), int32(stride)
+	s.seq = append(s.seq, e.seq.Add(1))
+	full := len(s.buf) >= slotCap
+	multiLine := uint64(base)>>lineShift != (uint64(base)+uint64(span-1))>>lineShift
+	s.unlock()
+	if full || multiLine {
+		e.Flush()
 	}
-	e.mu.Lock()
-	e.applyLocked(sh.buf, &sh.cur)
-	e.mu.Unlock()
-	sh.buf = sh.buf[:0]
 }
 
 // applyLocked re-syncs the cursor against the current generation and
@@ -338,12 +373,77 @@ func (e *Engine) applyLocked(batch []shadow.Access, cur *Cursor) {
 	}
 }
 
-// Flush drains every shard into the sinks (ordering guarantee 2). When no
-// shard has taken an access since the last sweep the call is one
+// seqMerge sorts the gathered records by sequence stamp (both slices in
+// lockstep). The input is a concatenation of per-slot runs that are each
+// already sorted, which the standard sort exploits well; stamps are
+// unique, so plain (unstable) sorting is exact.
+type seqMerge struct {
+	acc []shadow.Access
+	seq []uint64
+}
+
+func (m seqMerge) Len() int           { return len(m.seq) }
+func (m seqMerge) Less(i, j int) bool { return m.seq[i] < m.seq[j] }
+func (m seqMerge) Swap(i, j int) {
+	m.acc[i], m.acc[j] = m.acc[j], m.acc[i]
+	m.seq[i], m.seq[j] = m.seq[j], m.seq[i]
+}
+
+// sweep gathers every slot's pending records, merges them back into
+// global sequence order, and applies the result to the sinks as one
+// batch; the caller holds flushMu.
+//
+// All slot locks are held across the gather. This is what makes the
+// sweep a linearization point: a recording goroutine that migrated
+// between slots mid-stream either got both records into the gathered set
+// or will find every slot locked and land both in the next sweep —
+// releasing slots one by one as they are copied would let a later stamp
+// drain in this sweep while an earlier stamp for the same word waits in
+// an already-released slot. Recorders never block while holding a slot,
+// so holding all of them cannot deadlock.
+func (e *Engine) sweep() {
+	e.scratch = e.scratch[:0]
+	e.scratchSeq = e.scratchSeq[:0]
+	for i := range e.slots {
+		s := &e.slots[i]
+		for !s.tryLock() {
+			runtime.Gosched()
+		}
+	}
+	runs := 0
+	for i := range e.slots {
+		s := &e.slots[i]
+		if !s.cnt.empty() {
+			s.cnt.mergeInto(e)
+		}
+		if len(s.buf) > 0 {
+			e.scratch = append(e.scratch, s.buf...)
+			e.scratchSeq = append(e.scratchSeq, s.seq...)
+			s.buf = s.buf[:0]
+			s.seq = s.seq[:0]
+			runs++
+		}
+	}
+	for i := range e.slots {
+		e.slots[i].unlock()
+	}
+	if len(e.scratch) == 0 {
+		return
+	}
+	if runs > 1 {
+		sort.Sort(seqMerge{e.scratch, e.scratchSeq})
+	}
+	e.mu.Lock()
+	e.applyLocked(e.scratch, &e.mergedCur)
+	e.mu.Unlock()
+}
+
+// Flush drains every slot into the sinks (ordering guarantee 2). When no
+// slot has taken an access since the last sweep the call is one
 // uncontended lock. flushMu serializes sweeps, so a Flush returning
 // cheaply has still waited out any in-flight sweep — without it a second
 // Flush could observe the cleared dirty flag and return while the first
-// was mid-sweep, with undrained shards still ahead of it. A Record racing
+// was mid-sweep, with undrained slots still ahead of it. A Record racing
 // with the sweep either gets drained by it or re-marks the engine dirty
 // for the next Flush.
 func (e *Engine) Flush() {
@@ -352,18 +452,14 @@ func (e *Engine) Flush() {
 	if !e.dirty.Swap(false) {
 		return
 	}
-	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.Lock()
-		e.drain(sh)
-		sh.mu.Unlock()
-	}
+	e.sweep()
 }
 
 // Locked runs fn while holding the engine's sink lock, ordering fn
 // against concurrent batch applies (ordering guarantee 4). Front ends use
 // it for everything that reads or mutates sink state: diagnostics, SMT
-// registration, table swaps. fn must not call Flush, Record, or Locked.
+// registration, table swaps. fn must not call Flush, Record, Counts, or
+// Locked.
 func (e *Engine) Locked(fn func()) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -378,22 +474,24 @@ func (e *Engine) Locked(fn func()) {
 func (e *Engine) Invalidate() { e.gen.Add(1) }
 
 // Reset discards all buffered accesses without applying them, zeroes the
-// kind counters, drops every shard cache, and re-enables recording.
+// kind counters, drops every cursor cache, and re-enables recording.
 // Buffers created before the reset re-sync their cursors via the
 // generation bump on their next drain.
 func (e *Engine) Reset() {
 	// Serialize against sweeps so a concurrent Flush cannot interleave
-	// drained and discarded shards. dirty stays as-is: a Record racing the
-	// reset may land in an already-cleared shard, and its mark must survive.
+	// drained and discarded slots. dirty stays as-is: a Record racing the
+	// reset may land in an already-cleared slot, and its mark must survive.
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
-	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.Lock()
-		sh.buf = sh.buf[:0]
-		sh.cur.Last = nil
-		sh.cnt = kindCounts{}
-		sh.mu.Unlock()
+	for i := range e.slots {
+		s := &e.slots[i]
+		for !s.tryLock() {
+			runtime.Gosched()
+		}
+		s.buf = s.buf[:0]
+		s.seq = s.seq[:0]
+		s.cnt = kindCounts{}
+		s.unlock()
 	}
 	e.reads.Store(0)
 	e.writes.Store(0)
@@ -402,9 +500,13 @@ func (e *Engine) Reset() {
 	e.disabled.Store(false)
 }
 
-// Counts returns the accesses drained so far by kind. Flush first for an
-// exact tally.
+// Counts flushes pending buffers and returns the accesses recorded so far
+// by kind. The flush is what makes the tally exact — the counters are
+// merged from per-slot counts at drain time — so Counts must not be
+// called from inside Locked (use a Flush-then-Locked sequence and read
+// the counters before taking the lock).
 func (e *Engine) Counts() Counts {
+	e.Flush()
 	return Counts{
 		Reads:      e.reads.Load(),
 		Writes:     e.writes.Load(),
@@ -415,28 +517,63 @@ func (e *Engine) Counts() Counts {
 // Buffer is a single-owner access buffer draining into the same engine:
 // the lock-free hot path used by goroutine-scoped recording (xplrt's
 // DeviceScope). Record and Flush must be called by one goroutine at a
-// time; the engine-side apply is synchronized like any shard drain.
+// time; the engine-side apply is synchronized like any slot sweep. A
+// Buffer needs no sequence stamps: its records apply as one batch in
+// append order, and its interleaving with the shared Record stream is
+// ordered at flush boundaries only (guarantee 3).
 type Buffer struct {
 	e   *Engine
 	buf []shadow.Access
 	cur Cursor
 	cnt kindCounts
+	// next is the address one past the coverage of the last appended
+	// record, for append-time run coalescing: a scalar access that
+	// continues the previous record's sweep (same device, kind, and
+	// element size, contiguous address) extends that record's run count
+	// instead of appending. A sweep of N contiguous elements then
+	// occupies one RLE record instead of N scalars — the buffer stays
+	// cache-resident and the drain applies one record. Exact per word:
+	// the contiguous RLE shape replays element-by-element with the same
+	// device and kind (shadow.Entry.recordRange), so per-word results
+	// and per-element counts are identical to the scalar explosion.
+	next memsim.Addr
 }
 
 // NewBuffer returns an empty buffer owned by the caller.
 func (e *Engine) NewBuffer() *Buffer { return &Buffer{e: e} }
 
 // Record appends one access with no locking, draining if the buffer
-// filled.
+// filled. An access that contiguously continues the previous record's
+// sweep coalesces into it (see Buffer.next).
 func (b *Buffer) Record(dev machine.Device, addr memsim.Addr, size int64, kind memsim.AccessKind) {
 	if b.e.disabled.Load() {
 		return
 	}
 	b.cnt.add(kind, 1)
+	if n := len(b.buf); n > 0 && addr == b.next {
+		p := &b.buf[n-1]
+		if p.Dev == dev && p.Kind == kind && int64(p.Size) == size && p.Count < maxRun {
+			// Only gapless shapes extend: a scalar whose end is addr, or a
+			// contiguous (stride == size) run — a gapped run's next element
+			// would not start at its end, so folding addr into it as
+			// contiguous would cover the wrong words.
+			if p.Count <= 1 && addr == p.Addr+memsim.Addr(p.Size) {
+				p.Count, p.Stride = 2, p.Size
+				b.next += memsim.Addr(size)
+				return
+			}
+			if p.Count > 1 && p.Stride == p.Size {
+				p.Count++
+				b.next += memsim.Addr(size)
+				return
+			}
+		}
+	}
 	if cap(b.buf) == 0 {
 		b.buf = make([]shadow.Access, 0, bufferCap)
 	}
 	b.buf = appendScalar(b.buf, dev, addr, size, kind)
+	b.next = addr + memsim.Addr(size)
 	if len(b.buf) >= bufferCap {
 		b.Flush()
 	}
@@ -444,9 +581,8 @@ func (b *Buffer) Record(dev machine.Device, addr memsim.Addr, size int64, kind m
 
 // RecordRange appends one run-length-encoded strided sweep (see
 // Engine.RecordRange for the encoding). The buffer is single-owner and
-// applies as one in-order batch, so unlike the shard path even multi-line
-// runs stay buffered: program order within the buffer is preserved by
-// construction.
+// applies as one in-order batch, so even multi-line runs stay buffered:
+// program order within the buffer is preserved by construction.
 func (b *Buffer) RecordRange(dev machine.Device, base memsim.Addr, count int, stride, size int64, kind memsim.AccessKind) {
 	if b.e.disabled.Load() || count <= 0 || size <= 0 {
 		return
@@ -471,6 +607,7 @@ func (b *Buffer) RecordRange(dev machine.Device, base memsim.Addr, count int, st
 			b.buf = make([]shadow.Access, 0, bufferCap)
 		}
 		b.buf = append(b.buf, shadow.Access{Dev: dev, Kind: kind, Addr: base, Size: clampSize(size), Count: int32(run), Stride: int32(stride)})
+		b.next = base + memsim.Addr(int64(run)*stride)
 		if len(b.buf) >= bufferCap {
 			b.Flush()
 		}
@@ -479,7 +616,7 @@ func (b *Buffer) RecordRange(dev machine.Device, base memsim.Addr, count int, st
 	}
 }
 
-// Flush drains the buffer into the sinks. The shared shards drain first
+// Flush drains the buffer into the sinks. The shared slots drain first
 // (ordering guarantee 3): accesses recorded through Engine.Record before
 // this buffer's must reach the sinks before the buffer's batch, or
 // per-word ordering would invert.

@@ -76,10 +76,10 @@ func TestDisabledSkipsAccesses(t *testing.T) {
 	}
 }
 
-// TestBufferDrainFlushesShardsFirst checks ordering guarantee 3: a write
+// TestBufferDrainFlushesSlotsFirst checks ordering guarantee 3: a write
 // recorded through the shared path before a buffered read of the same
 // word must apply first, or the read's origin would be wrong.
-func TestBufferDrainFlushesShardsFirst(t *testing.T) {
+func TestBufferDrainFlushesSlotsFirst(t *testing.T) {
 	eng, sink := newTableEngine(t, 0x1000, 64)
 	eng.Record(machine.CPU, 0x1000, 4, memsim.Write) // shared path
 	buf := eng.NewBuffer()
@@ -94,8 +94,8 @@ func TestBufferDrainFlushesShardsFirst(t *testing.T) {
 // TestSwapTableInvalidatesCursors is the regression test for the
 // generation trick: replacing the table mid-stream (under Locked, with
 // Invalidate) must prevent later batches from applying against a cached
-// *shadow.Entry of the old table — for shard cursors and buffer cursors
-// alike.
+// *shadow.Entry of the old table — for the merged-stream cursor and
+// buffer cursors alike.
 func TestSwapTableInvalidatesCursors(t *testing.T) {
 	eng, sink := newTableEngine(t, 0x1000, 64)
 	oldEntry := entryOf(t, sink, 0x1000)
@@ -177,15 +177,15 @@ func TestAddSinkSeesOnlyLaterBatches(t *testing.T) {
 	}
 }
 
-// TestShardDrainOnFill checks that a filling shard drains without an
-// explicit flush (all accesses at one address share a shard).
-func TestShardDrainOnFill(t *testing.T) {
+// TestSlotDrainOnFill checks that a filling slot drains without an
+// explicit flush (a single-goroutine recorder keeps hitting one slot).
+func TestSlotDrainOnFill(t *testing.T) {
 	eng, sink := newTableEngine(t, 0x1000, 64)
-	for i := 0; i < shardCap; i++ {
+	for i := 0; i < slotCap; i++ {
 		eng.Record(machine.CPU, 0x1000, 4, memsim.Write)
 	}
 	if b := entryOf(t, sink, 0x1000).Shadow[0]; b&shadow.CPUWrote == 0 {
-		t.Error("full shard did not drain")
+		t.Error("full slot did not drain")
 	}
 }
 

@@ -1,0 +1,113 @@
+package shadow
+
+import (
+	"encoding/binary"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+)
+
+// This file is the word-at-a-time shadow update path: one (device, kind)
+// access applied to a run of shadow bytes eight at a time with SWAR
+// bitwise ops on a uint64 lane, instead of one updateTab lookup per byte.
+// Drained batches are dominated by exactly this shape — RLE range records
+// and coalesced scalar runs both reduce to "apply one access to words
+// [first, last]" — so this loop is where batch application spends its
+// time. Update remains the reference semantics; TestApplyBulkMatchesTab
+// checks the lane math against updateTab for every byte value.
+
+// bulkMin is the run length (in shadow words) below which the plain
+// updateTab loop wins: the SWAR path costs two unaligned 8-byte moves per
+// lane plus the tail loop, which only amortizes over a few lanes.
+const bulkMin = 16
+
+// Per-byte broadcast masks of the shadow flags, one copy per lane byte.
+const (
+	swarOnes  = 0x0101010101010101
+	swarCPUW  = swarOnes * uint64(CPUWrote)
+	swarLastG = swarOnes * uint64(LastWriterGPU)
+	swarRCC   = swarOnes * uint64(ReadCC)
+	swarRCG   = swarOnes * uint64(ReadCG)
+	swarRGC   = swarOnes * uint64(ReadGC)
+	swarRGG   = swarOnes * uint64(ReadGG)
+	// swarGPUW sets GPUWrote and LastWriterGPU together (a GPU write's
+	// whole effect).
+	swarGPUW = swarOnes * uint64(GPUWrote|LastWriterGPU)
+)
+
+// applyBulk applies one access by dev of the given kind to every byte of
+// sh, eight bytes per step. dev and kind must be within updateTab's range
+// (callers gate on that; out-of-range values take the Update fallback
+// loop instead).
+//
+// The lane math mirrors Update byte-wise:
+//
+//   - Reads set one of the four (reader, origin) flags depending on
+//     LastWriterGPU. g extracts that bit into each byte's low bit, and
+//     g*0xFF broadcasts it to a full-byte mask — each byte contributes
+//     0xFF·256^i, which stays within its own lane, so there is no
+//     cross-byte carry.
+//   - A CPU write sets CPUWrote and clears LastWriterGPU; a GPU write
+//     sets GPUWrote|LastWriterGPU.
+//   - ReadWrite performs the read update first (against the pre-write
+//     origin), then the write, exactly like Update.
+func applyBulk(sh []byte, dev machine.Device, kind memsim.AccessKind) {
+	isGPU := dev == machine.GPU
+	i := 0
+	for ; i+8 <= len(sh); i += 8 {
+		x := binary.LittleEndian.Uint64(sh[i:])
+		if kind != memsim.Write {
+			gmask := ((x >> 2) & swarOnes) * 0xFF
+			if isGPU {
+				x |= (swarRCG &^ gmask) | (swarRGG & gmask)
+			} else {
+				x |= (swarRCC &^ gmask) | (swarRGC & gmask)
+			}
+		}
+		if kind != memsim.Read {
+			if isGPU {
+				x |= swarGPUW
+			} else {
+				x = (x | swarCPUW) &^ swarLastG
+			}
+		}
+		binary.LittleEndian.PutUint64(sh[i:], x)
+	}
+	tab := &updateTab[dev][kind]
+	for ; i < len(sh); i++ {
+		sh[i] = tab[sh[i]]
+	}
+}
+
+// applyWords applies one access by dev of the given kind to the entry's
+// shadow words [first, last], clamped to the shadow array; it is the
+// shared terminal of every bulk shape (RLE range collapse, coalesced
+// scalar runs, multi-word scalars). Short runs take the updateTab loop,
+// long ones the SWAR lane loop, out-of-range (dev, kind) pairs the Update
+// reference.
+func (e *Entry) applyWords(first, last int, dev machine.Device, kind memsim.AccessKind) {
+	e.EverTouched = true
+	if first < 0 {
+		first = 0
+	}
+	if last >= len(e.Shadow) {
+		last = len(e.Shadow) - 1
+	}
+	if last < first {
+		return
+	}
+	if int(dev) < len(updateTab) && int(kind) < len(updateTab[0]) {
+		if last-first+1 >= bulkMin {
+			applyBulk(e.Shadow[first:last+1], dev, kind)
+			return
+		}
+		tab := &updateTab[dev][kind]
+		for i := first; i <= last; i++ {
+			e.Shadow[i] = tab[e.Shadow[i]]
+		}
+		return
+	}
+	for i := first; i <= last; i++ {
+		e.Shadow[i] = Update(e.Shadow[i], dev, kind)
+	}
+}

@@ -349,27 +349,11 @@ func (t *Table) Record(dev machine.Device, addr memsim.Addr, size int64, kind me
 	return true
 }
 
-// record applies one access to the entry's shadow words. It is the single
-// shadow-update loop shared by Record and RecordAll: the precomputed
-// updateTab replaces Update's branches for in-range (device, kind) pairs,
-// with Update itself as the fallback for values outside the table.
+// record applies one access to the entry's shadow words; applyWords (see
+// bulk.go) is the single shadow-update terminal shared by Record,
+// RecordAll, and the range collapse.
 func (e *Entry) record(addr memsim.Addr, size int64, dev machine.Device, kind memsim.AccessKind) {
-	e.EverTouched = true
-	first := e.wordIndex(addr)
-	last := e.wordIndex(addr + memsim.Addr(size) - 1)
-	if last >= len(e.Shadow) {
-		last = len(e.Shadow) - 1
-	}
-	if int(dev) < len(updateTab) && int(kind) < len(updateTab[0]) {
-		tab := &updateTab[dev][kind]
-		for i := first; i <= last; i++ {
-			e.Shadow[i] = tab[e.Shadow[i]]
-		}
-		return
-	}
-	for i := first; i <= last; i++ {
-		e.Shadow[i] = Update(e.Shadow[i], dev, kind)
-	}
+	e.applyWords(e.wordIndex(addr), e.wordIndex(addr+memsim.Addr(size)-1), dev, kind)
 }
 
 // recordRange applies a strided sweep of count elements (size bytes each,
@@ -399,20 +383,15 @@ func (e *Entry) recordRange(addr memsim.Addr, count int, stride, size int64, dev
 		}
 		return
 	}
-	tab := &updateTab[dev][kind]
 	if count > 1 && stride <= size &&
 		(kind != memsim.ReadWrite ||
 			(stride == size && addr%WordSize == 0 && stride%WordSize == 0)) {
 		first := e.wordIndex(addr)
 		last := e.wordIndex(addr + memsim.Addr(int64(count-1)*stride+size) - 1)
-		if last >= len(e.Shadow) {
-			last = len(e.Shadow) - 1
-		}
-		for i := first; i <= last; i++ {
-			e.Shadow[i] = tab[e.Shadow[i]]
-		}
+		e.applyWords(first, last, dev, kind)
 		return
 	}
+	tab := &updateTab[dev][kind]
 	for k := 0; k < count; k++ {
 		a := addr + memsim.Addr(int64(k)*stride)
 		first := e.wordIndex(a)
@@ -462,16 +441,28 @@ func (a *Access) Elems() int64 {
 // last-entry lookup cache: consecutive accesses into the same allocation
 // skip the SMT search entirely, which is what makes batched draining
 // cheaper than per-access Find calls. It returns the final cache value
-// (for the caller to carry across batches, per shard) and the number of
+// (for the caller to carry across batches, per buffer) and the number of
 // accesses that hit no traced entry. Cache hits do not count as Lookups.
+//
+// Consecutive scalar accesses that sweep one entry with the same device
+// and kind — the dominant drained shape, a loop walking an array —
+// coalesce into a single applyWords call over the covered word range,
+// turning per-access table updates into the word-at-a-time bulk path.
+// The coalescing is exact per word: a record extends the run only when
+// its first word is the word right after the run (no word repeats, so
+// even non-idempotent ReadWrite composes correctly), or, for idempotent
+// Read/Write — where applying the update once or twice per word is the
+// same — when it starts inside or adjacent to the run and only re-covers
+// or extends it.
 func (t *Table) RecordAll(batch []Access, hint *Entry) (last *Entry, untracked int) {
 	last = hint
-	for i := range batch {
+	for i := 0; i < len(batch); {
 		a := &batch[i]
 		if a.Count > 1 {
 			var un int
 			last, un = t.recordRange(a, last)
 			untracked += un
+			i++
 			continue
 		}
 		e := last
@@ -479,11 +470,35 @@ func (t *Table) RecordAll(batch []Access, hint *Entry) (last *Entry, untracked i
 			e = t.Find(a.Addr)
 			if e == nil {
 				untracked++
+				i++
 				continue
 			}
 			last = e
 		}
-		e.record(a.Addr, int64(a.Size), a.Dev, a.Kind)
+		if int(a.Dev) >= len(updateTab) || int(a.Kind) >= len(updateTab[0]) {
+			e.record(a.Addr, int64(a.Size), a.Dev, a.Kind)
+			i++
+			continue
+		}
+		first := e.wordIndex(a.Addr)
+		lastW := e.wordIndex(a.Addr + memsim.Addr(a.Size) - 1)
+		idem := a.Kind != memsim.ReadWrite
+		j := i + 1
+		for ; j < len(batch); j++ {
+			b := &batch[j]
+			if b.Count > 1 || b.Dev != a.Dev || b.Kind != a.Kind || !e.Contains(b.Addr) {
+				break
+			}
+			bf := e.wordIndex(b.Addr)
+			if bf != lastW+1 && !(idem && bf >= first && bf <= lastW) {
+				break
+			}
+			if bl := e.wordIndex(b.Addr + memsim.Addr(b.Size) - 1); bl > lastW {
+				lastW = bl
+			}
+		}
+		e.applyWords(first, lastW, a.Dev, a.Kind)
+		i = j
 	}
 	return last, untracked
 }

@@ -1,0 +1,351 @@
+// Package spill is the bounded-memory trace sink: drained access batches
+// serialize to a compact binary log instead of accumulating in live sink
+// state, and the analyses that would have consumed them live (heat maps,
+// access-pattern classification) replay the log on demand. Retained
+// memory is capped by a configurable budget — once the in-memory tail of
+// the log exceeds it, the tail flushes to a temporary file — so the
+// memory footprint of a trace is O(budget), independent of how many
+// accesses it records: a 10^9-access run retains no more than the budget
+// plus one encoded frame.
+//
+// # Log format
+//
+// The log is a sequence of frames, each starting with a one-byte tag:
+//
+//	0x01 batch: uvarint record count, then per record
+//	     dev byte, kind byte, uvarint size, svarint address delta
+//	     (against the previous record's address, starting from 0 each
+//	     frame), uvarint count, and — only when count > 1 — uvarint
+//	     stride. The RLE range record (shadow.Access) is the on-disk
+//	     unit; scalar accesses encode count 0.
+//	0x02 span: uvarint name length, the name bytes, uvarint simulated
+//	     time. Written at kernel-launch boundaries so replayed pattern
+//	     streams attribute accesses to the same spans the live sink
+//	     would have.
+//	0x03 clock: uvarint simulated time. Written whenever the simulated
+//	     clock moved since the last frame, so clock-driven consumers
+//	     (heat-map epoch rotation) replay with the same attribution.
+//
+// Address deltas and the varint encoding make the common drained shapes
+// small: a coalesced sweep is a handful of bytes, a scalar-heavy batch
+// costs a few bytes per access.
+package spill
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/record"
+	"xplacer/internal/shadow"
+)
+
+// Frame tags.
+const (
+	frameBatch = 0x01
+	frameSpan  = 0x02
+	frameClock = 0x03
+)
+
+// maxFrameRecords bounds one batch frame so the replay-side decode buffer
+// stays small regardless of drained batch sizes.
+const maxFrameRecords = 4096
+
+// Sink is a record.Sink that serializes drained batches to the bounded
+// log. Apply and Span run under the recording engine's lock (sink
+// applications are serialized), Replay and Close after recording is
+// done; the sink's own lock keeps misuse safe rather than fast.
+type Sink struct {
+	mu     sync.Mutex
+	budget int
+	dir    string
+	now    func() machine.Duration
+
+	buf       []byte
+	file      *os.File
+	fileBytes int64
+	err       error
+
+	lastClock  machine.Duration
+	clockValid bool
+
+	batches, records int64
+}
+
+// New returns a sink retaining at most budget bytes of log in memory;
+// the excess spills to a temporary file. A budget below one encoded
+// frame still works — every Apply that leaves the buffer over budget
+// flushes it, so retention stays at most one frame behind.
+func New(budget int) *Sink {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Sink{budget: budget}
+}
+
+// SetClock installs the simulated-time source stamped into clock and
+// span frames; without one the log carries no time attribution.
+func (s *Sink) SetClock(now func() machine.Duration) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// SetDir overrides the directory for the spill file (defaults to the
+// system temp directory); tests point it at a per-test dir.
+func (s *Sink) SetDir(dir string) {
+	s.mu.Lock()
+	s.dir = dir
+	s.mu.Unlock()
+}
+
+// Err returns the first I/O error the sink encountered, if any. Apply
+// cannot return one (the record.Sink interface is fire-and-forget), so
+// spill failures surface here and at Replay.
+func (s *Sink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// RetainedBytes returns the in-memory log tail size — the sink's whole
+// retained state, what the budget bounds.
+func (s *Sink) RetainedBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// SpilledBytes returns the log bytes written to the spill file.
+func (s *Sink) SpilledBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fileBytes
+}
+
+// Counts returns the applied batch and record totals.
+func (s *Sink) Counts() (batches, records int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches, s.records
+}
+
+// stampClock appends a clock frame if the simulated clock moved; the
+// caller holds s.mu.
+func (s *Sink) stampClock() {
+	if s.now == nil {
+		return
+	}
+	at := s.now()
+	if s.clockValid && at == s.lastClock {
+		return
+	}
+	s.lastClock, s.clockValid = at, true
+	s.buf = append(s.buf, frameClock)
+	s.buf = binary.AppendUvarint(s.buf, uint64(at))
+}
+
+// Span appends a span-boundary frame. Front ends call it at the same
+// flush points where they begin a live pattern span (kernel launches),
+// so replayed streams split identically.
+func (s *Sink) Span(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var at machine.Duration
+	if s.now != nil {
+		at = s.now()
+		s.lastClock, s.clockValid = at, true
+	}
+	s.buf = append(s.buf, frameSpan)
+	s.buf = binary.AppendUvarint(s.buf, uint64(len(name)))
+	s.buf = append(s.buf, name...)
+	s.buf = binary.AppendUvarint(s.buf, uint64(at))
+	s.spillIfOver()
+}
+
+// Apply implements record.Sink: the batch is encoded onto the log tail,
+// and the tail flushes to the spill file whenever it exceeds the budget.
+func (s *Sink) Apply(batch []shadow.Access, _ *record.Cursor) {
+	if len(batch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stampClock()
+	s.batches++
+	s.records += int64(len(batch))
+	for len(batch) > 0 {
+		n := len(batch)
+		if n > maxFrameRecords {
+			n = maxFrameRecords
+		}
+		s.buf = append(s.buf, frameBatch)
+		s.buf = binary.AppendUvarint(s.buf, uint64(n))
+		prev := memsim.Addr(0)
+		for i := 0; i < n; i++ {
+			a := &batch[i]
+			s.buf = append(s.buf, byte(a.Dev), byte(a.Kind))
+			s.buf = binary.AppendUvarint(s.buf, uint64(a.Size))
+			s.buf = binary.AppendVarint(s.buf, int64(a.Addr)-int64(prev))
+			prev = a.Addr
+			s.buf = binary.AppendUvarint(s.buf, uint64(a.Count))
+			if a.Count > 1 {
+				s.buf = binary.AppendUvarint(s.buf, uint64(a.Stride))
+			}
+		}
+		batch = batch[n:]
+		s.spillIfOver()
+	}
+}
+
+// spillIfOver flushes the in-memory tail to the spill file when it
+// exceeds the budget; the caller holds s.mu. The file is created lazily —
+// runs that fit the budget never touch the filesystem.
+func (s *Sink) spillIfOver() {
+	if len(s.buf) <= s.budget || s.err != nil {
+		return
+	}
+	if s.file == nil {
+		f, err := os.CreateTemp(s.dir, "xplacer-spill-*.log")
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.file = f
+	}
+	n, err := s.file.Write(s.buf)
+	s.fileBytes += int64(n)
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.buf = s.buf[:0]
+}
+
+// Replay decodes the whole log in order — spilled prefix, then the
+// in-memory tail — invoking onBatch for each batch frame (the slice is
+// reused between calls), onSpan for span frames, and onClock for clock
+// frames. Nil callbacks skip their frames. Replay does not consume the
+// log; it can run multiple times.
+func (s *Sink) Replay(onBatch func([]shadow.Access), onSpan func(name string, at machine.Duration), onClock func(at machine.Duration)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	var parts []io.Reader
+	if s.file != nil {
+		parts = append(parts, io.NewSectionReader(s.file, 0, s.fileBytes))
+	}
+	parts = append(parts, bytes.NewReader(s.buf))
+	r := bufio.NewReaderSize(io.MultiReader(parts...), 1<<16)
+	batch := make([]shadow.Access, 0, maxFrameRecords)
+	for {
+		tag, err := r.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case frameBatch:
+			n, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			if n > maxFrameRecords {
+				return fmt.Errorf("spill: corrupt batch frame (%d records)", n)
+			}
+			batch = batch[:0]
+			prev := memsim.Addr(0)
+			for i := uint64(0); i < n; i++ {
+				var a shadow.Access
+				dev, err := r.ReadByte()
+				if err != nil {
+					return err
+				}
+				kind, err := r.ReadByte()
+				if err != nil {
+					return err
+				}
+				size, err := binary.ReadUvarint(r)
+				if err != nil {
+					return err
+				}
+				delta, err := binary.ReadVarint(r)
+				if err != nil {
+					return err
+				}
+				count, err := binary.ReadUvarint(r)
+				if err != nil {
+					return err
+				}
+				a.Dev, a.Kind, a.Size = machine.Device(dev), memsim.AccessKind(kind), int32(size)
+				a.Addr = memsim.Addr(int64(prev) + delta)
+				prev = a.Addr
+				a.Count = int32(count)
+				if a.Count > 1 {
+					stride, err := binary.ReadUvarint(r)
+					if err != nil {
+						return err
+					}
+					a.Stride = int32(stride)
+				}
+				batch = append(batch, a)
+			}
+			if onBatch != nil {
+				onBatch(batch)
+			}
+		case frameSpan:
+			n, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			name := make([]byte, n)
+			if _, err := io.ReadFull(r, name); err != nil {
+				return err
+			}
+			at, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			if onSpan != nil {
+				onSpan(string(name), machine.Duration(at))
+			}
+		case frameClock:
+			at, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			if onClock != nil {
+				onClock(machine.Duration(at))
+			}
+		default:
+			return fmt.Errorf("spill: corrupt log (frame tag %#x)", tag)
+		}
+	}
+}
+
+// Close removes the spill file, if one was created. The sink is not
+// usable afterwards.
+func (s *Sink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	name := s.file.Name()
+	err := s.file.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	s.file = nil
+	return err
+}

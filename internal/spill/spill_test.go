@@ -1,0 +1,172 @@
+package spill
+
+import (
+	"math/rand"
+	"testing"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+)
+
+// randomBatches builds a deterministic mix of scalar and RLE records.
+func randomBatches(rng *rand.Rand, nBatches int) [][]shadow.Access {
+	devs := []machine.Device{machine.CPU, machine.GPU}
+	kinds := []memsim.AccessKind{memsim.Read, memsim.Write, memsim.ReadWrite}
+	out := make([][]shadow.Access, nBatches)
+	addr := memsim.Addr(0x100000)
+	for b := range out {
+		n := 1 + rng.Intn(300)
+		batch := make([]shadow.Access, n)
+		for i := range batch {
+			a := &batch[i]
+			a.Dev = devs[rng.Intn(2)]
+			a.Kind = kinds[rng.Intn(3)]
+			a.Size = int32(4 << rng.Intn(2))
+			switch rng.Intn(3) {
+			case 0:
+				addr += memsim.Addr(rng.Intn(64) * 4)
+			case 1:
+				addr -= memsim.Addr(rng.Intn(32) * 4)
+			}
+			a.Addr = addr
+			if rng.Intn(3) == 0 {
+				a.Count = int32(2 + rng.Intn(2000))
+				a.Stride = int32(4 * (1 + rng.Intn(4)))
+			}
+		}
+		out[b] = batch
+	}
+	return out
+}
+
+// TestRoundTrip checks the log decodes back to exactly the applied
+// batches, spans, and clock stamps — in order, across the spill-file
+// boundary (tiny budget forces nearly everything through the file).
+func TestRoundTrip(t *testing.T) {
+	for _, budget := range []int{0, 64, 1 << 20} {
+		s := New(budget)
+		s.SetDir(t.TempDir())
+		clock := machine.Duration(0)
+		s.SetClock(func() machine.Duration { return clock })
+
+		rng := rand.New(rand.NewSource(3))
+		batches := randomBatches(rng, 40)
+		type event struct {
+			batch []shadow.Access
+			span  string
+			at    machine.Duration
+		}
+		var want []event
+		for i, b := range batches {
+			if i%7 == 0 {
+				clock += 100
+				name := "kernel"
+				s.Span(name)
+				want = append(want, event{span: name, at: clock})
+			}
+			s.Apply(b, nil)
+			want = append(want, event{batch: b, at: clock})
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if budget < 1<<20 && s.SpilledBytes() == 0 {
+			t.Fatalf("budget %d: nothing spilled", budget)
+		}
+
+		var got []event
+		at := machine.Duration(0)
+		err := s.Replay(
+			func(b []shadow.Access) {
+				got = append(got, event{batch: append([]shadow.Access(nil), b...), at: at})
+			},
+			func(name string, spanAt machine.Duration) {
+				at = spanAt
+				got = append(got, event{span: name, at: spanAt})
+			},
+			func(clockAt machine.Duration) { at = clockAt },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("budget %d: replayed %d events, want %d", budget, len(got), len(want))
+		}
+		for i := range want {
+			w, g := want[i], got[i]
+			if w.span != g.span || w.at != g.at || len(w.batch) != len(g.batch) {
+				t.Fatalf("budget %d event %d: got {span %q at %d, %d records}, want {span %q at %d, %d records}",
+					budget, i, g.span, g.at, len(g.batch), w.span, w.at, len(w.batch))
+			}
+			for j := range w.batch {
+				if w.batch[j] != g.batch[j] {
+					t.Fatalf("budget %d event %d record %d: got %+v, want %+v", budget, i, j, g.batch[j], w.batch[j])
+				}
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBudgetInvariant drives a large stream through a small budget and
+// asserts the retained tail never exceeds budget after any Apply — the
+// bounded-memory guarantee.
+func TestBudgetInvariant(t *testing.T) {
+	const budget = 4096
+	s := New(budget)
+	s.SetDir(t.TempDir())
+	rng := rand.New(rand.NewSource(11))
+	for _, b := range randomBatches(rng, 500) {
+		s.Apply(b, nil)
+		if r := s.RetainedBytes(); r > budget {
+			t.Fatalf("retained %d bytes > budget %d", r, budget)
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	batches, records := s.Counts()
+	if batches != 500 || records <= 0 {
+		t.Fatalf("counts = %d batches, %d records", batches, records)
+	}
+	// Replay twice: the log is not consumed.
+	for round := 0; round < 2; round++ {
+		var n int64
+		if err := s.Replay(func(b []shadow.Access) { n += int64(len(b)) }, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if n != records {
+			t.Fatalf("round %d: replayed %d records, want %d", round, n, records)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargeBatchSplits checks batches above maxFrameRecords split across
+// frames and replay intact.
+func TestLargeBatchSplits(t *testing.T) {
+	s := New(1 << 20)
+	s.SetDir(t.TempDir())
+	batch := make([]shadow.Access, maxFrameRecords+100)
+	for i := range batch {
+		batch[i] = shadow.Access{Dev: machine.GPU, Kind: memsim.Read, Size: 4, Addr: memsim.Addr(0x1000 + i*4)}
+	}
+	s.Apply(batch, nil)
+	var got []shadow.Access
+	if err := s.Replay(func(b []shadow.Access) { got = append(got, b...) }, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if got[i] != batch[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], batch[i])
+		}
+	}
+}

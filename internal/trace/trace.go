@@ -26,6 +26,7 @@ import (
 	"xplacer/internal/pattern"
 	"xplacer/internal/record"
 	"xplacer/internal/shadow"
+	"xplacer/internal/spill"
 	"xplacer/internal/um"
 )
 
@@ -61,6 +62,11 @@ type Tracer struct {
 	// made them; nil keeps the launch wrapper a bare counter increment
 	// and the flush schedule unchanged.
 	patterns *pattern.Sink
+
+	// spill is the optional bounded-memory log sink (EnableSpill). Like
+	// patterns, it makes every kernel launch a drain point, writing a
+	// span marker so replayed streams split at the same boundaries.
+	spill *spill.Sink
 
 	// Wrapper event counters; element-access kind counts live in the
 	// engine, untracked counts in the sink.
@@ -225,16 +231,38 @@ func (t *Tracer) EnablePatterns(now func() machine.Duration) *pattern.Sink {
 // Patterns returns the attached pattern sink, or nil.
 func (t *Tracer) Patterns() *pattern.Sink { return t.patterns }
 
+// EnableSpill attaches a bounded-memory spill sink: every batch drained
+// from now on serializes to its log instead of (or in addition to) live
+// analysis state, and kernel launches write span markers into the log so
+// a replay reconstructs the same span attribution a live pattern sink
+// would have seen. Call before recording starts.
+func (t *Tracer) EnableSpill(sp *spill.Sink) {
+	t.eng.AddSink(sp)
+	t.spill = sp
+}
+
+// Spill returns the attached spill sink, or nil.
+func (t *Tracer) Spill() *spill.Sink { return t.spill }
+
 // TraceKernelLaunch implements cuda.Tracer (the kernel-launch wrapper of
-// Table I). With a pattern sink attached the launch is also a drain
-// point: buffered accesses flush into the previous span, then the new
-// span opens under the engine lock.
+// Table I). With a pattern or spill sink attached the launch is also a
+// drain point: buffered accesses flush into the previous span, then the
+// new span opens under the engine lock.
 func (t *Tracer) TraceKernelLaunch(name string) {
 	t.kernels.Add(1)
-	if ps := t.patterns; ps != nil {
-		t.eng.Flush()
-		t.eng.Locked(func() { ps.BeginSpan(name) })
+	ps, sp := t.patterns, t.spill
+	if ps == nil && sp == nil {
+		return
 	}
+	t.eng.Flush()
+	t.eng.Locked(func() {
+		if ps != nil {
+			ps.BeginSpan(name)
+		}
+		if sp != nil {
+			sp.Span(name)
+		}
+	})
 }
 
 // Name attaches a user-level label to the allocation's SMT entry — the

@@ -18,9 +18,10 @@
 //		v := *xplrt.ScopeR(s, &xs[i]) // a GPU read
 //	})
 //
-// which lets concurrent goroutines play different roles at once. The
-// process-global SetDevice remains as a deprecated shim for
-// single-goroutine programs. Everything else about the analysis —
+// which lets concurrent goroutines play different roles at once.
+// Scope-less TraceR/W/RW calls charge the process-wide default role
+// (CPU unless changed by a scope fallback). Everything else about the
+// analysis —
 // write/read origin tracking, alternating-access, density, and transfer
 // diagnostics — is unchanged.
 //
@@ -83,8 +84,7 @@ func newRuntime() *runtime {
 var rt = newRuntime()
 
 // defaultDev is the process-wide role used by the scope-less TraceR/W/RW
-// entry points (and set by the deprecated SetDevice). Goroutine-scoped
-// code uses a DeviceScope instead.
+// entry points. Goroutine-scoped code uses a DeviceScope instead.
 var defaultDev atomic.Uint32
 
 // recordAccess is the shared body of the trace functions: append to the
@@ -155,24 +155,15 @@ func Untracked() int64 {
 	return rt.sink.Untracked()
 }
 
-// SetDevice declares which processor role the following code plays.
-//
-// Deprecated: SetDevice sets the process-wide default role read by the
-// scope-less TraceR/W/RW, which cannot express concurrent goroutines
-// playing different roles. New code should run device sections under
-// OnDevice (or an explicit NewScope handle) and trace through
-// ScopeR/ScopeW/ScopeRW.
-func SetDevice(d Device) { defaultDev.Store(uint32(d)) }
-
 // SetOptions adjusts the anti-pattern detector thresholds.
 func SetOptions(opt detect.Options) {
 	rt.eng.Locked(func() { rt.opt = opt })
 }
 
 // DeviceScope is a goroutine-scoped execution role: the handle instrumented
-// code threads through functions that play a fixed device role. Unlike the
-// deprecated process-global SetDevice, scopes let concurrent goroutines
-// play the CPU and the GPU at the same time.
+// code threads through functions that play a fixed device role. Unlike a
+// process-global role switch, scopes let concurrent goroutines play the
+// CPU and the GPU at the same time.
 //
 // A scope also carries a private engine Buffer, so the ScopeR/W/RW hot
 // path appends with no locking at all. The buffer drains into the shadow
@@ -211,7 +202,7 @@ func (s *DeviceScope) Flush() {
 }
 
 // OnDevice runs fn with a scope playing role d — the structured form of a
-// device section, replacing SetDevice(d) / SetDevice(CPU) pairs:
+// device section:
 //
 //	xplrt.OnDevice(xplrt.GPU, func(s *xplrt.DeviceScope) { ... })
 //
@@ -309,9 +300,8 @@ func rangeStep(opts []RangeOpt) int {
 //	copy(xplrt.Range(xplrt.Write, dst), src)
 //	sumCol(xplrt.Range(xplrt.Read, xs[c:], xplrt.Stride(cols)), cols)
 //
-// Range is the consolidated entry point replacing the deprecated
-// TraceRange{R,W,RW}[Strided] family. The access is charged to the
-// process-wide default role; scoped code uses ScopeRange.
+// Range is the consolidated range-tracing entry point. The access is
+// charged to the process-wide default role; scoped code uses ScopeRange.
 func Range[T any](kind AccessKind, xs []T, opts ...RangeOpt) []T {
 	if base, n, sz := sliceRange(xs); n > 0 {
 		if step := rangeStep(opts); step == 1 {
@@ -337,99 +327,6 @@ func ScopeRange[T any](s *DeviceScope, kind AccessKind, xs []T, opts ...RangeOpt
 		} else {
 			s.buf.RecordRange(s.dev, base, (n+step-1)/step, int64(step)*sz, sz, kind)
 		}
-	}
-	return xs
-}
-
-// TraceRangeR records a read of every element of xs as one range.
-//
-// Deprecated: use Range(Read, xs).
-func TraceRangeR[T any](xs []T) []T { return Range(Read, xs) }
-
-// TraceRangeW records a write of every element of xs as one range.
-//
-// Deprecated: use Range(Write, xs).
-func TraceRangeW[T any](xs []T) []T { return Range(Write, xs) }
-
-// TraceRangeRW records a read-modify-write of every element of xs as one
-// range.
-//
-// Deprecated: use Range(ReadWrite, xs).
-func TraceRangeRW[T any](xs []T) []T { return Range(ReadWrite, xs) }
-
-// TraceRangeStridedR records a read of xs[0], xs[step], xs[2*step], … as
-// one strided range. step must be positive.
-//
-// Deprecated: use Range(Read, xs, Stride(step)).
-func TraceRangeStridedR[T any](xs []T, step int) []T {
-	if step > 0 {
-		return Range(Read, xs, Stride(step))
-	}
-	return xs
-}
-
-// TraceRangeStridedW is TraceRangeStridedR for writes.
-//
-// Deprecated: use Range(Write, xs, Stride(step)).
-func TraceRangeStridedW[T any](xs []T, step int) []T {
-	if step > 0 {
-		return Range(Write, xs, Stride(step))
-	}
-	return xs
-}
-
-// TraceRangeStridedRW is TraceRangeStridedR for read-modify-writes.
-//
-// Deprecated: use Range(ReadWrite, xs, Stride(step)).
-func TraceRangeStridedRW[T any](xs []T, step int) []T {
-	if step > 0 {
-		return Range(ReadWrite, xs, Stride(step))
-	}
-	return xs
-}
-
-// ScopeRangeR records a read of every element of xs in the scope's role.
-//
-// Deprecated: use ScopeRange(s, Read, xs).
-func ScopeRangeR[T any](s *DeviceScope, xs []T) []T { return ScopeRange(s, Read, xs) }
-
-// ScopeRangeW is ScopeRangeR for writes.
-//
-// Deprecated: use ScopeRange(s, Write, xs).
-func ScopeRangeW[T any](s *DeviceScope, xs []T) []T { return ScopeRange(s, Write, xs) }
-
-// ScopeRangeRW is ScopeRangeR for read-modify-writes.
-//
-// Deprecated: use ScopeRange(s, ReadWrite, xs).
-func ScopeRangeRW[T any](s *DeviceScope, xs []T) []T { return ScopeRange(s, ReadWrite, xs) }
-
-// ScopeRangeStridedR records a read of xs[0], xs[step], … in the scope's
-// role. step must be positive.
-//
-// Deprecated: use ScopeRange(s, Read, xs, Stride(step)).
-func ScopeRangeStridedR[T any](s *DeviceScope, xs []T, step int) []T {
-	if step > 0 {
-		return ScopeRange(s, Read, xs, Stride(step))
-	}
-	return xs
-}
-
-// ScopeRangeStridedW is ScopeRangeStridedR for writes.
-//
-// Deprecated: use ScopeRange(s, Write, xs, Stride(step)).
-func ScopeRangeStridedW[T any](s *DeviceScope, xs []T, step int) []T {
-	if step > 0 {
-		return ScopeRange(s, Write, xs, Stride(step))
-	}
-	return xs
-}
-
-// ScopeRangeStridedRW is ScopeRangeStridedR for read-modify-writes.
-//
-// Deprecated: use ScopeRange(s, ReadWrite, xs, Stride(step)).
-func ScopeRangeStridedRW[T any](s *DeviceScope, xs []T, step int) []T {
-	if step > 0 {
-		return ScopeRange(s, ReadWrite, xs, Stride(step))
 	}
 	return xs
 }

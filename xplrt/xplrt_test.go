@@ -213,10 +213,10 @@ func TestScopeReadWriteKinds(t *testing.T) {
 func TestNilScopeUsesDefaultDevice(t *testing.T) {
 	Reset()
 	xs := Slice[int64](2, "xs")
-	SetDevice(GPU)
+	defaultDev.Store(uint32(GPU))
 	var s *DeviceScope
 	*ScopeW(s, &xs[0]) = 1
-	SetDevice(CPU)
+	defaultDev.Store(uint32(CPU))
 	r := Report()
 	if r.Allocs[0].WriteG == 0 {
 		t.Errorf("nil scope did not fall back to default device: %+v", r.Allocs[0])
