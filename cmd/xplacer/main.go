@@ -5,6 +5,7 @@
 // Usage:
 //
 //	xplacer -app lulesh     [-platform Intel+Pascal] [-size 8] [-steps 16] [-variant baseline] [-diag-every 1] [-csv]
+//	xplacer -app lulesh-mp  [-size 65536] [-cycles 3] [-steps 10] [-analysis-steps 4] [-static managed] [-adapt]
 //	xplacer -app sw         [-size 100] [-rotated] [-diag-every 0]
 //	xplacer -app pathfinder [-cols 1024] [-rows 101] [-pyramid 20] [-overlap]
 //	xplacer -app backprop|gaussian|lud|nn|cfd [-size N] [-optimize]
@@ -17,7 +18,10 @@
 // chrome://tracing); -fail-on makes the exit status reflect selected
 // finding kinds, for CI gates; -whatif captures the run's access
 // aggregates and replays them under candidate placements, predicting the
-// best policy per allocation and the whole-run speedup of applying them.
+// best policy per allocation and the whole-run speedup of applying them;
+// -adapt attaches the closed-loop controller, which re-runs that analysis
+// incrementally every -adapt-window of simulated time and applies winning
+// placements mid-run (decision log in the report, JSON key "adaptive").
 package main
 
 import (
@@ -25,7 +29,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"xplacer/internal/adapt"
 	"xplacer/internal/advisor"
 	"xplacer/internal/apps/lulesh"
 	"xplacer/internal/apps/rodinia"
@@ -44,11 +50,14 @@ import (
 
 func main() {
 	var (
-		app       = flag.String("app", "lulesh", "application: lulesh, sw, pathfinder, backprop, gaussian, lud, nn, cfd")
+		app       = flag.String("app", "lulesh", "application: lulesh, lulesh-mp, sw, pathfinder, backprop, gaussian, lud, nn, cfd")
 		platName  = flag.String("platform", "Intel+Pascal", "platform: Intel+Pascal, Intel+Volta, IBM+Volta")
-		size      = flag.Int("size", 8, "problem size (app-specific)")
-		steps     = flag.Int("steps", 16, "lulesh timesteps")
+		size      = flag.Int("size", 8, "problem size (app-specific; lulesh-mp: element count, use e.g. 65536)")
+		steps     = flag.Int("steps", 16, "lulesh timesteps (lulesh-mp: solve steps per cycle)")
 		variant   = flag.String("variant", "baseline", "lulesh variant: baseline, readmostly, preferred, accessedby, dupdomain")
+		cycles    = flag.Int("cycles", 3, "lulesh-mp: solve→analysis cycles")
+		anaSteps  = flag.Int("analysis-steps", 4, "lulesh-mp: analysis sweeps per cycle")
+		static    = flag.String("static", "", "lulesh-mp: whole-run placement: managed, preferred-gpu, preferred-cpu, read-mostly, accessed-by, explicit-copy")
 		rotated   = flag.Bool("rotated", false, "sw: rotated matrix layout")
 		overlap   = flag.Bool("overlap", false, "pathfinder: overlap transfers with compute")
 		optimize  = flag.Bool("optimize", false, "backprop/gaussian: apply the diagnosed fixes")
@@ -66,6 +75,10 @@ func main() {
 		timelineF = flag.String("timeline", "", "export the event timeline as Chrome trace JSON to this file (view in Perfetto)")
 		failOn    = flag.String("fail-on", "", "comma-separated finding kinds that make the exit status non-zero (e.g. alternating-cpu-gpu-access,unused-allocation)")
 		whatIf    = flag.Bool("whatif", false, "capture the run's access aggregates and predict the best placement per allocation by replay")
+		wiWorkers = flag.Int("whatif-workers", 0, "candidate-replay worker count for -whatif/-adapt (0: GOMAXPROCS)")
+		adaptF    = flag.Bool("adapt", false, "attach the closed-loop controller: analyze capture windows online and apply winning placements mid-run")
+		adaptWin  = flag.Duration("adapt-window", 2*time.Millisecond, "with -adapt: minimum simulated time per capture window")
+		adaptThr  = flag.Float64("adapt-threshold", adapt.DefaultMinGainPct, "with -adapt: minimum predicted window gain (percent) before a placement counts toward confirmation")
 		hmEpoch   = flag.Duration("heatmap-epoch", 0, "with -heatmap: close a heat-map epoch every interval of simulated time (e.g. 100us)")
 		budget    = flag.Int("trace-budget", 0, "with -heatmap/-patterns: retain at most this many bytes of trace in memory, spilling the access log to disk and replaying it for the final report (0: unbounded, analyze live)")
 		seed      = flag.Int64("seed", 1, "input seed")
@@ -96,6 +109,16 @@ func main() {
 	}
 	if *whatIf {
 		s.Ctx.SetWhatIfCapture(true)
+	}
+	var ctrl *adapt.Controller
+	if *adaptF {
+		// The controller enables capture itself and closes windows at
+		// kernel-launch drain boundaries from here on.
+		ctrl = adapt.Attach(s.Ctx, adapt.Config{
+			Window:     machine.Duration(adaptWin.Nanoseconds()) * machine.Nanosecond,
+			MinGainPct: *adaptThr,
+			Workers:    *wiWorkers,
+		})
 	}
 	var hm *record.HeatmapSink
 	var ps *pattern.Sink
@@ -142,6 +165,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("final origin energy: %g\n", res.FinalOriginEnergy)
+	case "lulesh-mp":
+		res, err := lulesh.RunMultiPhase(s, lulesh.MultiPhaseConfig{
+			Elems: *size, Cycles: *cycles, SolveSteps: *steps, AnalysisSteps: *anaSteps,
+			Static: lulesh.StaticPolicy(*static),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("final origin energy: %g, checksum: %g\n", res.FinalOriginEnergy, res.Checksum)
 	case "sw":
 		res, err := sw.Run(s, sw.Config{
 			N: *size, M: *size, Seed: *seed, Rotated: *rotated,
@@ -192,6 +224,14 @@ func main() {
 		fmt.Printf("density sum: %g\n", res.DensitySum)
 	default:
 		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	if ctrl != nil {
+		// Close the final window over the trailing events and detach; the
+		// decision log rides in the report below.
+		if err := ctrl.Finish(); err != nil {
+			fatal(err)
+		}
 	}
 
 	if sp != nil {
@@ -278,11 +318,14 @@ func main() {
 	if *whatIf {
 		// The diagnostic flushed the trailing host window, so the trace is
 		// complete. The analysis rides in the report (JSON key "whatif").
-		wi, err := whatif.Analyze(s.Ctx.Timeline().Events(), plat)
+		wi, err := whatif.AnalyzeParallel(s.Ctx.Timeline().Events(), plat, *wiWorkers)
 		if err != nil {
 			fatal(err)
 		}
 		rep.WhatIf = wi
+	}
+	if ctrl != nil {
+		rep.Adaptive = ctrl.Report()
 	}
 	switch {
 	case *jsonOut:
@@ -297,9 +340,13 @@ func main() {
 	if rep.WhatIf != nil && !*jsonOut && !*csv {
 		rep.WhatIf.Text(os.Stdout)
 	}
+	if rep.Adaptive != nil && !*jsonOut && !*csv {
+		rep.Adaptive.Text(os.Stdout)
+	}
 	if *advise {
 		recs := advisor.Recommend(rep, advisor.DefaultOptions(plat))
 		advisor.Annotate(recs, rep.WhatIf)
+		advisor.AnnotateAdaptive(recs, rep.Adaptive)
 		advisor.Render(os.Stdout, recs)
 	}
 	if *profile {

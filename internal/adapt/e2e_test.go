@@ -1,0 +1,141 @@
+package adapt_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"xplacer/internal/adapt"
+	"xplacer/internal/apps/lulesh"
+	"xplacer/internal/core"
+	"xplacer/internal/machine"
+)
+
+// mpConfig is the multi-phase LULESH workload the end-to-end comparison
+// runs: three solve→analysis cycles whose phases are long enough for the
+// controller to confirm and apply per-phase placements.
+func mpConfig() lulesh.MultiPhaseConfig {
+	return lulesh.MultiPhaseConfig{
+		Elems:         65536,
+		Cycles:        3,
+		SolveSteps:    10,
+		AnalysisSteps: 4,
+	}
+}
+
+// adaptConfig is the controller tuning used by the end-to-end runs. The
+// window must exceed the longest workload step (a managed-memory solve
+// step runs ~1ms here): sub-step windows fragment a steady per-step
+// signal into alternating win/quiet windows that never confirm.
+func adaptConfig() adapt.Config {
+	return adapt.Config{
+		Window:     machine.Millisecond,
+		MinGainPct: 2,
+		Confirm:    2,
+		Cooldown:   2,
+		Workers:    4,
+	}
+}
+
+func runStatic(t *testing.T, plat *machine.Platform, static lulesh.StaticPolicy) (machine.Duration, lulesh.MultiPhaseResult) {
+	t.Helper()
+	var mr lulesh.MultiPhaseResult
+	rr, err := core.Run(plat, false, func(s *core.Session) error {
+		cfg := mpConfig()
+		cfg.Static = static
+		var err error
+		mr, err = lulesh.RunMultiPhase(s, cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("%s static %s: %v", plat.Name, static, err)
+	}
+	return rr.SimTime, mr
+}
+
+func runAdaptive(t *testing.T, plat *machine.Platform, cfg adapt.Config) (machine.Duration, lulesh.MultiPhaseResult, *adapt.Report) {
+	t.Helper()
+	var mr lulesh.MultiPhaseResult
+	var rep *adapt.Report
+	rr, err := core.Run(plat, false, func(s *core.Session) error {
+		ctrl := adapt.Attach(s.Ctx, cfg)
+		var err error
+		mr, err = lulesh.RunMultiPhase(s, mpConfig())
+		if err != nil {
+			return err
+		}
+		if err := ctrl.Finish(); err != nil {
+			return err
+		}
+		rep = ctrl.Report()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s adaptive: %v", plat.Name, err)
+	}
+	return rr.SimTime, mr, rep
+}
+
+// TestDecisionLogDeterminism: the controller's decision log — and
+// therefore the run it steers — is byte-identical across candidate
+// worker-pool sizes. The worker pool only parallelizes candidate
+// replays; ranking and hysteresis consume their results in a fixed
+// order.
+func TestDecisionLogDeterminism(t *testing.T) {
+	plat := machine.IntelPascal()
+	var want []byte
+	var wantTime machine.Duration
+	for _, workers := range []int{1, 8} {
+		cfg := adaptConfig()
+		cfg.Workers = workers
+		simTime, _, rep := runAdaptive(t, plat, cfg)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("workers=%d: marshal report: %v", workers, err)
+		}
+		if want == nil {
+			want, wantTime = b, simTime
+			continue
+		}
+		if simTime != wantTime {
+			t.Errorf("workers=%d: sim time %v, want %v", workers, simTime, wantTime)
+		}
+		if !bytes.Equal(b, want) {
+			t.Errorf("workers=%d: decision log differs:\n%s\nvs workers=1:\n%s", workers, b, want)
+		}
+	}
+}
+
+// TestAdaptiveBeatsStaticPlacements is the end-to-end acceptance of the
+// closed-loop controller: on the multi-phase LULESH proxy, whose solve and
+// analysis phases want opposite placements, the controller's end-to-end
+// simulated time beats every static whole-run placement on every machine
+// preset — while producing bit-identical numerical results.
+func TestAdaptiveBeatsStaticPlacements(t *testing.T) {
+	for _, plat := range machine.Platforms() {
+		t.Run(plat.Name, func(t *testing.T) {
+			adaptTime, adaptRes, rep := runAdaptive(t, plat, adaptConfig())
+			if rep.Switches == 0 {
+				t.Errorf("controller applied no placements (windows: %d)", len(rep.Windows))
+			}
+			t.Logf("%-14s adaptive: %v (switches %d, windows %d, applied %v)",
+				plat.Name, adaptTime, rep.Switches, len(rep.Windows), rep.Applied)
+			for _, static := range lulesh.StaticPolicies() {
+				simTime, staticRes := runStatic(t, plat, static)
+				t.Logf("%-14s static %-14s: %v (adaptive is %.2fx)",
+					plat.Name, static, simTime, float64(simTime)/float64(adaptTime))
+				if adaptTime >= simTime {
+					t.Errorf("adaptive (%v) did not beat static %s (%v)", adaptTime, static, simTime)
+				}
+				if staticRes.FinalOriginEnergy != adaptRes.FinalOriginEnergy {
+					t.Errorf("static %s final energy %v != adaptive %v",
+						static, staticRes.FinalOriginEnergy, adaptRes.FinalOriginEnergy)
+				}
+				if staticRes.Checksum != adaptRes.Checksum {
+					t.Errorf("static %s checksum %v != adaptive %v",
+						static, staticRes.Checksum, adaptRes.Checksum)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package adapt
+
+import "testing"
+
+// TestHysteresisThreshold: a candidate below the gain threshold never
+// confirms, and a sub-threshold window resets a streak in progress.
+func TestHysteresisThreshold(t *testing.T) {
+	var h hysteresis
+	if act := h.step("read-mostly", 2.9, 3, 2, 2); act != actNone {
+		t.Fatalf("below-threshold step: got %v, want actNone", act)
+	}
+	if h.streak != 0 || h.candidate != "" {
+		t.Fatalf("below-threshold step tracked a candidate: %+v", h)
+	}
+	// Build a streak, then break it with a sub-threshold window.
+	if act := h.step("read-mostly", 10, 3, 3, 2); act != actConfirm {
+		t.Fatalf("first win: got %v, want actConfirm", act)
+	}
+	if act := h.step("read-mostly", 1, 3, 3, 2); act != actNone {
+		t.Fatalf("sub-threshold window: got %v, want actNone", act)
+	}
+	if h.streak != 0 {
+		t.Fatalf("sub-threshold window did not reset the streak: %+v", h)
+	}
+	// The win after the reset starts over at streak 1.
+	if act := h.step("read-mostly", 10, 3, 3, 2); act != actConfirm {
+		t.Fatalf("post-reset win: got %v, want actConfirm", act)
+	}
+	if h.streak != 1 {
+		t.Fatalf("post-reset streak = %d, want 1", h.streak)
+	}
+}
+
+// TestHysteresisConfirmation: the same candidate must win Confirm
+// consecutive windows to apply; a different winner restarts the count.
+func TestHysteresisConfirmation(t *testing.T) {
+	var h hysteresis
+	if act := h.step("read-mostly", 10, 3, 3, 0); act != actConfirm {
+		t.Fatalf("win 1: got %v", act)
+	}
+	if act := h.step("read-mostly", 10, 3, 3, 0); act != actConfirm {
+		t.Fatalf("win 2: got %v", act)
+	}
+	// A conflicting winner steals the candidacy at streak 1.
+	if act := h.step("preferred-gpu", 12, 3, 3, 0); act != actConfirm {
+		t.Fatalf("conflicting win: got %v", act)
+	}
+	if h.candidate != "preferred-gpu" || h.streak != 1 {
+		t.Fatalf("conflicting win did not restart the streak: %+v", h)
+	}
+	h.step("preferred-gpu", 12, 3, 3, 0)
+	if act := h.step("preferred-gpu", 12, 3, 3, 0); act != actApply {
+		t.Fatalf("third consecutive win: got %v, want actApply", act)
+	}
+	if h.current != "preferred-gpu" || h.streak != 0 || h.candidate != "" {
+		t.Fatalf("apply did not install the placement: %+v", h)
+	}
+	// The applied placement winning its own window is a no-op.
+	if act := h.step("preferred-gpu", 50, 3, 3, 0); act != actNone {
+		t.Fatalf("current placement winning: got %v, want actNone", act)
+	}
+}
+
+// TestHysteresisCooldown: an applied label is frozen for Cooldown
+// windows — wins during the freeze are logged but not counted — and the
+// label becomes appliable again once the freeze expires.
+func TestHysteresisCooldown(t *testing.T) {
+	var h hysteresis
+	h.step("read-mostly", 10, 3, 1, 2)
+	if h.current != "read-mostly" || h.cooldown != 2 {
+		t.Fatalf("apply with Confirm=1 did not freeze: %+v", h)
+	}
+	// Window 1 of the freeze: an above-threshold challenger only logs.
+	if act := h.step("preferred-gpu", 20, 3, 1, 2); act != actCooldown {
+		t.Fatalf("frozen challenger: got %v, want actCooldown", act)
+	}
+	if h.cooldown != 1 {
+		t.Fatalf("cooldown after one frozen window = %d, want 1", h.cooldown)
+	}
+	// Window 2: a quiet frozen window still burns down the freeze.
+	if act := h.step("read-mostly", 50, 3, 1, 2); act != actNone {
+		t.Fatalf("frozen quiet window: got %v, want actNone", act)
+	}
+	if h.cooldown != 0 {
+		t.Fatalf("cooldown after two frozen windows = %d, want 0", h.cooldown)
+	}
+	// Freeze over: the challenger can now be applied (Confirm=1).
+	if act := h.step("preferred-gpu", 20, 3, 1, 2); act != actApply {
+		t.Fatalf("post-freeze challenger: got %v, want actApply", act)
+	}
+	if h.current != "preferred-gpu" {
+		t.Fatalf("post-freeze apply did not install: %+v", h)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"strings"
 
+	"xplacer/internal/adapt"
 	"xplacer/internal/cuda"
 	"xplacer/internal/diag"
 	"xplacer/internal/machine"
@@ -49,6 +50,10 @@ type Recommendation struct {
 	// WhatIf is the replay engine's prediction for the allocation, filled
 	// in by Annotate when a what-if analysis of the run is available.
 	WhatIf *WhatIfNote
+	// Adaptive records what the online controller actually applied to the
+	// allocation mid-run, filled in by AnnotateAdaptive when the run was
+	// steered (cmd/xplacer -adapt).
+	Adaptive *AdaptiveNote
 }
 
 // WhatIfNote quantifies a recommendation with the what-if replay engine's
@@ -64,6 +69,16 @@ type WhatIfNote struct {
 	Delta     machine.Duration
 }
 
+// AdaptiveNote records what the online controller did to an allocation's
+// label during a steered run — the closed-loop counterpart of the
+// offline WhatIfNote.
+type AdaptiveNote struct {
+	// Policy is the placement the controller left applied at run end.
+	Policy string
+	// Switches counts the mid-run placement changes on the label.
+	Switches int
+}
+
 func (r Recommendation) String() string {
 	s := r.Alloc + ":"
 	for _, a := range r.Actions {
@@ -73,6 +88,10 @@ func (r Recommendation) String() string {
 	if n := r.WhatIf; n != nil {
 		s += fmt.Sprintf(" (what-if: %s predicts %s vs %s observed, Δ %s)",
 			n.Policy, n.Predicted, n.Observed, n.Delta)
+	}
+	if n := r.Adaptive; n != nil {
+		s += fmt.Sprintf(" (adaptive: controller applied %s mid-run, %d switch(es))",
+			n.Policy, n.Switches)
 	}
 	return s
 }
@@ -99,6 +118,32 @@ func Annotate(recs []Recommendation, res *whatif.Result) {
 			Predicted: ar.WinnerPredicted,
 			Delta:     ar.WinnerPredicted - res.Observed,
 		}
+	}
+}
+
+// AnnotateAdaptive attaches the adaptive controller's decisions to the
+// matching recommendations (by allocation label): what the closed loop
+// actually applied during the run, next to what the offline rules and
+// the what-if replay suggest. Labels the controller never changed are
+// left unannotated.
+func AnnotateAdaptive(recs []Recommendation, rep *adapt.Report) {
+	if rep == nil {
+		return
+	}
+	switches := make(map[string]int)
+	for _, w := range rep.Windows {
+		for _, d := range w.Decisions {
+			if d.Action == "apply" {
+				switches[d.Label]++
+			}
+		}
+	}
+	for i := range recs {
+		policy, ok := rep.Applied[recs[i].Alloc]
+		if !ok {
+			continue
+		}
+		recs[i].Adaptive = &AdaptiveNote{Policy: policy, Switches: switches[recs[i].Alloc]}
 	}
 }
 

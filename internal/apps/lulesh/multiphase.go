@@ -1,0 +1,428 @@
+package lulesh
+
+// Multi-phase LULESH proxy: the Lagrange solve interleaved with in-situ
+// analysis phases, the workload shape the adaptive placement controller
+// (internal/adapt) is built for.
+//
+// Production LULESH-class codes rarely run the solver alone: every few
+// hundred timesteps an in-situ analysis pass walks the field arrays on the
+// host (feature detection, visualization extracts, checkpoint digests)
+// while the GPU keeps computing small reductions over the same data. The
+// resulting access mix wants a different placement per allocation per
+// phase:
+//
+//   - the energy array is GPU-written every solve step and CPU-probed (a
+//     few words at points scattered across the mesh, the dt check) every
+//     step — preferred-GPU is ideal; managed ping-pongs every probed
+//     page, and read-mostly pays an invalidation broadcast plus a
+//     re-duplication per probed page on every poll after a write;
+//   - the other field arrays are GPU-written in the solve phase but
+//     CPU-scanned element-wise every analysis step while GPU kernels
+//     re-read them — read-mostly is ideal there, managed ping-pongs the
+//     scanned pages every step, preferred-GPU makes the host pay a remote
+//     access per element;
+//   - the histogram is GPU-updated heavily and CPU-read lightly, wanting
+//     preferred-GPU; the Domain table is read by both sides, wanting
+//     read-mostly.
+//
+// No uniform whole-run placement covers that mix, which is exactly the gap
+// between the paper's static advice (§IV-A) and a closed-loop controller:
+// discovering and applying per-allocation placements mid-run — and
+// re-deciding them when the phase pattern shifts — beats every static
+// assignment.
+//
+// The proxy keeps the structural LULESH traits that matter: a Domain-style
+// pointer table both processors read, field arrays published through it, a
+// GPU-only scratch buffer, and a deterministic element update whose final
+// origin energy is bit-identical under every placement strategy.
+
+import (
+	"fmt"
+
+	"xplacer/internal/core"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/raja"
+	"xplacer/internal/um"
+)
+
+// StaticPolicy is a whole-run placement strategy for the multi-phase
+// proxy — the static baselines the adaptive controller is compared
+// against.
+type StaticPolicy string
+
+// Static placement strategies, applied at allocation time and never
+// changed mid-run.
+const (
+	// StaticManaged is plain managed memory, no hints (the baseline).
+	StaticManaged StaticPolicy = "managed"
+	// StaticPreferredGPU pins every allocation to the GPU.
+	StaticPreferredGPU StaticPolicy = "preferred-gpu"
+	// StaticPreferredCPU pins every allocation to the host.
+	StaticPreferredCPU StaticPolicy = "preferred-cpu"
+	// StaticReadMostly read-duplicates every allocation (the paper's
+	// one-line remedy).
+	StaticReadMostly StaticPolicy = "read-mostly"
+	// StaticAccessedBy maps every allocation into both processors' page
+	// tables so accesses resolve remotely instead of faulting.
+	StaticAccessedBy StaticPolicy = "accessed-by"
+	// StaticExplicit is the classic cudaMalloc port applied where it is
+	// applicable without restructuring host code: allocations the host
+	// never accesses element-wise (the GPU scratch buffer) become
+	// device-only; host-accessed arrays stay managed (um.PlaceExplicit is
+	// predict-only for them).
+	StaticExplicit StaticPolicy = "explicit-copy"
+)
+
+// StaticPolicies returns every static strategy in comparison order.
+func StaticPolicies() []StaticPolicy {
+	return []StaticPolicy{
+		StaticManaged, StaticPreferredGPU, StaticPreferredCPU,
+		StaticReadMostly, StaticAccessedBy, StaticExplicit,
+	}
+}
+
+// MultiPhaseConfig parameterizes a multi-phase run.
+type MultiPhaseConfig struct {
+	// Elems is the element count of each field array (multiple of 8).
+	Elems int
+	// Cycles is the number of solve→analysis cycles.
+	Cycles int
+	// SolveSteps is the number of solver timesteps per solve phase.
+	SolveSteps int
+	// AnalysisSteps is the number of in-situ analysis sweeps per analysis
+	// phase.
+	AnalysisSteps int
+	// Static applies a whole-run placement strategy; empty means
+	// StaticManaged. An adaptive run uses StaticManaged and attaches the
+	// controller instead.
+	Static StaticPolicy
+	// PostSetup, if set, runs after allocation and initialization but
+	// before the first phase.
+	PostSetup func(s *core.Session) error
+}
+
+// MultiPhaseResult is the outcome of a multi-phase run. All fields are
+// placement-invariant: every strategy must reproduce them bit-exactly.
+type MultiPhaseResult struct {
+	// FinalOriginEnergy is the energy of element 0 after the last cycle.
+	FinalOriginEnergy float64
+	// Checksum folds every host-side analysis and monitor read, so the
+	// host reads cannot be optimized into no-ops by a placement variant.
+	Checksum float64
+	// Cycles actually executed.
+	Cycles int
+}
+
+// Multi-phase Domain slots (a miniature of the 467-slot Domain object:
+// both processors read the pointer table, recreating the shared-page
+// anti-pattern of §II-C at the paper's granularity).
+const (
+	mpE = iota
+	mpP
+	mpQ
+	mpV
+	mpScratch
+	mpHist
+	mpSlots = 16
+)
+
+// mpSim is the multi-phase simulation state.
+type mpSim struct {
+	cfg MultiPhaseConfig
+	s   *core.Session
+	ne  int64
+
+	dom        memsim.Uint64View
+	e, p, q, v memsim.Float64View
+	scratch    memsim.Float64View
+	hist       memsim.Float64View
+
+	checksum float64
+}
+
+const histBins = 64
+
+// Per-element arithmetic weights of the multi-phase kernels (same scale
+// as the single-phase proxy's flop weights).
+const (
+	wmpForce  = 60 * machine.Nanosecond
+	wmpEnergy = 80 * machine.Nanosecond
+	wmpBin    = 30 * machine.Nanosecond
+)
+
+// The per-step monitor probes monitorProbes evenly spaced regions of the
+// energy array (monitorWords elements each) — the dt/stability check
+// every LULESH timestep runs over min-candidates scattered across the
+// mesh. The scatter is what makes the energy array's placement matter:
+// every probe region lands on a different page, so a placement that
+// cannot serve small CPU reads of freshly GPU-written pages cheaply
+// (managed migrates them, read-mostly re-duplicates and re-invalidates
+// them) pays per page per step, while preferred-GPU serves a handful of
+// remote words.
+const (
+	monitorProbes = 8
+	monitorWords  = 8
+)
+
+// RunMultiPhase executes the multi-phase proxy on the session's machine.
+func RunMultiPhase(s *core.Session, cfg MultiPhaseConfig) (MultiPhaseResult, error) {
+	if cfg.Elems < 64 || cfg.Elems%8 != 0 {
+		return MultiPhaseResult{}, fmt.Errorf("lulesh: multiphase elems must be a multiple of 8 and >= 64, got %d", cfg.Elems)
+	}
+	if cfg.Cycles <= 0 || cfg.SolveSteps <= 0 || cfg.AnalysisSteps <= 0 {
+		return MultiPhaseResult{}, fmt.Errorf("lulesh: multiphase cycles/steps must be positive (got %d/%d/%d)",
+			cfg.Cycles, cfg.SolveSteps, cfg.AnalysisSteps)
+	}
+	if cfg.Static == "" {
+		cfg.Static = StaticManaged
+	}
+	sm := &mpSim{cfg: cfg, s: s, ne: int64(cfg.Elems)}
+	if err := sm.setup(); err != nil {
+		return MultiPhaseResult{}, err
+	}
+	if cfg.PostSetup != nil {
+		if err := cfg.PostSetup(s); err != nil {
+			return MultiPhaseResult{}, err
+		}
+	}
+	for cyc := 0; cyc < cfg.Cycles; cyc++ {
+		for st := 0; st < cfg.SolveSteps; st++ {
+			sm.solveStep()
+		}
+		for st := 0; st < cfg.AnalysisSteps; st++ {
+			sm.analysisStep()
+		}
+	}
+	sm.s.Ctx.Synchronize()
+	return MultiPhaseResult{
+		FinalOriginEnergy: sm.e.Peek(0),
+		Checksum:          sm.checksum,
+		Cycles:            cfg.Cycles,
+	}, nil
+}
+
+// mpLabels lists every allocation label of the proxy, allocation order.
+func mpLabels() []string {
+	return []string{
+		"dom", "(dom)->m_e", "(dom)->m_p", "(dom)->m_q", "(dom)->m_v",
+		"(dom)->m_scratch", "(dom)->m_hist",
+	}
+}
+
+func (sm *mpSim) setup() error {
+	ctx := sm.s.Ctx
+	host := ctx.Host()
+
+	// Whole-run placement strategies that translate to an allocation-time
+	// placement are installed before the allocations exist, like a
+	// programmer editing the allocator.
+	switch sm.cfg.Static {
+	case StaticPreferredGPU:
+		for _, l := range mpLabels() {
+			ctx.SetPlacement(l, um.PlacePreferredGPU)
+		}
+	case StaticPreferredCPU:
+		for _, l := range mpLabels() {
+			ctx.SetPlacement(l, um.PlacePreferredCPU)
+		}
+	case StaticReadMostly:
+		for _, l := range mpLabels() {
+			ctx.SetPlacement(l, um.PlaceReadMostly)
+		}
+	case StaticExplicit:
+		// The only allocation without host element accesses; the rest
+		// would need a host-mirror rewrite (predict-only in the what-if
+		// ranking) and stay managed.
+		ctx.SetPlacement("(dom)->m_scratch", um.PlaceExplicit)
+	case StaticManaged, StaticAccessedBy:
+	default:
+		return fmt.Errorf("lulesh: unknown static policy %q", sm.cfg.Static)
+	}
+
+	domAlloc, err := ctx.MallocManaged(mpSlots*8, "dom")
+	if err != nil {
+		return err
+	}
+	sm.dom = memsim.Uint64s(domAlloc)
+
+	aF := func(n int64, label string) (memsim.Float64View, error) {
+		a, err := ctx.MallocManaged(n*8, "(dom)->"+label)
+		if err != nil {
+			return memsim.Float64View{}, err
+		}
+		return memsim.Float64s(a), nil
+	}
+	if sm.e, err = aF(sm.ne, "m_e"); err != nil {
+		return err
+	}
+	if sm.p, err = aF(sm.ne, "m_p"); err != nil {
+		return err
+	}
+	if sm.q, err = aF(sm.ne, "m_q"); err != nil {
+		return err
+	}
+	if sm.v, err = aF(sm.ne, "m_v"); err != nil {
+		return err
+	}
+	if sm.scratch, err = aF(sm.ne, "m_scratch"); err != nil {
+		return err
+	}
+	if sm.hist, err = aF(histBins, "m_hist"); err != nil {
+		return err
+	}
+
+	// Publish the array pointers in the Domain table (CPU writes).
+	for _, f := range []struct {
+		idx  int
+		view memsim.Float64View
+	}{
+		{mpE, sm.e}, {mpP, sm.p}, {mpQ, sm.q}, {mpV, sm.v},
+		{mpScratch, sm.scratch}, {mpHist, sm.hist},
+	} {
+		sm.dom.Store(host, int64(f.idx), uint64(f.view.Addr(0)))
+	}
+
+	// Sedov-like initial state, CPU-written.
+	for i := int64(0); i < sm.ne; i++ {
+		sm.e.Store(host, i, 0)
+		sm.p.Store(host, i, 0)
+		sm.q.Store(host, i, 0)
+		sm.v.Store(host, i, 1)
+	}
+	sm.e.Store(host, 0, 3.948746e+7)
+	for b := int64(0); b < histBins; b++ {
+		sm.hist.Store(host, b, 0)
+	}
+
+	if sm.cfg.Static == StaticAccessedBy {
+		for _, a := range ctx.Space().Live() {
+			if a.Kind != memsim.Managed {
+				continue
+			}
+			if err := ctx.Advise(a, um.AdviseSetAccessedBy, machine.GPU); err != nil {
+				return err
+			}
+			if err := ctx.Advise(a, um.AdviseSetAccessedBy, machine.CPU); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// hostReadsDom models the host code reading Domain fields while preparing
+// a kernel group (pointer capture), the CPU half of the shared-page
+// anti-pattern.
+func (sm *mpSim) hostReadsDom(fields ...int) {
+	host := sm.s.Ctx.Host()
+	for _, f := range fields {
+		sm.dom.Load(host, int64(f))
+	}
+}
+
+// captureDom is the GPU half: kernels dereference the Domain fields they
+// use once per launch.
+func (sm *mpSim) captureDom(fields ...int) func(acc memsim.Accessor) {
+	return func(acc memsim.Accessor) {
+		for _, f := range fields {
+			sm.dom.Load(acc, int64(f))
+		}
+	}
+}
+
+// monitor is the host-side per-step poll of the energy field (the
+// dt/origin-energy check every LULESH timestep does): element-wise CPU
+// reads of a few words at monitorProbes points scattered across the
+// array, every step of both phases.
+func (sm *mpSim) monitor() {
+	host := sm.s.Ctx.Host()
+	stride := sm.ne / monitorProbes
+	mon := 0.0
+	for pr := int64(0); pr < monitorProbes; pr++ {
+		for k := int64(0); k < monitorWords; k++ {
+			mon += sm.e.Load(host, pr*stride+k)
+		}
+	}
+	sm.checksum += mon * 1e-9
+}
+
+// solveStep is one solver timestep: two field-sweeping GPU kernels plus
+// the monitor poll. Kernels process every 4th element — the sampled sweep
+// touches every page while keeping traced access counts proportional,
+// like a coarsened grid.
+func (sm *mpSim) solveStep() {
+	ctx := sm.s.Ctx
+	ar := sm
+	n4 := sm.ne / 4
+
+	sm.hostReadsDom(mpE, mpP, mpQ, mpV, mpScratch)
+	raja.ForAllCapture(ctx, raja.CUDA, "MP_CalcForceAndViscosity", n4, wmpForce,
+		sm.captureDom(mpE, mpP, mpQ, mpV, mpScratch),
+		func(acc memsim.Accessor, i int64) {
+			idx := i * 4
+			qv := 0.5*ar.e.Load(acc, idx) + 0.25*ar.p.Load(acc, idx)
+			ar.q.Store(acc, idx, qv*1e-3)
+			ar.v.Store(acc, idx, clamp(1+qv*1e-9, 0.5, 1.5))
+			ar.scratch.Store(acc, idx, qv)
+		})
+
+	sm.hostReadsDom(mpE, mpP, mpQ, mpV, mpScratch)
+	raja.ForAllCapture(ctx, raja.CUDA, "MP_AdvanceEnergy", n4, wmpEnergy,
+		sm.captureDom(mpE, mpP, mpQ, mpV, mpScratch),
+		func(acc memsim.Accessor, i int64) {
+			idx := i * 4
+			en := ar.e.Load(acc, idx)*0.999 + ar.scratch.Load(acc, idx)*1e-6 + ar.q.Load(acc, idx)*1e-3
+			ar.e.Store(acc, idx, en)
+			ar.p.Store(acc, idx, 2.0/3.0*en*ar.v.Load(acc, idx)*1e-3)
+		})
+
+	sm.monitor()
+}
+
+// analysisStep is one in-situ analysis sweep: the host scans the blast
+// region (the first quarter) of the pressure, viscosity, and volume
+// arrays element-wise, two GPU kernels bin the fields into a small
+// histogram, the host reads the bins back, and the monitor polls the
+// energy field like in every other step.
+func (sm *mpSim) analysisStep() {
+	ctx := sm.s.Ctx
+	host := ctx.Host()
+	ar := sm
+	n8 := sm.ne / 8
+
+	sm.hostReadsDom(mpE, mpP, mpQ, mpV, mpHist)
+	quarter := sm.ne / 4
+	sum := 0.0
+	for i := int64(0); i < quarter; i++ {
+		sum += ar.p.Load(host, i) + ar.q.Load(host, i) + ar.v.Load(host, i)
+	}
+	sm.checksum += sum * 1e-12
+
+	raja.ForAllCapture(ctx, raja.CUDA, "MP_BinEnergies", n8, wmpBin,
+		sm.captureDom(mpE, mpP, mpHist),
+		func(acc memsim.Accessor, i int64) {
+			idx := i * 8
+			bin := idx * histBins / sm.ne
+			ar.hist.Update(acc, bin, func(v float64) float64 {
+				return v + (ar.e.Load(acc, idx)+ar.p.Load(acc, idx))*1e-12
+			})
+		})
+	raja.ForAllCapture(ctx, raja.CUDA, "MP_BinFlow", n8, wmpBin,
+		sm.captureDom(mpQ, mpV, mpHist),
+		func(acc memsim.Accessor, i int64) {
+			idx := i * 8
+			bin := idx * histBins / sm.ne
+			ar.hist.Update(acc, bin, func(v float64) float64 {
+				return v + ar.q.Load(acc, idx)*1e-9 + ar.v.Load(acc, idx)*1e-12
+			})
+		})
+
+	h := 0.0
+	for b := int64(0); b < histBins; b++ {
+		h += sm.hist.Load(host, b)
+	}
+	sm.checksum += h * 1e-6
+
+	sm.monitor()
+}

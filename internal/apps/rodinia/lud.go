@@ -103,20 +103,35 @@ func RunLUD(s *core.Session, cfg LUDConfig) (LUDResult, error) {
 
 	for k := 0; k < n-1; k++ {
 		k := k
-		// Perimeter: the multiplier column below the pivot.
+		rem := n - 1 - k // rows/columns below/right of the pivot
+		// Perimeter: the multiplier column below the pivot. The column is
+		// one strided range per access site (pivot read, column
+		// read-modify-write, reads traced before the writes so every word
+		// keeps its read-before-write order); pricing stays per-element
+		// through the untraced view.
 		ctx.LaunchSync(fmt.Sprintf("lud_perimeter_%d", k), func(e *cuda.Exec) {
-			pivot := mv.load(e, int64(k*n+k))
+			q := e.NoTrace()
+			e.TraceRange(memsim.Read, mD, int64(k*n+k)*4, 1, 4, 4)
+			e.TraceRange(memsim.Read, mD, int64((k+1)*n+k)*4, rem, int64(n)*4, 4)
+			e.TraceRange(memsim.Write, mD, int64((k+1)*n+k)*4, rem, int64(n)*4, 4)
+			pivot := mv.load(q, int64(k*n+k))
 			for i := k + 1; i < n; i++ {
-				mv.store(e, int64(i*n+k), mv.load(e, int64(i*n+k))/pivot)
+				mv.store(q, int64(i*n+k), mv.load(q, int64(i*n+k))/pivot)
 			}
 		})
 		// Internal: trailing submatrix update. Note the shrinking access
-		// region as k grows.
+		// region as k grows. Each row is four ranges: the multiplier, the
+		// pivot-row re-read, and the row's read-modify-write pair.
 		ctx.LaunchSync(fmt.Sprintf("lud_internal_%d", k), func(e *cuda.Exec) {
+			q := e.NoTrace()
 			for i := k + 1; i < n; i++ {
-				l := mv.load(e, int64(i*n+k))
+				e.TraceRange(memsim.Read, mD, int64(i*n+k)*4, 1, 4, 4)
+				e.TraceRange(memsim.Read, mD, int64(i*n+k+1)*4, rem, 4, 4)
+				e.TraceRange(memsim.Read, mD, int64(k*n+k+1)*4, rem, 4, 4)
+				e.TraceRange(memsim.Write, mD, int64(i*n+k+1)*4, rem, 4, 4)
+				l := mv.load(q, int64(i*n+k))
 				for j := k + 1; j < n; j++ {
-					mv.store(e, int64(i*n+j), mv.load(e, int64(i*n+j))-l*mv.load(e, int64(k*n+j)))
+					mv.store(q, int64(i*n+j), mv.load(q, int64(i*n+j))-l*mv.load(q, int64(k*n+j)))
 				}
 			}
 		})

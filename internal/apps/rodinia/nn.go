@@ -76,10 +76,17 @@ func RunNN(s *core.Session, cfg NNConfig) (NNResult, error) {
 	lv := floatView{memsim.Int32s(locCuda)}
 	dv := floatView{memsim.Int32s(distCuda)}
 	ctx.LaunchSync("euclid", func(e *cuda.Exec) {
+		// The kernel sweeps both arrays exactly once: one contiguous read
+		// range over the records and one write range over the distances
+		// (disjoint allocations, so no per-word ordering to preserve);
+		// pricing stays per-element through the untraced view.
+		q := e.NoTrace()
+		e.TraceRange(memsim.Read, locCuda, 0, 2*cfg.Records, 4, 4)
+		e.TraceRange(memsim.Write, distCuda, 0, cfg.Records, 4, 4)
 		for i := 0; i < cfg.Records; i++ {
-			la := lv.load(e, int64(2*i)) - cfg.QueryLat
-			ln := lv.load(e, int64(2*i+1)) - cfg.QueryLng
-			dv.store(e, int64(i), float32(math.Sqrt(float64(la*la+ln*ln))))
+			la := lv.load(q, int64(2*i)) - cfg.QueryLat
+			ln := lv.load(q, int64(2*i+1)) - cfg.QueryLng
+			dv.store(q, int64(i), float32(math.Sqrt(float64(la*la+ln*ln))))
 		}
 	})
 

@@ -186,6 +186,11 @@ type Context struct {
 	placements     map[string]um.Placement
 	overridden     map[int]bool // alloc IDs whose placement was overridden
 	prefetchPolicy []*prefetchState
+
+	// launchHook runs after every kernel launch has been emitted — the
+	// drain boundary window-driven consumers (internal/adapt) analyze at.
+	// It is off the per-element hot path: one nil check per launch.
+	launchHook func()
 }
 
 // NewContext creates a fresh simulated process on the platform.
@@ -278,6 +283,91 @@ func (c *Context) SetPlacement(label string, p um.Placement) {
 		c.placements = make(map[string]um.Placement)
 	}
 	c.placements[label] = p
+}
+
+// SetLaunchHook installs (or with nil removes) a callback invoked after
+// every kernel launch's span has been emitted on the timeline — the
+// kernel-launch drain boundary. The adaptive controller uses it to close
+// capture windows and run incremental analysis between launches; the
+// hook may issue runtime calls (advice, prefetches) but must not launch
+// kernels.
+func (c *Context) SetLaunchHook(hook func()) { c.launchHook = hook }
+
+// ApplyPlacement applies placement policy p to the allocation label
+// mid-run: like SetPlacement for allocations created later, and for every
+// live managed allocation with that label the advice transition is issued
+// immediately through the ordinary advise path (so the calls cost
+// simulated time and land on the timeline like any program-issued
+// advice, keeping observed-placement replay exact). The transition
+// clears the policy state the previous placement relied on, then applies
+// the new one:
+//
+//	preferred-GPU/CPU: unset read-mostly, set preferred location
+//	read-mostly:       unset preferred location, set read-mostly
+//	managed/observed:  unset both (back to default managed behavior)
+//	prefetch:          unset both, schedule prefetch-before-launch
+//
+// Explicit copy is rejected: a live managed allocation cannot change its
+// kind mid-run. Each applied allocation is marked overridden, so the
+// program's own advice and prefetch calls on it are suppressed from then
+// on, and a KindDecision instant records the change for exported traces.
+func (c *Context) ApplyPlacement(label string, p um.Placement) error {
+	if p == um.PlaceExplicit {
+		return fmt.Errorf("cuda: ApplyPlacement(%q, %s): explicit copy is not applicable mid-run", label, p)
+	}
+	c.SetPlacement(label, p)
+	for _, a := range c.space.Live() {
+		if a.Label != label || a.Kind != memsim.Managed {
+			continue
+		}
+		for i, ps := range c.prefetchPolicy {
+			if ps.alloc == a {
+				c.prefetchPolicy = append(c.prefetchPolicy[:i], c.prefetchPolicy[i+1:]...)
+				break
+			}
+		}
+		var err error
+		switch p {
+		case um.PlacePreferredGPU:
+			err = c.transitionAdvice(a, um.AdviseUnsetReadMostly, um.AdviseSetPreferredLocation, machine.GPU)
+		case um.PlacePreferredCPU:
+			err = c.transitionAdvice(a, um.AdviseUnsetReadMostly, um.AdviseSetPreferredLocation, machine.CPU)
+		case um.PlaceReadMostly:
+			err = c.transitionAdvice(a, um.AdviseUnsetPreferredLocation, um.AdviseSetReadMostly, machine.GPU)
+		case um.PlaceManaged, um.PlaceObserved, um.PlacePrefetch:
+			err = c.transitionAdvice(a, um.AdviseUnsetReadMostly, um.AdviseUnsetPreferredLocation, machine.CPU)
+		}
+		if err != nil {
+			return err
+		}
+		if p == um.PlacePrefetch {
+			c.prefetchPolicy = append(c.prefetchPolicy, &prefetchState{alloc: a, dirty: true})
+		}
+		if c.overridden == nil {
+			c.overridden = make(map[int]bool)
+		}
+		c.overridden[a.ID] = true
+	}
+	c.flushHostWindow()
+	c.tl.Emit(timeline.Event{
+		Kind:    timeline.KindDecision,
+		Name:    "setPlacement",
+		Track:   timeline.HostTrack,
+		Start:   c.tl.Now(),
+		Alloc:   label,
+		AllocID: -1,
+		Detail:  p.String(),
+	})
+	return nil
+}
+
+// transitionAdvice issues the two advice calls of one placement
+// transition: clear the state the old policy held, set the new one.
+func (c *Context) transitionAdvice(a *memsim.Alloc, clear, set um.Advice, dev machine.Device) error {
+	if err := c.advise(a, clear, machine.CPU); err != nil {
+		return err
+	}
+	return c.advise(a, set, dev)
 }
 
 // KernelProfile returns the per-launch records collected while profiling
@@ -765,6 +855,9 @@ func (c *Context) Launch(s *Stream, name string, body func(e *Exec)) {
 		Accessed:      e.cap.accessed,
 		Drv:           c.drv.Window().TimelineStats(),
 	})
+	if c.launchHook != nil {
+		c.launchHook()
+	}
 }
 
 // LaunchSync is Launch followed by Synchronize, for the common pattern of

@@ -15,6 +15,7 @@ import (
 	"io"
 	"strings"
 
+	"xplacer/internal/adapt"
 	"xplacer/internal/detect"
 	"xplacer/internal/memsim"
 	"xplacer/internal/shadow"
@@ -107,6 +108,9 @@ type Report struct {
 	// WhatIf holds the placement what-if analysis when the run was
 	// captured and analyzed (cmd/xplacer -whatif); nil otherwise.
 	WhatIf *whatif.Result
+	// Adaptive holds the online controller's decision log when a run was
+	// steered by one (cmd/xplacer -adapt); nil otherwise.
+	Adaptive *adapt.Report
 }
 
 // Analyze computes a report over the tracer's shadow memory without

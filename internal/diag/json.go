@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"xplacer/internal/adapt"
 	"xplacer/internal/detect"
 	"xplacer/internal/whatif"
 )
@@ -15,7 +16,10 @@ import (
 //	    optional heatmap and whatif blocks.
 //	2 — adds schema_version, the optional top-level "patterns" block, and
 //	    the optional per-allocation "pattern" digest.
-const SchemaVersion = 2
+//	3 — adds the optional top-level "adaptive" block: the online
+//	    controller's per-window decision log and final applied placements
+//	    (cmd/xplacer -adapt).
+const SchemaVersion = 3
 
 // jsonReport is the machine-readable serialization of a Report, for
 // tooling that post-processes diagnostics (the structured counterpart of
@@ -28,6 +32,7 @@ type jsonReport struct {
 	Heatmap       *HeatmapSummary  `json:"heatmap,omitempty"`
 	Patterns      *PatternsSummary `json:"patterns,omitempty"`
 	WhatIf        *whatif.Result   `json:"whatif,omitempty"`
+	Adaptive      *adapt.Report    `json:"adaptive,omitempty"`
 }
 
 type jsonAlloc struct {
@@ -72,6 +77,7 @@ func (r *Report) JSON(w io.Writer) error {
 		Heatmap:       r.Heatmap,
 		Patterns:      r.Patterns,
 		WhatIf:        r.WhatIf,
+		Adaptive:      r.Adaptive,
 	}
 	for _, s := range r.Allocs {
 		out.Allocs = append(out.Allocs, jsonAlloc{

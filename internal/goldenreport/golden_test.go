@@ -62,8 +62,9 @@ var wallRE = regexp.MustCompile(`(?i)(wall[ -]?time[^0-9]*)[0-9][0-9a-zµ.]*`)
 // maxKnownSchema is the newest report schema_version this harness knows
 // how to normalize (see diag.SchemaVersion). Bumping the schema without
 // teaching the harness fails loudly below, forcing the masking rules to
-// be reviewed before the goldens are regenerated.
-const maxKnownSchema = 2
+// be reviewed before the goldens are regenerated. v3's "adaptive" block
+// carries only simulated times and counts, so it shares v1/v2's rules.
+const maxKnownSchema = 3
 
 // schemaVersionRE extracts the declared schema version from JSON reports;
 // reports before v2 carried no version key (implicit v1).
@@ -199,12 +200,24 @@ func TestReportJSONGoldens(t *testing.T) {
 			"-size", "24", "-json", "-whatif"},
 		"report-backprop": {"run", "./cmd/xplacer", "-app", "backprop",
 			"-size", "32", "-json", "-whatif"},
+		"report-lud": {"run", "./cmd/xplacer", "-app", "lud",
+			"-size", "24", "-json", "-whatif"},
+		"report-nn": {"run", "./cmd/xplacer", "-app", "nn",
+			"-size", "256", "-json", "-whatif"},
 		// The -patterns runs pin the access-pattern classification block
 		// (schema v2): per-span stream classes and per-alloc digests.
 		"report-pathfinder-patterns": {"run", "./cmd/xplacer", "-app", "pathfinder",
 			"-cols", "64", "-rows", "41", "-pyramid", "10", "-json", "-patterns"},
 		"report-sw-patterns": {"run", "./cmd/xplacer", "-app", "sw",
 			"-size", "24", "-json", "-patterns"},
+		// The -adapt runs pin the controller's decision log (schema v3):
+		// the multi-phase proxy where it re-places six allocations mid-run,
+		// and pathfinder where a correctly quiet controller applies nothing.
+		"report-lulesh-adapt": {"run", "./cmd/xplacer", "-app", "lulesh-mp",
+			"-size", "65536", "-cycles", "2", "-steps", "10", "-analysis-steps", "4",
+			"-adapt", "-adapt-window", "1ms", "-whatif-workers", "2", "-json"},
+		"report-pathfinder-adapt": {"run", "./cmd/xplacer", "-app", "pathfinder",
+			"-cols", "64", "-rows", "41", "-pyramid", "10", "-adapt", "-json"},
 	}
 	names := make([]string, 0, len(cases))
 	for n := range cases {

@@ -41,6 +41,14 @@ const (
 	KindSync
 	// KindDiagnostic marks a #pragma xpl diagnostic point.
 	KindDiagnostic
+	// KindWindow marks the close of an adaptive-analysis capture window
+	// (internal/adapt): the controller ingested the events since the
+	// previous window and re-ranked candidate placements.
+	KindWindow
+	// KindDecision marks a mid-run placement change applied by the
+	// adaptive controller (cuda.Context.ApplyPlacement), so exported
+	// traces show where and why the controller acted.
+	KindDecision
 )
 
 func (k Kind) String() string {
@@ -63,6 +71,10 @@ func (k Kind) String() string {
 		return "sync"
 	case KindDiagnostic:
 		return "diagnostic"
+	case KindWindow:
+		return "window"
+	case KindDecision:
+		return "decision"
 	default:
 		return "event"
 	}
@@ -270,6 +282,20 @@ func (tl *Timeline) Len() int { return len(tl.events) }
 // Events returns a copy of the recorded events in emission order.
 func (tl *Timeline) Events() []Event {
 	return append([]Event(nil), tl.events...)
+}
+
+// EventsSince returns a copy of the events emitted at or after sequence
+// number n, in emission order — the incremental accessor window-driven
+// consumers (internal/adapt) use to ingest only the suffix they have not
+// seen, instead of re-copying the whole stream every window.
+func (tl *Timeline) EventsSince(n int) []Event {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(tl.events) {
+		return nil
+	}
+	return append([]Event(nil), tl.events[n:]...)
 }
 
 // Kernels returns a copy of the kernel-span events in emission order.

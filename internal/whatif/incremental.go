@@ -1,0 +1,274 @@
+package whatif
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/timeline"
+	"xplacer/internal/um"
+)
+
+// incAlloc is the per-allocation metadata the analysis accumulates across
+// windows: identity, kind, and whether the host ever accessed the
+// allocation element-wise (which demotes explicit-copy candidates to
+// predict-only).
+type incAlloc struct {
+	id           int
+	label        string
+	kind         memsim.Kind
+	hostAccessed bool
+}
+
+// incJob is one (allocation, candidate placement) replay kept alive
+// across windows. Its replayer carries the full simulator state of the
+// prefix fed so far, so advancing it by one window costs only that
+// window's events.
+type incJob struct {
+	id        int
+	label     string
+	placement um.Placement
+	r         *replayer
+	// fresh marks a job created this window (its allocation first appeared
+	// in the pending events): it must be fed the whole committed prefix
+	// once before it can ride the per-window suffix like the others.
+	fresh bool
+	pred  machine.Duration
+	err   error
+}
+
+// Incremental is the incremental core of the what-if engine: it ingests a
+// captured event stream window by window, carries per-(allocation, page)
+// simulator state across windows in one persistent replayer per candidate
+// placement, and re-ranks all candidates at each Snapshot.
+//
+// Equivalence guarantee: the replayers are deterministic state machines
+// over the event stream, so how the stream is chunked cannot change their
+// state — Snapshot after ingesting any prefix, in any number of windows,
+// returns byte-for-byte what Analyze returns on that prefix (the whole-run
+// Analyze is literally a single-window Incremental). Candidate replays
+// advance on the same fixed-order worker pool AnalyzeParallel always used,
+// so worker count cannot change the output either.
+//
+// The cost profile inverts Analyze's: Analyze re-replays the whole trace
+// per candidate; Incremental pays each window once per candidate and keeps
+// every candidate's simulator state resident between windows (plus the
+// ingested event prefix, which newly discovered allocations and the
+// combined-winner replay still need in full).
+type Incremental struct {
+	plat    *machine.Platform
+	workers int
+
+	events  []timeline.Event // committed prefix (all analyzed windows)
+	pending []timeline.Event // ingested, not yet analyzed
+
+	base    *replayer // observed-placement baseline
+	baseErr error
+
+	allocs []incAlloc
+	byID   map[int]int // alloc ID → index in allocs
+	jobs   []*incJob   // fixed (allocation, candidate) order
+}
+
+// NewIncremental creates an empty incremental analysis on plat. workers
+// sets the candidate-replay worker pool size; workers < 1 means
+// GOMAXPROCS.
+func NewIncremental(plat *machine.Platform, workers int) *Incremental {
+	return &Incremental{
+		plat:    plat,
+		workers: workers,
+		base:    newReplayer(plat, nil),
+		byID:    make(map[int]int),
+	}
+}
+
+// Len returns the number of events ingested so far (analyzed or pending).
+func (inc *Incremental) Len() int { return len(inc.events) + len(inc.pending) }
+
+// Ingest buffers the next consecutive slice of the captured event stream.
+// Events must arrive in emission order without gaps; analysis happens at
+// the next Snapshot, so ingestion itself is cheap.
+func (inc *Incremental) Ingest(events []timeline.Event) {
+	inc.pending = append(inc.pending, events...)
+}
+
+// Snapshot closes the current window: it advances the baseline and every
+// candidate replay over the pending events, spawns candidate replays for
+// allocations that first appeared in this window, and assembles the full
+// ranking over everything ingested so far. Calling Snapshot with nothing
+// pending re-assembles the previous state. Errors latch: a trace that
+// fails to replay keeps failing on subsequent snapshots.
+func (inc *Incremental) Snapshot() (*Result, error) {
+	if inc.Len() == 0 {
+		return nil, fmt.Errorf("whatif: empty trace")
+	}
+	if inc.baseErr == nil && len(inc.pending) > 0 {
+		inc.baseErr = inc.base.feed(inc.pending)
+	}
+	if inc.baseErr != nil {
+		return nil, inc.baseErr
+	}
+
+	// Discover allocations and host accesses in the window. Allocations
+	// appear in event order, so appending their candidate jobs here keeps
+	// the global (allocation, candidate) job order identical to a
+	// whole-run analysis of the concatenated stream.
+	for i := range inc.pending {
+		ev := &inc.pending[i]
+		switch ev.Kind {
+		case timeline.KindAlloc:
+			kind, err := allocKind(ev.Name)
+			if err != nil {
+				return nil, err
+			}
+			inc.byID[ev.AllocID] = len(inc.allocs)
+			inc.allocs = append(inc.allocs, incAlloc{id: ev.AllocID, label: ev.Alloc, kind: kind})
+			for _, p := range candidatePlacements(kind) {
+				if p == um.PlaceObserved {
+					continue
+				}
+				inc.jobs = append(inc.jobs, &incJob{
+					id: ev.AllocID, label: ev.Alloc, placement: p,
+					r:     newReplayer(inc.plat, map[int]um.Placement{ev.AllocID: p}),
+					fresh: true,
+				})
+			}
+		case timeline.KindHostPhase:
+			for _, aa := range ev.Accessed {
+				if j, ok := inc.byID[aa.AllocID]; ok {
+					inc.allocs[j].hostAccessed = true
+				}
+			}
+		}
+	}
+
+	// Commit the window, then advance the candidate replays on the worker
+	// pool: fresh jobs catch up on the whole prefix, the rest replay only
+	// the window suffix. Jobs are independent and results land in per-job
+	// slots, so scheduling cannot affect the output.
+	prefixEnd := len(inc.events)
+	inc.events = append(inc.events, inc.pending...)
+	inc.pending = inc.pending[:0]
+	workers := inc.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inc.jobs) {
+		workers = len(inc.jobs)
+	}
+	if len(inc.jobs) > 0 && prefixEnd < len(inc.events) {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					j := inc.jobs[i]
+					if j.err != nil {
+						continue
+					}
+					evs := inc.events[prefixEnd:]
+					if j.fresh {
+						evs = inc.events
+						j.fresh = false
+					}
+					if err := j.r.feed(evs); err != nil {
+						j.err = fmt.Errorf("whatif: %s=%s: %w", j.label, j.placement, err)
+						continue
+					}
+					j.pred = j.r.outcome().Total
+				}
+			}()
+		}
+		for i := range inc.jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, j := range inc.jobs { // first error in job order, as sequentially
+		if j.err != nil {
+			return nil, j.err
+		}
+	}
+	return inc.assemble()
+}
+
+// assemble builds the Result from the current replayer states — the exact
+// ranking, sorting, and combined-winner logic the monolithic analysis
+// always used, now reading predictions out of the persistent jobs.
+func (inc *Incremental) assemble() (*Result, error) {
+	base := inc.base.outcome()
+	res := &Result{
+		Observed:      base.Total,
+		Best:          make(map[int]um.Placement),
+		BestPredicted: base.Total,
+	}
+	jobIdx := 0
+	for _, ai := range inc.allocs {
+		cands := candidatePlacements(ai.kind)
+		if cands == nil {
+			continue
+		}
+		ar := AllocReport{
+			AllocID:         ai.id,
+			Label:           ai.label,
+			Kind:            ai.kind.String(),
+			HostAccessed:    ai.hostAccessed,
+			Winner:          um.PlaceObserved,
+			WinnerPredicted: base.Total,
+		}
+		for _, p := range cands {
+			c := Candidate{Placement: p, Policy: p.String(), Applicable: true}
+			if p == um.PlaceObserved {
+				c.Predicted = base.Total
+			} else {
+				c.Predicted = inc.jobs[jobIdx].pred
+				jobIdx++
+			}
+			c.Delta = c.Predicted - base.Total
+			if p == um.PlaceExplicit && ai.hostAccessed {
+				c.Applicable = false
+				c.Note = "host accesses data element-wise; prediction assumes a host-side mirror"
+			}
+			if c.Applicable && c.Predicted < ar.WinnerPredicted {
+				ar.Winner = p
+				ar.WinnerPredicted = c.Predicted
+			}
+			ar.Candidates = append(ar.Candidates, c)
+		}
+		ar.WinnerPolicy = ar.Winner.String()
+		ar.Gain = res.Observed - ar.WinnerPredicted
+		sort.SliceStable(ar.Candidates, func(i, j int) bool {
+			return ar.Candidates[i].Predicted < ar.Candidates[j].Predicted
+		})
+		if ar.Winner != um.PlaceObserved {
+			res.Best[ai.id] = ar.Winner
+		}
+		res.Allocs = append(res.Allocs, ar)
+	}
+
+	sort.SliceStable(res.Allocs, func(i, j int) bool {
+		if res.Allocs[i].Gain != res.Allocs[j].Gain {
+			return res.Allocs[i].Gain > res.Allocs[j].Gain
+		}
+		return res.Allocs[i].AllocID < res.Allocs[j].AllocID
+	})
+
+	if len(res.Best) > 0 {
+		out, err := Replay(inc.events, inc.plat, res.Best)
+		if err != nil {
+			return nil, fmt.Errorf("whatif: combined winners: %w", err)
+		}
+		res.BestPredicted = out.Total
+		res.BestPolicies = make(map[string]string, len(res.Best))
+		for id, p := range res.Best {
+			res.BestPolicies[inc.allocs[inc.byID[id]].label] = p.String()
+		}
+	}
+	return res, nil
+}

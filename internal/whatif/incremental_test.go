@@ -1,0 +1,102 @@
+package whatif_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"xplacer/internal/machine"
+	"xplacer/internal/whatif"
+)
+
+// marshal renders a result to JSON for byte-level comparison (Go's
+// encoder sorts map keys, so equal results encode identically).
+func marshal(t *testing.T, r *whatif.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestIncrementalEquivalence is the tentpole guarantee of the incremental
+// core: ingesting a captured trace in K windows and snapshotting at the
+// end reproduces the whole-run Analyze byte-for-byte — for any K and any
+// cut points — and every intermediate snapshot equals Analyze of that
+// prefix. The replayers are deterministic state machines over the event
+// stream, so chunking cannot change their state; this test pins that.
+func TestIncrementalEquivalence(t *testing.T) {
+	plat := machine.IntelPascal()
+	for aname, app := range testApps() {
+		t.Run(aname, func(t *testing.T) {
+			lr := captureRun(t, plat, app)
+			whole, err := whatif.Analyze(lr.events, plat)
+			if err != nil {
+				t.Fatalf("whole-run analyze: %v", err)
+			}
+			for _, k := range []int{1, 2, 3, 7} {
+				inc := whatif.NewIncremental(plat, 4)
+				var fed int
+				for w := 0; w < k; w++ {
+					end := len(lr.events) * (w + 1) / k
+					inc.Ingest(lr.events[fed:end])
+					fed = end
+					got, err := inc.Snapshot()
+					if err != nil {
+						t.Fatalf("K=%d window %d snapshot: %v", k, w, err)
+					}
+					want := whole
+					if fed < len(lr.events) {
+						// An intermediate snapshot must equal a whole-run
+						// analysis of the same prefix.
+						want, err = whatif.Analyze(lr.events[:fed], plat)
+						if err != nil {
+							t.Fatalf("K=%d prefix analyze: %v", k, err)
+						}
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("K=%d window %d (events[:%d]): incremental snapshot diverges from whole-run analysis", k, w, fed)
+					}
+					if gb, wb := marshal(t, got), marshal(t, want); !bytes.Equal(gb, wb) {
+						t.Fatalf("K=%d window %d: JSON encodings differ:\ninc:   %s\nwhole: %s", k, w, gb, wb)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalEmpty: an incremental analysis with nothing ingested
+// rejects the snapshot like Analyze rejects an empty trace.
+func TestIncrementalEmpty(t *testing.T) {
+	inc := whatif.NewIncremental(machine.IntelPascal(), 1)
+	if _, err := inc.Snapshot(); err == nil {
+		t.Fatal("empty incremental snapshot did not error")
+	}
+	if inc.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", inc.Len())
+	}
+}
+
+// TestIncrementalEmptyWindow: snapshotting with no pending events
+// re-assembles the previous state rather than failing or drifting.
+func TestIncrementalEmptyWindow(t *testing.T) {
+	plat := machine.IntelPascal()
+	lr := captureRun(t, plat, testApps()["pathfinder-overlap"])
+	inc := whatif.NewIncremental(plat, 2)
+	inc.Ingest(lr.events)
+	first, err := inc.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	inc.Ingest(nil)
+	second, err := inc.Snapshot()
+	if err != nil {
+		t.Fatalf("empty-window snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("empty-window snapshot diverged from the previous one")
+	}
+}

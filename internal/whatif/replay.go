@@ -64,8 +64,20 @@ type replayer struct {
 // prefetch-policy allocations are prefetched before kernel launches that
 // follow a host touch.
 func Replay(events []timeline.Event, plat *machine.Platform, assign map[int]um.Placement) (Outcome, error) {
+	r := newReplayer(plat, assign)
+	if err := r.feed(events); err != nil {
+		return Outcome{}, err
+	}
+	return r.outcome(), nil
+}
+
+// newReplayer builds a fresh replay state for one placement assignment.
+// The incremental engine keeps one replayer per candidate alive across
+// windows and feeds each window's events as they arrive; Replay is the
+// whole-trace wrapper over the same state machine.
+func newReplayer(plat *machine.Platform, assign map[int]um.Placement) *replayer {
 	space := memsim.NewSpace(plat.PageSize)
-	r := &replayer{
+	return &replayer{
 		plat:   plat,
 		drv:    um.NewDriver(plat, space),
 		space:  space,
@@ -73,12 +85,26 @@ func Replay(events []timeline.Event, plat *machine.Platform, assign map[int]um.P
 		assign: assign,
 		allocs: make(map[int]*replayAlloc),
 	}
+}
+
+// feed replays a consecutive slice of the captured event stream, carrying
+// all simulator state across calls. Events must be fed in emission order
+// without gaps; the error wrapping matches Replay's exactly, so feeding a
+// trace in windows fails identically to replaying it whole.
+func (r *replayer) feed(events []timeline.Event) error {
 	for i := range events {
 		if err := r.event(&events[i]); err != nil {
-			return Outcome{}, fmt.Errorf("whatif: event %d (%s %q): %w",
+			return fmt.Errorf("whatif: event %d (%s %q): %w",
 				events[i].Seq, events[i].Kind, events[i].Name, err)
 		}
 	}
+	return nil
+}
+
+// outcome snapshots the replay totals at the current feed position. It
+// does not consume state: feeding more events and snapshotting again
+// yields the totals of the longer prefix.
+func (r *replayer) outcome() Outcome {
 	out := Outcome{HostEnd: r.clock.Now(), Stats: r.drv.Stats()}
 	out.Total = out.HostEnd
 	for t := 0; t < r.clock.Tracks(); t++ {
@@ -86,7 +112,7 @@ func Replay(events []timeline.Event, plat *machine.Platform, assign map[int]um.P
 			out.Total = a
 		}
 	}
-	return out, nil
+	return out
 }
 
 func (r *replayer) event(ev *timeline.Event) error {

@@ -27,11 +27,6 @@
 package whatif
 
 import (
-	"fmt"
-	"runtime"
-	"sort"
-	"sync"
-
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
 	"xplacer/internal/timeline"
@@ -120,173 +115,13 @@ func Analyze(events []timeline.Event, plat *machine.Platform) (*Result, error) {
 }
 
 // AnalyzeParallel is Analyze with an explicit candidate-replay worker
-// count; workers < 1 means GOMAXPROCS. Every Replay builds its own
-// simulator state from the read-only event stream, so the candidate
-// replays are embarrassingly parallel; results are assembled in the fixed
+// count; workers < 1 means GOMAXPROCS. It is a single-window run of the
+// incremental core (see Incremental): candidate replays are independent
+// and run on a worker pool, and results are assembled in the fixed
 // (allocation, candidate) order, making the output — including error
 // selection — byte-identical across worker counts.
 func AnalyzeParallel(events []timeline.Event, plat *machine.Platform, workers int) (*Result, error) {
-	if len(events) == 0 {
-		return nil, fmt.Errorf("whatif: empty trace")
-	}
-	base, err := Replay(events, plat, nil)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Observed:      base.Total,
-		Best:          make(map[int]um.Placement),
-		BestPredicted: base.Total,
-	}
-
-	type allocInfo struct {
-		id           int
-		label        string
-		kind         memsim.Kind
-		hostAccessed bool
-	}
-	var allocs []allocInfo
-	byID := make(map[int]int) // alloc ID → index in allocs
-	for i := range events {
-		ev := &events[i]
-		switch ev.Kind {
-		case timeline.KindAlloc:
-			kind, err := allocKind(ev.Name)
-			if err != nil {
-				return nil, err
-			}
-			byID[ev.AllocID] = len(allocs)
-			allocs = append(allocs, allocInfo{id: ev.AllocID, label: ev.Alloc, kind: kind})
-		case timeline.KindHostPhase:
-			for _, aa := range ev.Accessed {
-				if j, ok := byID[aa.AllocID]; ok {
-					allocs[j].hostAccessed = true
-				}
-			}
-		}
-	}
-
-	labels := make(map[int]string, len(allocs))
-	for _, ai := range allocs {
-		labels[ai.id] = ai.label
-	}
-
-	// Enumerate the candidate replays in the fixed (allocation, candidate)
-	// order and run them on the worker pool; the assembly loop below
-	// consumes the results in the same order, so the report and the error
-	// choice cannot depend on scheduling.
-	type job struct {
-		id        int // alloc ID
-		label     string
-		placement um.Placement
-	}
-	var jobs []job
-	for _, ai := range allocs {
-		for _, p := range candidatePlacements(ai.kind) {
-			if p != um.PlaceObserved {
-				jobs = append(jobs, job{id: ai.id, label: ai.label, placement: p})
-			}
-		}
-	}
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	preds := make([]machine.Duration, len(jobs))
-	errs := make([]error, len(jobs))
-	if len(jobs) > 0 {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					j := jobs[i]
-					out, err := Replay(events, plat, map[int]um.Placement{j.id: j.placement})
-					if err != nil {
-						errs[i] = fmt.Errorf("whatif: %s=%s: %w", j.label, j.placement, err)
-						continue
-					}
-					preds[i] = out.Total
-				}
-			}()
-		}
-		for i := range jobs {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-	for _, err := range errs { // first error in job order, as sequentially
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	jobIdx := 0
-	for _, ai := range allocs {
-		cands := candidatePlacements(ai.kind)
-		if cands == nil {
-			continue
-		}
-		ar := AllocReport{
-			AllocID:         ai.id,
-			Label:           ai.label,
-			Kind:            ai.kind.String(),
-			HostAccessed:    ai.hostAccessed,
-			Winner:          um.PlaceObserved,
-			WinnerPredicted: base.Total,
-		}
-		for _, p := range cands {
-			c := Candidate{Placement: p, Policy: p.String(), Applicable: true}
-			if p == um.PlaceObserved {
-				c.Predicted = base.Total
-			} else {
-				c.Predicted = preds[jobIdx]
-				jobIdx++
-			}
-			c.Delta = c.Predicted - base.Total
-			if p == um.PlaceExplicit && ai.hostAccessed {
-				c.Applicable = false
-				c.Note = "host accesses data element-wise; prediction assumes a host-side mirror"
-			}
-			if c.Applicable && c.Predicted < ar.WinnerPredicted {
-				ar.Winner = p
-				ar.WinnerPredicted = c.Predicted
-			}
-			ar.Candidates = append(ar.Candidates, c)
-		}
-		ar.WinnerPolicy = ar.Winner.String()
-		ar.Gain = res.Observed - ar.WinnerPredicted
-		sort.SliceStable(ar.Candidates, func(i, j int) bool {
-			return ar.Candidates[i].Predicted < ar.Candidates[j].Predicted
-		})
-		if ar.Winner != um.PlaceObserved {
-			res.Best[ai.id] = ar.Winner
-		}
-		res.Allocs = append(res.Allocs, ar)
-	}
-
-	sort.SliceStable(res.Allocs, func(i, j int) bool {
-		if res.Allocs[i].Gain != res.Allocs[j].Gain {
-			return res.Allocs[i].Gain > res.Allocs[j].Gain
-		}
-		return res.Allocs[i].AllocID < res.Allocs[j].AllocID
-	})
-
-	if len(res.Best) > 0 {
-		out, err := Replay(events, plat, res.Best)
-		if err != nil {
-			return nil, fmt.Errorf("whatif: combined winners: %w", err)
-		}
-		res.BestPredicted = out.Total
-		res.BestPolicies = make(map[string]string, len(res.Best))
-		for id, p := range res.Best {
-			res.BestPolicies[labels[id]] = p.String()
-		}
-	}
-	return res, nil
+	inc := NewIncremental(plat, workers)
+	inc.Ingest(events)
+	return inc.Snapshot()
 }
