@@ -9,13 +9,20 @@
 package xplacer_test
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
+	"xplacer/internal/agg"
 	"xplacer/internal/bench"
 	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+	"xplacer/internal/wire"
 )
 
 // reportSpeedups attaches each row's factor as a custom metric.
@@ -253,6 +260,69 @@ func BenchmarkShadowBulkApply(b *testing.B) {
 	if bulk > 0 {
 		b.ReportMetric(scalar/bulk, "bulk_speedup_x")
 	}
+}
+
+// BenchmarkWireIngest measures the fleet aggregator's decode-and-apply
+// throughput: 64 pre-encoded wire streams (distinct processes, so each
+// rides its own per-proc lock) ingested concurrently into one
+// Aggregator, exactly as xplagg's TCP path does. The headline metric is
+// access records applied per second across the fleet; the acceptance
+// bar is records_per_sec >= 10M.
+func BenchmarkWireIngest(b *testing.B) {
+	const (
+		nStreams  = 64
+		nBatches  = 50
+		perBatch  = 2048
+		allocSize = int64(perBatch * 64)
+	)
+	streams := make([][]byte, nStreams)
+	for i := range streams {
+		batch := make([]shadow.Access, perBatch)
+		for j := range batch {
+			a := &batch[j]
+			a.Dev = machine.Device(j % 2)
+			a.Kind = memsim.AccessKind(j % 3)
+			a.Size = 8
+			a.Addr = 0x10000 + memsim.Addr(j*64)
+			a.Count = 8
+			a.Stride = 8
+		}
+		buf := wire.AppendHeader(nil)
+		buf = wire.AppendSegment(buf, wire.SegHello, wire.AppendHello(nil, wire.Hello{
+			Tenant: "bench", Process: fmt.Sprintf("p%02d", i), Platform: "Intel+Pascal",
+		}))
+		frames := wire.AppendAlloc(nil, wire.AllocInfo{
+			ID: 0, Base: 0x10000, Size: allocSize, Kind: memsim.Managed,
+			Label: "a", Fn: "cudaMallocManaged",
+		})
+		buf = wire.AppendSegment(buf, wire.SegFrames, frames)
+		for k := 0; k < nBatches; k++ {
+			buf = wire.AppendSegment(buf, wire.SegFrames, wire.AppendBatch(nil, batch))
+		}
+		buf = wire.AppendSegment(buf, wire.SegBye, wire.AppendBye(nil, wire.Bye{
+			Batches: nBatches, Records: nBatches * perBatch,
+		}))
+		streams[i] = buf
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := agg.New()
+		var wg sync.WaitGroup
+		for _, s := range streams {
+			wg.Add(1)
+			go func(s []byte) {
+				defer wg.Done()
+				if err := g.Ingest(bytes.NewReader(s)); err != nil {
+					b.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	records := float64(b.N) * nStreams * nBatches * perBatch
+	b.ReportMetric(records/b.Elapsed().Seconds(), "records_per_sec")
 }
 
 // BenchmarkTable3Overhead measures the instrumentation overhead on one

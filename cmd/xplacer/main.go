@@ -27,6 +27,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -46,6 +48,7 @@ import (
 	"xplacer/internal/spill"
 	"xplacer/internal/timeline"
 	"xplacer/internal/whatif"
+	"xplacer/internal/wire"
 )
 
 func main() {
@@ -82,6 +85,10 @@ func main() {
 		hmEpoch   = flag.Duration("heatmap-epoch", 0, "with -heatmap: close a heat-map epoch every interval of simulated time (e.g. 100us)")
 		budget    = flag.Int("trace-budget", 0, "with -heatmap/-patterns: retain at most this many bytes of trace in memory, spilling the access log to disk and replaying it for the final report (0: unbounded, analyze live)")
 		seed      = flag.Int64("seed", 1, "input seed")
+		stream    = flag.String("stream", "", "stream the trace out-of-process to an xplagg aggregator: host:port dials TCP, file:PATH (or a plain path) writes a trace file for later ingest")
+		streamTen = flag.String("stream-tenant", "default", "with -stream: tenant id in the stream handshake")
+		streamPol = flag.String("stream-policy", "block", "with -stream: backpressure policy when the outbound queue is full: block (lose nothing) or drop (never stall, count losses)")
+		streamBud = flag.Int("stream-budget", 0, "with -stream: outbound queue budget in bytes (0: default)")
 	)
 	flag.Parse()
 
@@ -148,6 +155,62 @@ func main() {
 			// Classify access structure per (kernel span, allocation, device);
 			// span start times come from the simulated clock.
 			ps = s.Tracer.EnablePatterns(s.Ctx.Now)
+		}
+	}
+
+	var ss *wire.StreamSink
+	var streamClose func() error
+	if *stream != "" {
+		var pol wire.Policy
+		switch *streamPol {
+		case "block":
+			pol = wire.Block
+		case "drop":
+			pol = wire.Drop
+		default:
+			fatal(fmt.Errorf("unknown -stream-policy %q (want block or drop)", *streamPol))
+		}
+		var w io.WriteCloser
+		switch {
+		case strings.HasPrefix(*stream, "file:"):
+			f, err := os.Create(strings.TrimPrefix(*stream, "file:"))
+			if err != nil {
+				fatal(err)
+			}
+			w = f
+		case strings.Contains(*stream, ":"):
+			conn, err := net.Dial("tcp", *stream)
+			if err != nil {
+				fatal(err)
+			}
+			w = conn
+		default:
+			f, err := os.Create(*stream)
+			if err != nil {
+				fatal(err)
+			}
+			w = f
+		}
+		ss, err = wire.NewStreamSink(w, wire.Config{
+			Hello: wire.Hello{
+				Tenant:   *streamTen,
+				Process:  *app,
+				Platform: plat.Name,
+				Policy:   byte(pol),
+			},
+			Policy:     pol,
+			QueueBytes: *streamBud,
+			Clock:      s.Ctx.Now,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		s.Tracer.EnableStream(ss)
+		streamClose = func() error {
+			if err := ss.Close(); err != nil {
+				return err
+			}
+			return w.Close()
 		}
 	}
 
@@ -368,6 +431,18 @@ func main() {
 		}
 		fmt.Printf("timeline: %d events written to %s\n", s.Ctx.Timeline().Len(), *timelineF)
 	}
+	if streamClose != nil {
+		// The final diagnostic flushed the tracer, so every access batch is
+		// already in the stream queue; Close cuts the tail segment, writes
+		// the bye totals, and drains the writer.
+		if err := streamClose(); err != nil {
+			fatal(err)
+		}
+		if segs, recs, bytes := ss.Dropped(); segs > 0 {
+			fmt.Fprintf(os.Stderr, "xplacer: stream dropped %d segment(s): %d records, %d bytes\n", segs, recs, bytes)
+		}
+	}
+
 	fmt.Printf("simulated time on %s: %v\n", plat.Name, s.SimTime())
 
 	if len(failKinds) > 0 {

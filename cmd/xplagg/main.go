@@ -1,0 +1,93 @@
+// Command xplagg is the fleet trace aggregator: a long-running daemon
+// that accepts wire-format trace streams from many instrumented client
+// processes at once (see the -stream option of cmd/xplacer and
+// xplrt.EnableStream), keeps per-(tenant, process) shadow/heat-map/
+// pattern state, and serves live snapshots over HTTP.
+//
+// Usage:
+//
+//	xplagg -listen :9811 -http :9812          # daemon: TCP ingest + HTTP snapshots
+//	xplagg -snapshot trace1.xplt trace2.xplt  # offline: ingest files, print reports
+//
+// HTTP endpoints (on -http):
+//
+//	/tenants    known (tenant, process) pairs and ingest totals (JSON)
+//	/snapshot   ?tenant=T&process=P — live diag.Report JSON, the same
+//	            schema `xplacer -json` emits
+//	/perfetto   ?tenant=T&process=P — kernel spans as Chrome trace JSON
+//	/metrics    Prometheus text-format counters (xplagg_*)
+//
+// Positional arguments are trace files (captured with
+// `-stream file:PATH`), ingested sequentially through the same decoder
+// the TCP path uses before the listeners start.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+)
+
+import "xplacer/internal/agg"
+
+func main() {
+	var (
+		listen   = flag.String("listen", "", "accept client trace streams on this TCP address (e.g. :9811)")
+		httpAddr = flag.String("http", "", "serve snapshots and metrics on this HTTP address (e.g. :9812)")
+		snapshot = flag.Bool("snapshot", false, "after ingesting the trace-file arguments, print every proc's report JSON to stdout and exit")
+	)
+	flag.Parse()
+
+	g := agg.New()
+
+	// File ingest first, sequentially: deterministic for goldens.
+	for _, path := range flag.Args() {
+		if err := g.IngestFile(path); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *snapshot {
+		for _, p := range g.Procs() {
+			rep := p.Report()
+			if err := rep.JSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	if *listen == "" && *httpAddr == "" {
+		fatal(fmt.Errorf("nothing to do: pass -listen/-http for daemon mode, or -snapshot with trace files"))
+	}
+
+	errc := make(chan error, 2)
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "xplagg: http on %s\n", hl.Addr())
+		go func() { errc <- http.Serve(hl, g.Handler()) }()
+	}
+	if *listen != "" {
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "xplagg: listening on %s\n", l.Addr())
+		go func() {
+			errc <- g.Serve(l, func(err error) {
+				fmt.Fprintln(os.Stderr, "xplagg:", err)
+			})
+		}()
+	}
+	fatal(<-errc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xplagg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,370 @@
+// Package agg is the fleet aggregation engine behind cmd/xplagg: it
+// ingests wire-format trace streams from many instrumented client
+// processes — over TCP or from files, through one decoder — and keeps
+// per-process analysis state built from the same consumers an in-process
+// run would use (shadow table via record.TableSink, access-frequency
+// heat map via record.HeatmapSink, per-span pattern classification via
+// pattern.Sink). Snapshots are diag.Report JSON, byte-compatible with
+// `xplacer -json`; internal/goldenreport pins the equivalence.
+//
+// Concurrency model: each stream is decoded by its own goroutine (the
+// caller of Ingest). Streams route to a per-(tenant, process) Proc at
+// hello time; every frame applies under that Proc's lock, so two streams
+// for the same process serialize while distinct processes aggregate in
+// parallel. Snapshots take the same lock, so they observe frame-aligned
+// state.
+package agg
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"xplacer/internal/detect"
+	"xplacer/internal/diag"
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/pattern"
+	"xplacer/internal/record"
+	"xplacer/internal/shadow"
+	"xplacer/internal/wire"
+)
+
+// maxAllocBytes bounds one remote allocation's traced range: the shadow
+// table allocates one byte per 32-bit word, so a hostile alloc frame
+// could otherwise make the aggregator reserve gigabytes.
+const maxAllocBytes = 1 << 30
+
+// spanEvent is one kernel-launch marker, kept for Perfetto export.
+type spanEvent struct {
+	Name string
+	At   machine.Duration
+}
+
+// Proc is the aggregation state of one (tenant, process) pair.
+type Proc struct {
+	Tenant   string
+	Process  string
+	Platform string
+
+	mu   sync.Mutex
+	plat *machine.Platform
+
+	table *shadow.Table
+	tsink *record.TableSink
+	cur   record.Cursor
+	hm    *record.HeatmapSink
+	ps    *pattern.Sink
+
+	// now is the client's simulated clock, replayed from clock and span
+	// frames (the pattern sink samples it at BeginSpan).
+	now   machine.Duration
+	spans []spanEvent
+
+	batches, records int64
+	streams          int64
+	// clientDropped accumulates the drop totals reported by bye segments —
+	// the producer-side loss the aggregated state is missing.
+	clientDroppedRecords int64
+}
+
+// Key returns the tenant-qualified process name snapshots are addressed
+// by.
+func (p *Proc) Key() string { return p.Tenant + "/" + p.Process }
+
+func newProc(h wire.Hello) *Proc {
+	plat, err := machine.ByName(h.Platform)
+	if err != nil {
+		// Unknown or absent preset: analysis state still aggregates; only
+		// the pattern-penalty scaling needs a platform, so fall back to the
+		// first known preset.
+		plat, _ = machine.ByName("Intel+Pascal")
+	}
+	table := shadow.NewTable()
+	p := &Proc{
+		Tenant:   h.Tenant,
+		Process:  h.Process,
+		Platform: h.Platform,
+		plat:     plat,
+		table:    table,
+		tsink:    record.NewTableSink(table),
+		hm:       record.NewHeatmapSink(table),
+		ps:       pattern.NewSink(table),
+	}
+	p.ps.SetClock(func() machine.Duration { return p.now })
+	return p
+}
+
+// handler returns the frame callbacks applying this stream's frames to
+// the proc. Sink order per batch matches an in-process engine: table
+// first (it owns the cursor), then heat map, then patterns.
+func (p *Proc) handler() wire.Handler {
+	return wire.Handler{
+		Batch: func(batch []shadow.Access) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.batches++
+			p.records += int64(len(batch))
+			p.tsink.Apply(batch, &p.cur)
+			p.hm.Apply(batch, nil)
+			p.ps.Apply(batch, nil)
+		},
+		Span: func(name string, at machine.Duration) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.now = at
+			p.ps.BeginSpan(name)
+			p.spans = append(p.spans, spanEvent{Name: name, At: at})
+		},
+		Clock: func(at machine.Duration) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.now = at
+		},
+		Alloc: func(a wire.AllocInfo) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			if a.Size < 0 || a.Size > maxAllocBytes {
+				return
+			}
+			// Mirror trace.TraceAlloc's table insert. Overlaps (a client bug,
+			// or replayed address reuse) are skipped rather than fatal: the
+			// aggregator must survive any one client misbehaving.
+			_, _ = p.table.Insert(&memsim.Alloc{
+				ID: a.ID, Base: a.Base, Size: a.Size, Kind: a.Kind, Label: a.Label,
+			}, a.Fn)
+		},
+		Free: func(id int) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.table.MarkFreed(id)
+		},
+		Label: func(id int, label string) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			if e := p.table.FindByID(id); e != nil {
+				e.Label = label
+			}
+		},
+		Transfer: func(tr wire.TransferInfo) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			// Mirror trace.TraceTransfer: the bulk range records as a CPU
+			// write (host-to-device) or read (device-to-host), and the entry's
+			// explicit-transfer byte counters advance.
+			e := p.table.FindByID(tr.ID)
+			if e == nil {
+				p.tsink.AddUntracked(1)
+				return
+			}
+			var tracked bool
+			if tr.Dir == wire.HostToDevice {
+				tracked = p.table.Record(machine.CPU, e.Base+memsim.Addr(tr.Off), tr.N, memsim.Write)
+				e.TransferredIn += tr.N
+			} else {
+				tracked = p.table.Record(machine.CPU, e.Base+memsim.Addr(tr.Off), tr.N, memsim.Read)
+				e.TransferredOut += tr.N
+			}
+			if !tracked {
+				p.tsink.AddUntracked(1)
+			}
+		},
+	}
+}
+
+// Report assembles the proc's current diag.Report (the same summaries,
+// findings, heat map, and pattern blocks `xplacer -json` would emit for
+// the equivalent in-process run; kernel attribution needs the client's
+// timeline and is not available remotely).
+func (p *Proc) Report() diag.Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := diag.Report{Title: p.Key()}
+	entries := p.table.Entries()
+	for _, e := range entries {
+		r.Allocs = append(r.Allocs, diag.Summarize(e))
+	}
+	r.Findings = detect.Scan(entries, detect.DefaultOptions())
+	r.Heatmap = diag.SummarizeHeatmap(p.hm, 64)
+	r.Patterns = diag.SummarizePatterns(p.ps, p.plat.CoalescePenaltyPct)
+	r.Patterns.AnnotateHeatmap(r.Heatmap)
+	return r
+}
+
+// Stats returns the proc's ingest totals: applied batches and records,
+// streams that contributed, and the records the clients themselves
+// reported dropping before the wire.
+func (p *Proc) Stats() (batches, records, streams, clientDropped int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.batches, p.records, p.streams, p.clientDroppedRecords
+}
+
+// Spans returns a copy of the kernel-launch markers seen so far.
+func (p *Proc) Spans() []spanEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]spanEvent(nil), p.spans...)
+}
+
+// Aggregator is the multi-stream ingest hub.
+type Aggregator struct {
+	mu    sync.Mutex
+	procs map[string]*Proc
+
+	// Counters, exposed at /metrics.
+	streamsTotal  atomic.Int64
+	streamsActive atomic.Int64
+	batchesTotal  atomic.Int64
+	recordsTotal  atomic.Int64
+	bytesTotal    atomic.Int64
+	crcErrors     atomic.Int64
+	decodeErrors  atomic.Int64
+}
+
+// New returns an empty aggregator.
+func New() *Aggregator {
+	return &Aggregator{procs: map[string]*Proc{}}
+}
+
+// proc finds or creates the (tenant, process) state.
+func (g *Aggregator) proc(h wire.Hello) *Proc {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := h.Tenant + "/" + h.Process
+	p, ok := g.procs[key]
+	if !ok {
+		p = newProc(h)
+		g.procs[key] = p
+	}
+	return p
+}
+
+// Procs returns the known procs sorted by key.
+func (g *Aggregator) Procs() []*Proc {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Proc, 0, len(g.procs))
+	for _, p := range g.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Find returns the proc for (tenant, process), or nil.
+func (g *Aggregator) Find(tenant, process string) *Proc {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.procs[tenant+"/"+process]
+}
+
+// countingReader counts consumed bytes for the ingest totals.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Ingest decodes one complete stream from r and applies it. It is the
+// shared ingest path: TCP connections and trace files go through the
+// same decoder. Safe for concurrent use — one call per stream.
+func (g *Aggregator) Ingest(r io.Reader) error {
+	g.streamsTotal.Add(1)
+	g.streamsActive.Add(1)
+	defer g.streamsActive.Add(-1)
+
+	cr := &countingReader{r: r}
+	defer func() { g.bytesTotal.Add(cr.n) }()
+	br := bufio.NewReaderSize(cr, 1<<16)
+
+	var p *Proc
+	err := wire.ReadStream(br, wire.StreamHandler{
+		Hello: func(h wire.Hello) (wire.Handler, error) {
+			p = g.proc(h)
+			p.mu.Lock()
+			p.streams++
+			p.mu.Unlock()
+			h2 := p.handler()
+			// Wrap the batch callback to feed the global counters without a
+			// second lock acquisition on the hot path.
+			inner := h2.Batch
+			h2.Batch = func(batch []shadow.Access) {
+				g.batchesTotal.Add(1)
+				g.recordsTotal.Add(int64(len(batch)))
+				inner(batch)
+			}
+			return h2, nil
+		},
+		Bye: func(b wire.Bye) {
+			p.mu.Lock()
+			p.clientDroppedRecords += b.DroppedRecords
+			p.mu.Unlock()
+		},
+	})
+	if err != nil {
+		if errors.Is(err, wire.ErrChecksum) {
+			g.crcErrors.Add(1)
+		} else {
+			g.decodeErrors.Add(1)
+		}
+		return err
+	}
+	return nil
+}
+
+// IngestFile ingests one trace file (a stream captured with
+// `-stream file:...`).
+func (g *Aggregator) IngestFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.Ingest(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// Serve accepts client connections on l until the listener closes,
+// ingesting each connection's stream in its own goroutine. Per-stream
+// decode errors are reported through report (nil discards them) rather
+// than stopping the daemon — one corrupt client must not take the
+// aggregator down.
+func (g *Aggregator) Serve(l net.Listener, report func(error)) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			if err := g.Ingest(c); err != nil && report != nil {
+				report(fmt.Errorf("stream from %s: %w", c.RemoteAddr(), err))
+			}
+		}(conn)
+	}
+}
+
+// Totals returns the global ingest counters: streams ever accepted,
+// streams being decoded now, applied batches and records, consumed wire
+// bytes, checksum failures, and other decode failures.
+func (g *Aggregator) Totals() (streams, active, batches, records, bytes, crcErrs, decodeErrs int64) {
+	return g.streamsTotal.Load(), g.streamsActive.Load(), g.batchesTotal.Load(),
+		g.recordsTotal.Load(), g.bytesTotal.Load(), g.crcErrors.Load(), g.decodeErrors.Load()
+}

@@ -1,0 +1,189 @@
+package agg_test
+
+import (
+	"bytes"
+	"testing"
+
+	"xplacer/internal/agg"
+	"xplacer/internal/apps/rodinia"
+	"xplacer/internal/apps/sw"
+	"xplacer/internal/core"
+	"xplacer/internal/detect"
+	"xplacer/internal/diag"
+	"xplacer/internal/machine"
+	"xplacer/internal/record"
+	"xplacer/internal/wire"
+)
+
+// apps the equivalence is pinned over: simulated-tracer programs whose
+// memsim addresses are deterministic per run, so two separate sessions
+// trace identical streams.
+var equivApps = []struct {
+	name string
+	run  func(t *testing.T, s *core.Session)
+}{
+	{"sw", func(t *testing.T, s *core.Session) {
+		if _, err := sw.Run(s, sw.Config{N: 24, M: 24, Seed: 1, Traceback: true}); err != nil {
+			t.Fatal(err)
+		}
+	}},
+	{"pathfinder", func(t *testing.T, s *core.Session) {
+		if _, err := rodinia.RunPathfinder(s, rodinia.PathfinderConfig{Cols: 64, Rows: 41, Pyramid: 10, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}},
+}
+
+// inProcessJSON traces the app with live heat-map and pattern sinks and
+// assembles the report the way the aggregator does (summaries, findings,
+// heat map, patterns; no timeline attribution).
+func inProcessJSON(t *testing.T, name string, run func(*testing.T, *core.Session)) []byte {
+	t.Helper()
+	plat, err := machine.ByName("Intel+Pascal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSession(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := record.NewHeatmapSink(s.Tracer.Table())
+	s.Tracer.AddSink(hm)
+	ps := s.Tracer.EnablePatterns(s.Ctx.Now)
+
+	run(t, s)
+	s.Tracer.Flush()
+
+	table := s.Tracer.Table()
+	r := diag.Report{Title: "default/" + name}
+	for _, e := range table.Entries() {
+		r.Allocs = append(r.Allocs, diag.Summarize(e))
+	}
+	r.Findings = detect.Scan(table.Entries(), detect.DefaultOptions())
+	r.Heatmap = diag.SummarizeHeatmap(hm, 64)
+	r.Patterns = diag.SummarizePatterns(ps, plat.CoalescePenaltyPct)
+	r.Patterns.AnnotateHeatmap(r.Heatmap)
+
+	var buf bytes.Buffer
+	if err := r.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// streamedJSON traces the same app through a wire.StreamSink, ingests
+// the captured stream with an Aggregator, and snapshots the proc.
+func streamedJSON(t *testing.T, name string, run func(*testing.T, *core.Session)) []byte {
+	t.Helper()
+	plat, err := machine.ByName("Intel+Pascal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSession(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var captured bytes.Buffer
+	ss, err := wire.NewStreamSink(&captured, wire.Config{
+		Hello: wire.Hello{Tenant: "default", Process: name, Platform: plat.Name},
+		Clock: s.Ctx.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tracer.EnableStream(ss)
+
+	run(t, s)
+	s.Tracer.Flush()
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs, recs, _ := ss.Dropped(); segs != 0 {
+		t.Fatalf("block-policy stream dropped %d segments (%d records)", segs, recs)
+	}
+
+	g := agg.New()
+	if err := g.Ingest(bytes.NewReader(captured.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	p := g.Find("default", name)
+	if p == nil {
+		t.Fatalf("aggregator has no proc default/%s", name)
+	}
+	_, records, _, clientDropped := p.Stats()
+	_, sent := ss.Counts()
+	if records != sent {
+		t.Fatalf("aggregator applied %d records, client sent %d", records, sent)
+	}
+	if clientDropped != 0 {
+		t.Fatalf("bye reported %d dropped records on a block-policy stream", clientDropped)
+	}
+
+	rep := p.Report()
+	var buf bytes.Buffer
+	if err := rep.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAggregationEquivalence pins the tentpole guarantee: an app traced
+// through StreamSink → Aggregator produces byte-identical report JSON to
+// the same app analyzed in-process.
+func TestAggregationEquivalence(t *testing.T) {
+	for _, app := range equivApps {
+		t.Run(app.name, func(t *testing.T) {
+			want := inProcessJSON(t, app.name, app.run)
+			got := streamedJSON(t, app.name, app.run)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("aggregated report differs from in-process report\n--- in-process ---\n%s\n--- aggregated ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestTwoStreamsOneAggregator checks distinct (tenant, process) streams
+// keep independent state in one aggregator: each proc's snapshot matches
+// its own in-process run, even when the streams are ingested into the
+// same instance.
+func TestTwoStreamsOneAggregator(t *testing.T) {
+	g := agg.New()
+	for _, app := range equivApps {
+		plat, _ := machine.ByName("Intel+Pascal")
+		s, err := core.NewSession(plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var captured bytes.Buffer
+		ss, err := wire.NewStreamSink(&captured, wire.Config{
+			Hello: wire.Hello{Tenant: "fleet", Process: app.name, Platform: plat.Name},
+			Clock: s.Ctx.Now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Tracer.EnableStream(ss)
+		app.run(t, s)
+		s.Tracer.Flush()
+		if err := ss.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Ingest(bytes.NewReader(captured.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(g.Procs()); got != len(equivApps) {
+		t.Fatalf("aggregator tracks %d procs, want %d", got, len(equivApps))
+	}
+	for _, app := range equivApps {
+		p := g.Find("fleet", app.name)
+		if p == nil {
+			t.Fatalf("no proc fleet/%s", app.name)
+		}
+		rep := p.Report()
+		if len(rep.Allocs) == 0 || rep.Heatmap == nil || rep.Patterns == nil {
+			t.Fatalf("fleet/%s snapshot incomplete: %d allocs, heatmap %v, patterns %v",
+				app.name, len(rep.Allocs), rep.Heatmap != nil, rep.Patterns != nil)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package agg
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"xplacer/internal/machine"
+)
+
+// Handler returns the aggregator's HTTP surface:
+//
+//	GET /tenants                              known (tenant, process) pairs + totals, JSON
+//	GET /snapshot?tenant=T&process=P          live diag.Report JSON (same schema as `xplacer -json`)
+//	GET /perfetto?tenant=T&process=P          kernel spans as Chrome trace JSON (Perfetto-loadable)
+//	GET /metrics                              Prometheus text format counters
+func (g *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tenants", g.serveTenants)
+	mux.HandleFunc("/snapshot", g.serveSnapshot)
+	mux.HandleFunc("/perfetto", g.servePerfetto)
+	mux.HandleFunc("/metrics", g.serveMetrics)
+	return mux
+}
+
+// lookup resolves the ?tenant=&process= pair, writing the HTTP error
+// itself when the proc is unknown.
+func (g *Aggregator) lookup(w http.ResponseWriter, r *http.Request) *Proc {
+	tenant := r.URL.Query().Get("tenant")
+	process := r.URL.Query().Get("process")
+	p := g.Find(tenant, process)
+	if p == nil {
+		http.Error(w, fmt.Sprintf("no stream state for tenant %q process %q (see /tenants)", tenant, process), http.StatusNotFound)
+		return nil
+	}
+	return p
+}
+
+func (g *Aggregator) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	p := g.lookup(w, r)
+	if p == nil {
+		return
+	}
+	rep := p.Report()
+	w.Header().Set("Content-Type", "application/json")
+	if err := rep.JSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// tenantEntry is one /tenants row.
+type tenantEntry struct {
+	Tenant        string `json:"tenant"`
+	Process       string `json:"process"`
+	Platform      string `json:"platform,omitempty"`
+	Streams       int64  `json:"streams"`
+	Batches       int64  `json:"batches"`
+	Records       int64  `json:"records"`
+	ClientDropped int64  `json:"client_dropped_records,omitempty"`
+}
+
+func (g *Aggregator) serveTenants(w http.ResponseWriter, _ *http.Request) {
+	out := []tenantEntry{}
+	for _, p := range g.Procs() {
+		batches, records, streams, dropped := p.Stats()
+		out = append(out, tenantEntry{
+			Tenant: p.Tenant, Process: p.Process, Platform: p.Platform,
+			Streams: streams, Batches: batches, Records: records, ClientDropped: dropped,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// servePerfetto renders the proc's kernel-launch spans as Chrome
+// trace-format complete events — each span runs to the next span's start
+// (the last to the current clock), mirroring how the client's kernels
+// partitioned simulated time. Loadable in Perfetto / chrome://tracing.
+func (g *Aggregator) servePerfetto(w http.ResponseWriter, r *http.Request) {
+	p := g.lookup(w, r)
+	if p == nil {
+		return
+	}
+	spans := p.Spans()
+	p.mu.Lock()
+	end := p.now
+	p.mu.Unlock()
+
+	type traceEvent struct {
+		Name  string  `json:"name"`
+		Phase string  `json:"ph"`
+		TS    float64 `json:"ts"`
+		Dur   float64 `json:"dur"`
+		PID   string  `json:"pid"`
+		TID   int     `json:"tid"`
+	}
+	usOf := func(d machine.Duration) float64 {
+		return float64(d) / float64(machine.Nanosecond) / 1e3
+	}
+	events := []traceEvent{}
+	for i, s := range spans {
+		until := end
+		if i+1 < len(spans) {
+			until = spans[i+1].At
+		}
+		if until < s.At {
+			until = s.At
+		}
+		events = append(events, traceEvent{
+			Name: s.Name, Phase: "X",
+			TS: usOf(s.At), Dur: usOf(until - s.At),
+			PID: p.Key(), TID: 0,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}
+
+// serveMetrics writes Prometheus text-format counters: global ingest
+// totals plus per-proc applied records.
+func (g *Aggregator) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	streams, active, batches, records, bytes, crcErrs, decodeErrs := g.Totals()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP xplagg_streams_total Streams accepted since start.\n# TYPE xplagg_streams_total counter\nxplagg_streams_total %d\n", streams)
+	fmt.Fprintf(w, "# HELP xplagg_streams_active Streams being decoded now.\n# TYPE xplagg_streams_active gauge\nxplagg_streams_active %d\n", active)
+	fmt.Fprintf(w, "# HELP xplagg_batches_total Access batches applied.\n# TYPE xplagg_batches_total counter\nxplagg_batches_total %d\n", batches)
+	fmt.Fprintf(w, "# HELP xplagg_records_total Access records applied.\n# TYPE xplagg_records_total counter\nxplagg_records_total %d\n", records)
+	fmt.Fprintf(w, "# HELP xplagg_bytes_total Wire bytes consumed.\n# TYPE xplagg_bytes_total counter\nxplagg_bytes_total %d\n", bytes)
+	fmt.Fprintf(w, "# HELP xplagg_checksum_errors_total Segments failing CRC.\n# TYPE xplagg_checksum_errors_total counter\nxplagg_checksum_errors_total %d\n", crcErrs)
+	fmt.Fprintf(w, "# HELP xplagg_decode_errors_total Streams failing to decode.\n# TYPE xplagg_decode_errors_total counter\nxplagg_decode_errors_total %d\n", decodeErrs)
+	fmt.Fprintf(w, "# HELP xplagg_proc_records_total Access records applied per process.\n# TYPE xplagg_proc_records_total counter\n")
+	for _, p := range g.Procs() {
+		pb, pr, _, dropped := p.Stats()
+		fmt.Fprintf(w, "xplagg_proc_records_total{tenant=%q,process=%q} %d\n", p.Tenant, p.Process, pr)
+		fmt.Fprintf(w, "xplagg_proc_batches_total{tenant=%q,process=%q} %d\n", p.Tenant, p.Process, pb)
+		if dropped > 0 {
+			fmt.Fprintf(w, "xplagg_proc_client_dropped_records{tenant=%q,process=%q} %d\n", p.Tenant, p.Process, dropped)
+		}
+	}
+}

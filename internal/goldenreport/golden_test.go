@@ -231,6 +231,64 @@ func TestReportJSONGoldens(t *testing.T) {
 	}
 }
 
+// TestAggregatedReportGoldens pins the aggregator path end-to-end: the
+// app streams its trace to a file with -stream file:PATH, xplagg
+// -snapshot rebuilds shadow/heat-map/pattern state from the wire format
+// and prints the report JSON, and that output is diffed against its own
+// golden. The same goldens back the CI smoke job's TCP-ingest check —
+// the /snapshot endpoint serves byte-identical JSON.
+func TestAggregatedReportGoldens(t *testing.T) {
+	root := repoRoot(t)
+	cases := map[string][]string{
+		"report-sw-aggregated": {"run", "./cmd/xplacer", "-app", "sw",
+			"-size", "24", "-heatmap", "-patterns"},
+		"report-pathfinder-aggregated": {"run", "./cmd/xplacer", "-app", "pathfinder",
+			"-cols", "64", "-rows", "41", "-pyramid", "10", "-heatmap", "-patterns"},
+	}
+	names := make([]string, 0, len(cases))
+	for n := range cases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			trace := filepath.Join(t.TempDir(), "trace.xplt")
+			record := exec.Command(goTool(t), append(cases[name], "-stream", "file:"+trace)...)
+			record.Dir = root
+			var stderr bytes.Buffer
+			record.Stderr = &stderr
+			if err := record.Run(); err != nil {
+				t.Fatalf("record: %v\nstderr:\n%s", err, stderr.String())
+			}
+			snapshot := exec.Command(goTool(t), "run", "./cmd/xplagg", "-snapshot", trace)
+			snapshot.Dir = root
+			var stdout bytes.Buffer
+			stderr.Reset()
+			snapshot.Stdout = &stdout
+			snapshot.Stderr = &stderr
+			if err := snapshot.Run(); err != nil {
+				t.Fatalf("snapshot: %v\nstderr:\n%s", err, stderr.String())
+			}
+			got := normalizeReport(t, stdout.Bytes())
+			golden := filepath.Join(root, "internal", "goldenreport", "testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("aggregated report drifted from %s (re-run with -update if intentional):\n%s",
+					golden, diffHint(string(want), string(got)))
+			}
+		})
+	}
+}
+
 // TestSpillBudgetMatchesUnbounded pins the bounded-memory guarantee's
 // other half: a run whose trace spills to disk under a deliberately tiny
 // -trace-budget must produce the exact same diagnostic JSON — heat map,

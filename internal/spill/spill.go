@@ -10,52 +10,27 @@
 //
 // # Log format
 //
-// The log is a sequence of frames, each starting with a one-byte tag:
-//
-//	0x01 batch: uvarint record count, then per record
-//	     dev byte, kind byte, uvarint size, svarint address delta
-//	     (against the previous record's address, starting from 0 each
-//	     frame), uvarint count, and — only when count > 1 — uvarint
-//	     stride. The RLE range record (shadow.Access) is the on-disk
-//	     unit; scalar accesses encode count 0.
-//	0x02 span: uvarint name length, the name bytes, uvarint simulated
-//	     time. Written at kernel-launch boundaries so replayed pattern
-//	     streams attribute accesses to the same spans the live sink
-//	     would have.
-//	0x03 clock: uvarint simulated time. Written whenever the simulated
-//	     clock moved since the last frame, so clock-driven consumers
-//	     (heat-map epoch rotation) replay with the same attribution.
-//
-// Address deltas and the varint encoding make the common drained shapes
-// small: a coalesced sweep is a handful of bytes, a scalar-heavy batch
-// costs a few bytes per access.
+// The log is the versioned frame encoding of internal/wire: the "XPLT"
+// magic + uvarint version header followed by batch, span, and clock
+// frames (see the wire package for the per-frame layouts). Logs written
+// by a different format version fail to replay with a wire.VersionError
+// naming the found and supported versions. The stream segment layer
+// (checksums, handshake) is skipped: the log is written and replayed by
+// one process, so framing buys nothing.
 package spill
 
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
-	"fmt"
 	"io"
 	"os"
 	"sync"
 
 	"xplacer/internal/machine"
-	"xplacer/internal/memsim"
 	"xplacer/internal/record"
 	"xplacer/internal/shadow"
+	"xplacer/internal/wire"
 )
-
-// Frame tags.
-const (
-	frameBatch = 0x01
-	frameSpan  = 0x02
-	frameClock = 0x03
-)
-
-// maxFrameRecords bounds one batch frame so the replay-side decode buffer
-// stays small regardless of drained batch sizes.
-const maxFrameRecords = 4096
 
 // Sink is a record.Sink that serializes drained batches to the bounded
 // log. Apply and Span run under the recording engine's lock (sink
@@ -81,12 +56,14 @@ type Sink struct {
 // New returns a sink retaining at most budget bytes of log in memory;
 // the excess spills to a temporary file. A budget below one encoded
 // frame still works — every Apply that leaves the buffer over budget
-// flushes it, so retention stays at most one frame behind.
+// flushes it, so retention stays at most one frame behind. The format
+// header is written into the log tail up front, so it counts against
+// the budget like any other bytes.
 func New(budget int) *Sink {
 	if budget < 0 {
 		budget = 0
 	}
-	return &Sink{budget: budget}
+	return &Sink{budget: budget, buf: wire.AppendHeader(nil)}
 }
 
 // SetClock installs the simulated-time source stamped into clock and
@@ -147,8 +124,7 @@ func (s *Sink) stampClock() {
 		return
 	}
 	s.lastClock, s.clockValid = at, true
-	s.buf = append(s.buf, frameClock)
-	s.buf = binary.AppendUvarint(s.buf, uint64(at))
+	s.buf = wire.AppendClock(s.buf, at)
 }
 
 // Span appends a span-boundary frame. Front ends call it at the same
@@ -162,10 +138,7 @@ func (s *Sink) Span(name string) {
 		at = s.now()
 		s.lastClock, s.clockValid = at, true
 	}
-	s.buf = append(s.buf, frameSpan)
-	s.buf = binary.AppendUvarint(s.buf, uint64(len(name)))
-	s.buf = append(s.buf, name...)
-	s.buf = binary.AppendUvarint(s.buf, uint64(at))
+	s.buf = wire.AppendSpan(s.buf, name, at)
 	s.spillIfOver()
 }
 
@@ -182,23 +155,10 @@ func (s *Sink) Apply(batch []shadow.Access, _ *record.Cursor) {
 	s.records += int64(len(batch))
 	for len(batch) > 0 {
 		n := len(batch)
-		if n > maxFrameRecords {
-			n = maxFrameRecords
+		if n > wire.MaxFrameRecords {
+			n = wire.MaxFrameRecords
 		}
-		s.buf = append(s.buf, frameBatch)
-		s.buf = binary.AppendUvarint(s.buf, uint64(n))
-		prev := memsim.Addr(0)
-		for i := 0; i < n; i++ {
-			a := &batch[i]
-			s.buf = append(s.buf, byte(a.Dev), byte(a.Kind))
-			s.buf = binary.AppendUvarint(s.buf, uint64(a.Size))
-			s.buf = binary.AppendVarint(s.buf, int64(a.Addr)-int64(prev))
-			prev = a.Addr
-			s.buf = binary.AppendUvarint(s.buf, uint64(a.Count))
-			if a.Count > 1 {
-				s.buf = binary.AppendUvarint(s.buf, uint64(a.Stride))
-			}
-		}
+		s.buf = wire.AppendBatch(s.buf, batch[:n])
 		batch = batch[n:]
 		s.spillIfOver()
 	}
@@ -245,92 +205,14 @@ func (s *Sink) Replay(onBatch func([]shadow.Access), onSpan func(name string, at
 	}
 	parts = append(parts, bytes.NewReader(s.buf))
 	r := bufio.NewReaderSize(io.MultiReader(parts...), 1<<16)
-	batch := make([]shadow.Access, 0, maxFrameRecords)
-	for {
-		tag, err := r.ReadByte()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		switch tag {
-		case frameBatch:
-			n, err := binary.ReadUvarint(r)
-			if err != nil {
-				return err
-			}
-			if n > maxFrameRecords {
-				return fmt.Errorf("spill: corrupt batch frame (%d records)", n)
-			}
-			batch = batch[:0]
-			prev := memsim.Addr(0)
-			for i := uint64(0); i < n; i++ {
-				var a shadow.Access
-				dev, err := r.ReadByte()
-				if err != nil {
-					return err
-				}
-				kind, err := r.ReadByte()
-				if err != nil {
-					return err
-				}
-				size, err := binary.ReadUvarint(r)
-				if err != nil {
-					return err
-				}
-				delta, err := binary.ReadVarint(r)
-				if err != nil {
-					return err
-				}
-				count, err := binary.ReadUvarint(r)
-				if err != nil {
-					return err
-				}
-				a.Dev, a.Kind, a.Size = machine.Device(dev), memsim.AccessKind(kind), int32(size)
-				a.Addr = memsim.Addr(int64(prev) + delta)
-				prev = a.Addr
-				a.Count = int32(count)
-				if a.Count > 1 {
-					stride, err := binary.ReadUvarint(r)
-					if err != nil {
-						return err
-					}
-					a.Stride = int32(stride)
-				}
-				batch = append(batch, a)
-			}
-			if onBatch != nil {
-				onBatch(batch)
-			}
-		case frameSpan:
-			n, err := binary.ReadUvarint(r)
-			if err != nil {
-				return err
-			}
-			name := make([]byte, n)
-			if _, err := io.ReadFull(r, name); err != nil {
-				return err
-			}
-			at, err := binary.ReadUvarint(r)
-			if err != nil {
-				return err
-			}
-			if onSpan != nil {
-				onSpan(string(name), machine.Duration(at))
-			}
-		case frameClock:
-			at, err := binary.ReadUvarint(r)
-			if err != nil {
-				return err
-			}
-			if onClock != nil {
-				onClock(machine.Duration(at))
-			}
-		default:
-			return fmt.Errorf("spill: corrupt log (frame tag %#x)", tag)
-		}
+	if err := wire.ReadHeader(r); err != nil {
+		return err
 	}
+	return wire.NewFrameDecoder(r, wire.Handler{
+		Batch: onBatch,
+		Span:  onSpan,
+		Clock: onClock,
+	}).Run()
 }
 
 // Close removes the spill file, if one was created. The sink is not

@@ -1,12 +1,15 @@
 package spill
 
 import (
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"xplacer/internal/machine"
 	"xplacer/internal/memsim"
 	"xplacer/internal/shadow"
+	"xplacer/internal/wire"
 )
 
 // randomBatches builds a deterministic mix of scalar and RLE records.
@@ -111,6 +114,25 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestVersionMismatch checks a log stamped with a future format version
+// fails to replay with an error naming found vs supported versions.
+func TestVersionMismatch(t *testing.T) {
+	s := New(1 << 20)
+	// Rewrite the header with a version this build does not decode.
+	s.buf = append([]byte(wire.Magic), 0x63) // version 99
+	err := s.Replay(nil, nil, nil)
+	var ve *wire.VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Replay = %v, want wire.VersionError", err)
+	}
+	if ve.Found != 99 || ve.Supported != wire.Version {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+	if !strings.Contains(err.Error(), "99") || !strings.Contains(err.Error(), "supported") {
+		t.Fatalf("error %q does not name found vs supported versions", err)
+	}
+}
+
 // TestBudgetInvariant drives a large stream through a small budget and
 // asserts the retained tail never exceeds budget after any Apply — the
 // bounded-memory guarantee.
@@ -147,12 +169,12 @@ func TestBudgetInvariant(t *testing.T) {
 	}
 }
 
-// TestLargeBatchSplits checks batches above maxFrameRecords split across
-// frames and replay intact.
+// TestLargeBatchSplits checks batches above wire.MaxFrameRecords split
+// across frames and replay intact.
 func TestLargeBatchSplits(t *testing.T) {
 	s := New(1 << 20)
 	s.SetDir(t.TempDir())
-	batch := make([]shadow.Access, maxFrameRecords+100)
+	batch := make([]shadow.Access, wire.MaxFrameRecords+100)
 	for i := range batch {
 		batch[i] = shadow.Access{Dev: machine.GPU, Kind: memsim.Read, Size: 4, Addr: memsim.Addr(0x1000 + i*4)}
 	}

@@ -28,6 +28,7 @@ import (
 	"xplacer/internal/shadow"
 	"xplacer/internal/spill"
 	"xplacer/internal/um"
+	"xplacer/internal/wire"
 )
 
 // Stats counts instrumentation events.
@@ -67,6 +68,14 @@ type Tracer struct {
 	// patterns, it makes every kernel launch a drain point, writing a
 	// span marker so replayed streams split at the same boundaries.
 	spill *spill.Sink
+
+	// stream is the optional out-of-process streaming sink (EnableStream).
+	// Besides seeing every drained batch, it receives the shadow-table
+	// life-cycle events (alloc, free, label, transfer) and span markers, so
+	// a remote aggregator can rebuild exactly the state an in-process
+	// TableSink holds. Like patterns/spill, it makes kernel launches drain
+	// points.
+	stream *wire.StreamSink
 
 	// Wrapper event counters; element-access kind counts live in the
 	// engine, untracked counts in the sink.
@@ -141,6 +150,9 @@ func (t *Tracer) TraceAlloc(a *memsim.Alloc) {
 	var err error
 	t.eng.Locked(func() {
 		_, err = t.sink.Table().Insert(a, allocFnName(a.Kind))
+		if err == nil && t.stream != nil {
+			t.stream.Alloc(wire.AllocInfo{ID: a.ID, Base: a.Base, Size: a.Size, Kind: a.Kind, Label: a.Label, Fn: allocFnName(a.Kind)})
+		}
 	})
 	if err != nil {
 		// An overlap means the simulated allocator handed out overlapping
@@ -158,6 +170,9 @@ func (t *Tracer) TraceFree(a *memsim.Alloc) {
 	t.eng.Flush()
 	t.eng.Locked(func() {
 		t.sink.Table().MarkFreed(a.ID)
+		if t.stream != nil {
+			t.stream.Free(a.ID)
+		}
 	})
 }
 
@@ -206,6 +221,13 @@ func (t *Tracer) TraceTransfer(a *memsim.Alloc, dir um.TransferDir, off, n int64
 		if !tracked {
 			t.sink.AddUntracked(1)
 		}
+		if t.stream != nil {
+			dirByte := byte(wire.HostToDevice)
+			if dir == um.DeviceToHost {
+				dirByte = wire.DeviceToHost
+			}
+			t.stream.Transfer(a.ID, dirByte, off, n)
+		}
 	})
 }
 
@@ -244,14 +266,28 @@ func (t *Tracer) EnableSpill(sp *spill.Sink) {
 // Spill returns the attached spill sink, or nil.
 func (t *Tracer) Spill() *spill.Sink { return t.spill }
 
+// EnableStream attaches an out-of-process streaming sink: every drained
+// batch, allocation event, free, label, transfer, and kernel-launch span
+// marker is forwarded on the wire, so an aggregator (cmd/xplagg) can
+// rebuild the shadow table and run the same analyses remotely. Call
+// before recording starts; the caller owns Close on the sink after the
+// final flush.
+func (t *Tracer) EnableStream(ss *wire.StreamSink) {
+	t.eng.AddSink(ss)
+	t.stream = ss
+}
+
+// Stream returns the attached streaming sink, or nil.
+func (t *Tracer) Stream() *wire.StreamSink { return t.stream }
+
 // TraceKernelLaunch implements cuda.Tracer (the kernel-launch wrapper of
 // Table I). With a pattern or spill sink attached the launch is also a
 // drain point: buffered accesses flush into the previous span, then the
 // new span opens under the engine lock.
 func (t *Tracer) TraceKernelLaunch(name string) {
 	t.kernels.Add(1)
-	ps, sp := t.patterns, t.spill
-	if ps == nil && sp == nil {
+	ps, sp, ss := t.patterns, t.spill, t.stream
+	if ps == nil && sp == nil && ss == nil {
 		return
 	}
 	t.eng.Flush()
@@ -261,6 +297,9 @@ func (t *Tracer) TraceKernelLaunch(name string) {
 		}
 		if sp != nil {
 			sp.Span(name)
+		}
+		if ss != nil {
+			ss.Span(name)
 		}
 	})
 }
@@ -272,6 +311,9 @@ func (t *Tracer) Name(a *memsim.Alloc, label string) {
 	t.eng.Locked(func() {
 		if e := t.sink.Table().FindByID(a.ID); e != nil {
 			e.Label = label
+		}
+		if t.stream != nil {
+			t.stream.Label(a.ID, label)
 		}
 	})
 }

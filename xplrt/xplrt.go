@@ -55,6 +55,7 @@ import (
 	"xplacer/internal/pattern"
 	"xplacer/internal/record"
 	"xplacer/internal/shadow"
+	"xplacer/internal/wire"
 )
 
 // Device identifies the processor role of the executing code section.
@@ -74,6 +75,14 @@ type runtime struct {
 	sink *record.TableSink
 	eng  *record.Engine
 	opt  detect.Options
+
+	// stream, when set (EnableStream), receives every drained batch plus
+	// the Register/Release life-cycle events, so an aggregator can rebuild
+	// the allocation table remotely. nextAllocID numbers registrations for
+	// the wire — the local table keeps real addresses, but free frames
+	// reference allocations by id.
+	stream      *wire.StreamSink
+	nextAllocID int
 }
 
 func newRuntime() *runtime {
@@ -145,6 +154,17 @@ func EnablePatterns() *pattern.Sink {
 	rt.eng.Locked(func() { ps = pattern.NewSink(rt.sink.Table()) })
 	rt.eng.AddSink(ps)
 	return ps
+}
+
+// EnableStream attaches an out-of-process streaming sink: drained access
+// batches and Register/Release events are forwarded on the wire so an
+// aggregator (cmd/xplagg) can mirror the allocation table and analyses.
+// Real heap addresses go on the wire as-is — the remote table is keyed by
+// the same addresses the local one is. The caller owns Close on the sink
+// (after a final Flush); a later Reset does not detach it.
+func EnableStream(ss *wire.StreamSink) {
+	rt.eng.Locked(func() { rt.stream = ss })
+	rt.eng.AddSink(ss)
 }
 
 // Untracked reports how many recorded accesses hit no registered
@@ -344,7 +364,15 @@ func Register(v any, label string) {
 		// Registered Go heap memory is accessible from both execution roles,
 		// like CUDA managed memory — which also makes the alternating-access
 		// detector apply to it.
-		_, _ = rt.sink.Table().InsertRange(memsim.Addr(base), size, label, memsim.Managed, "xplrt.Register")
+		e, err := rt.sink.Table().InsertRange(memsim.Addr(base), size, label, memsim.Managed, "xplrt.Register")
+		if err == nil && rt.stream != nil {
+			e.AllocID = rt.nextAllocID
+			rt.nextAllocID++
+			rt.stream.Alloc(wire.AllocInfo{
+				ID: e.AllocID, Base: e.Base, Size: size,
+				Kind: memsim.Managed, Label: label, Fn: "xplrt.Register",
+			})
+		}
 	})
 }
 
@@ -361,6 +389,9 @@ func Release(v any) {
 	rt.eng.Locked(func() {
 		if e := rt.sink.Table().Find(memsim.Addr(base)); e != nil {
 			e.Freed = true
+			if rt.stream != nil && e.AllocID >= 0 {
+				rt.stream.Free(e.AllocID)
+			}
 		}
 	})
 }
