@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -20,9 +21,6 @@ import (
 	"xplacer/internal/agg"
 	"xplacer/internal/bench"
 	"xplacer/internal/machine"
-	"xplacer/internal/memsim"
-	"xplacer/internal/shadow"
-	"xplacer/internal/wire"
 )
 
 // reportSpeedups attaches each row's factor as a custom metric.
@@ -262,67 +260,74 @@ func BenchmarkShadowBulkApply(b *testing.B) {
 	}
 }
 
-// BenchmarkWireIngest measures the fleet aggregator's decode-and-apply
-// throughput: 64 pre-encoded wire streams (distinct processes, so each
-// rides its own per-proc lock) ingested concurrently into one
-// Aggregator, exactly as xplagg's TCP path does. The headline metric is
-// access records applied per second across the fleet; the acceptance
-// bar is records_per_sec >= 10M.
+// BenchmarkWireIngest measures the fleet aggregator's pipelined
+// decode-and-apply throughput on Spatter-mix streams: 8 pre-encoded
+// wire streams (distinct processes, so each gets its own apply worker)
+// ingested concurrently into one Aggregator, exactly as xplagg's TCP
+// path does. Three access mixes cover the apply paths — Range (uniform
+// sweeps coalesced into long RLE records: the bulk shadow path), Scalar
+// (random indices, one record per element: the per-word path), and
+// Gather (gather-local, scalar-heavy with short local runs) — each at
+// GOMAXPROCS 1, 2, and 4 so the per-proc worker scaling is measured
+// directly. The headline metric is wire access records applied per
+// second; the CI floor (Scalar/Cores1) is records_per_sec >= 10M, and
+// the multi-core acceptance bar is >= 3x Cores1 at Cores4 on a 4-core
+// machine.
 func BenchmarkWireIngest(b *testing.B) {
 	const (
-		nStreams  = 64
-		nBatches  = 50
-		perBatch  = 2048
-		allocSize = int64(perBatch * 64)
+		nStreams = 8
+		elems    = 1 << 18 // element accesses per stream
 	)
-	streams := make([][]byte, nStreams)
-	for i := range streams {
-		batch := make([]shadow.Access, perBatch)
-		for j := range batch {
-			a := &batch[j]
-			a.Dev = machine.Device(j % 2)
-			a.Kind = memsim.AccessKind(j % 3)
-			a.Size = 8
-			a.Addr = 0x10000 + memsim.Addr(j*64)
-			a.Count = 8
-			a.Stride = 8
-		}
-		buf := wire.AppendHeader(nil)
-		buf = wire.AppendSegment(buf, wire.SegHello, wire.AppendHello(nil, wire.Hello{
-			Tenant: "bench", Process: fmt.Sprintf("p%02d", i), Platform: "Intel+Pascal",
-		}))
-		frames := wire.AppendAlloc(nil, wire.AllocInfo{
-			ID: 0, Base: 0x10000, Size: allocSize, Kind: memsim.Managed,
-			Label: "a", Fn: "cudaMallocManaged",
-		})
-		buf = wire.AppendSegment(buf, wire.SegFrames, frames)
-		for k := 0; k < nBatches; k++ {
-			buf = wire.AppendSegment(buf, wire.SegFrames, wire.AppendBatch(nil, batch))
-		}
-		buf = wire.AppendSegment(buf, wire.SegBye, wire.AppendBye(nil, wire.Bye{
-			Batches: nBatches, Records: nBatches * perBatch,
-		}))
-		streams[i] = buf
+	mixes := []struct {
+		name string
+		kind bench.SpatterKind
+	}{
+		{"Range", bench.SpatterUniform},
+		{"Scalar", bench.SpatterRandom},
+		{"Gather", bench.SpatterGatherLocal},
 	}
-
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g := agg.New()
-		var wg sync.WaitGroup
-		for _, s := range streams {
-			wg.Add(1)
-			go func(s []byte) {
-				defer wg.Done()
-				if err := g.Ingest(bytes.NewReader(s)); err != nil {
-					b.Error(err)
+	for _, m := range mixes {
+		streams := make([][]byte, nStreams)
+		var total int64
+		for i := range streams {
+			var n int64
+			streams[i], n = bench.SpatterWireStream(bench.WireMixConfig{
+				Spatter: bench.SpatterConfig{
+					Kind: m.kind, N: 1 << 16, Count: elems, Seed: int64(i + 1),
+				},
+				Tenant: "bench", Process: fmt.Sprintf("p%02d", i),
+			})
+			total += n
+		}
+		for _, cores := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/Cores%d", m.name, cores), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(cores))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g := agg.New()
+					var wg sync.WaitGroup
+					for _, s := range streams {
+						wg.Add(1)
+						go func(s []byte) {
+							defer wg.Done()
+							if err := g.Ingest(bytes.NewReader(s)); err != nil {
+								b.Error(err)
+							}
+						}(s)
+					}
+					wg.Wait()
+					g.Close() // barrier: all enqueued frames applied, workers gone
 				}
-			}(s)
+				b.StopTimer()
+				records := float64(b.N) * float64(total)
+				b.ReportMetric(records/b.Elapsed().Seconds(), "records_per_sec")
+				// One RLE record covers many elements, so the Range mix's
+				// real work rate only shows in element terms.
+				covered := float64(b.N) * float64(nStreams) * float64(elems)
+				b.ReportMetric(covered/b.Elapsed().Seconds(), "elems_per_sec")
+			})
 		}
-		wg.Wait()
 	}
-	b.StopTimer()
-	records := float64(b.N) * nStreams * nBatches * perBatch
-	b.ReportMetric(records/b.Elapsed().Seconds(), "records_per_sec")
 }
 
 // BenchmarkTable3Overhead measures the instrumentation overhead on one

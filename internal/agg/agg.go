@@ -7,12 +7,37 @@
 // pattern.Sink). Snapshots are diag.Report JSON, byte-compatible with
 // `xplacer -json`; internal/goldenreport pins the equivalence.
 //
-// Concurrency model: each stream is decoded by its own goroutine (the
-// caller of Ingest). Streams route to a per-(tenant, process) Proc at
-// hello time; every frame applies under that Proc's lock, so two streams
-// for the same process serialize while distinct processes aggregate in
-// parallel. Snapshots take the same lock, so they observe frame-aligned
-// state.
+// # Concurrency model
+//
+// Ingest is a two-stage pipeline so the aggregator scales with cores:
+//
+//   - Decode: each stream's goroutine (the caller of Ingest) only
+//     decodes frames. Decoded batches come from a shared wire.BatchPool
+//     and are wrapped in pooled applyItems, so the per-frame decode path
+//     allocates nothing after warmup.
+//   - Apply: every (tenant, process) Proc owns a bounded FIFO apply
+//     queue drained by one dedicated worker goroutine, the only
+//     goroutine that ever touches the proc's analysis state (no lock on
+//     the apply path). Frames from one stream are enqueued in decode
+//     order onto one queue, so per-stream frame order — the only
+//     ordering invariant — is preserved exactly; N procs apply on N
+//     cores.
+//
+// Backpressure is end-to-end: a full apply queue blocks the enqueueing
+// decode goroutine, which stops reading its connection, which stalls
+// that one client through TCP flow control. Other streams — and every
+// HTTP endpoint — are unaffected. Per-proc stall counts and queue depths
+// are exported at /metrics.
+//
+// Snapshots never take an apply-path lock. The worker publishes an
+// immutable Snapshot (report, spans, clock) through an atomic pointer
+// when it dequeues a snapshot request; readers either get the published
+// snapshot immediately (bounded staleness, see Proc.Published) or wait
+// for the worker to reach their request in queue order (exact, see
+// Proc.Report). Staleness is bounded by the snapshot max-age plus one
+// queue drain; an apply worker is never blocked by a reader — the only
+// snapshot cost it pays is building a report when one is requested and
+// the published one has expired.
 package agg
 
 import (
@@ -25,6 +50,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xplacer/internal/detect"
 	"xplacer/internal/diag"
@@ -41,44 +67,134 @@ import (
 // could otherwise make the aggregator reserve gigabytes.
 const maxAllocBytes = 1 << 30
 
+// Defaults for the tunables (see the Options).
+const (
+	// DefaultQueueDepth is the per-proc apply queue bound: how many
+	// decoded items may sit between a stream's decoder and the proc's
+	// apply worker before the decoder stalls.
+	DefaultQueueDepth = 256
+	// DefaultSnapshotMaxAge is how stale a published snapshot the HTTP
+	// endpoints serve before forcing a rebuild.
+	DefaultSnapshotMaxAge = time.Second
+)
+
+// Option configures an Aggregator.
+type Option func(*Aggregator)
+
+// WithQueueDepth sets the per-proc apply queue bound (items, not
+// records; one item is one decoded frame). Smaller queues bound decode
+// run-ahead and memory; larger queues absorb burstier apply costs.
+func WithQueueDepth(n int) Option {
+	return func(g *Aggregator) {
+		if n > 0 {
+			g.queueDepth = n
+		}
+	}
+}
+
+// WithSnapshotMaxAge sets how stale a published snapshot the HTTP
+// surface serves before forcing a rebuild (the documented staleness
+// bound). Zero or negative means every request with unapplied items
+// rebuilds.
+func WithSnapshotMaxAge(d time.Duration) Option {
+	return func(g *Aggregator) { g.maxStale = d }
+}
+
 // spanEvent is one kernel-launch marker, kept for Perfetto export.
 type spanEvent struct {
 	Name string
 	At   machine.Duration
 }
 
-// Proc is the aggregation state of one (tenant, process) pair.
+// applyItem is one unit on a proc's apply queue: a decoded frame, or a
+// snapshot/sync marker. Items are pooled (Aggregator.item/recycle) so
+// steady-state ingest allocates none.
+type applyItem struct {
+	kind  byte // wire.Frame* tag, or item{Snapshot,Sync}
+	batch []shadow.Access
+	name  string
+	at    machine.Duration
+	alloc wire.AllocInfo
+	id    int
+	tr    wire.TransferInfo
+	// snap receives the freshly published snapshot (itemSnapshot);
+	// buffered so an abandoned requester never blocks the worker.
+	snap chan *Snapshot
+	// done is signaled once every item enqueued before this one has been
+	// applied (itemSync; used by tests and internal drains).
+	done chan struct{}
+}
+
+// Marker kinds, outside the wire.Frame* tag space. Markers do not count
+// as mutations (see Proc.enq/app), so a published snapshot's sequence
+// number tracks state-changing items only.
+const (
+	itemSnapshot = 0xFE
+	itemSync     = 0xFF
+)
+
+// Snapshot is an immutable published view of one proc, built by its
+// apply worker at a queue boundary. Readers share it without locks.
+type Snapshot struct {
+	Report diag.Report
+	Spans  []spanEvent
+	Now    machine.Duration
+
+	// seq is the count of mutation items applied when the snapshot was
+	// built; equal to the proc's enqueue count iff the snapshot reflects
+	// everything sent so far.
+	seq int64
+	// at is the wall-clock build time, for the staleness bound.
+	at time.Time
+}
+
+// Proc is the aggregation state of one (tenant, process) pair. All
+// analysis state below the queue is owned exclusively by the proc's
+// apply worker; everything readers touch is atomic or immutable.
 type Proc struct {
 	Tenant   string
 	Process  string
 	Platform string
 
-	mu   sync.Mutex
-	plat *machine.Platform
+	g     *Aggregator
+	queue chan *applyItem
 
+	// Worker-owned analysis state (no mutex: single-writer by design).
+	plat  *machine.Platform
 	table *shadow.Table
 	tsink *record.TableSink
 	cur   record.Cursor
 	hm    *record.HeatmapSink
 	ps    *pattern.Sink
-
-	// now is the client's simulated clock, replayed from clock and span
-	// frames (the pattern sink samples it at BeginSpan).
 	now   machine.Duration
 	spans []spanEvent
 
-	batches, records int64
-	streams          int64
+	// pub is the last snapshot the worker published.
+	pub atomic.Pointer[Snapshot]
+
+	// enq/app count mutation items enqueued/applied (markers excluded):
+	// the freshness handshake between readers and the worker.
+	enq atomic.Int64
+	app atomic.Int64
+
+	batches atomic.Int64
+	records atomic.Int64
+	streams atomic.Int64
+	// stalls counts enqueues that found the queue full — each one
+	// stalled a decode goroutine until the worker caught up.
+	stalls atomic.Int64
 	// clientDropped accumulates the drop totals reported by bye segments —
 	// the producer-side loss the aggregated state is missing.
-	clientDroppedRecords int64
+	clientDropped atomic.Int64
+
+	exited chan struct{} // closed when the apply worker returns
 }
 
 // Key returns the tenant-qualified process name snapshots are addressed
 // by.
 func (p *Proc) Key() string { return p.Tenant + "/" + p.Process }
 
-func newProc(h wire.Hello) *Proc {
+func newProc(g *Aggregator, h wire.Hello) *Proc {
 	plat, err := machine.ByName(h.Platform)
 	if err != nil {
 		// Unknown or absent preset: analysis state still aggregates; only
@@ -91,100 +207,140 @@ func newProc(h wire.Hello) *Proc {
 		Tenant:   h.Tenant,
 		Process:  h.Process,
 		Platform: h.Platform,
+		g:        g,
+		queue:    make(chan *applyItem, g.queueDepth),
 		plat:     plat,
 		table:    table,
 		tsink:    record.NewTableSink(table),
 		hm:       record.NewHeatmapSink(table),
 		ps:       pattern.NewSink(table),
+		exited:   make(chan struct{}),
 	}
 	p.ps.SetClock(func() machine.Duration { return p.now })
+	go p.run()
 	return p
 }
 
-// handler returns the frame callbacks applying this stream's frames to
-// the proc. Sink order per batch matches an in-process engine: table
-// first (it owns the cursor), then heat map, then patterns.
-func (p *Proc) handler() wire.Handler {
-	return wire.Handler{
-		Batch: func(batch []shadow.Access) {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			p.batches++
-			p.records += int64(len(batch))
-			p.tsink.Apply(batch, &p.cur)
-			p.hm.Apply(batch, nil)
-			p.ps.Apply(batch, nil)
-		},
-		Span: func(name string, at machine.Duration) {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			p.now = at
-			p.ps.BeginSpan(name)
-			p.spans = append(p.spans, spanEvent{Name: name, At: at})
-		},
-		Clock: func(at machine.Duration) {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			p.now = at
-		},
-		Alloc: func(a wire.AllocInfo) {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			if a.Size < 0 || a.Size > maxAllocBytes {
-				return
-			}
-			// Mirror trace.TraceAlloc's table insert. Overlaps (a client bug,
-			// or replayed address reuse) are skipped rather than fatal: the
-			// aggregator must survive any one client misbehaving.
-			_, _ = p.table.Insert(&memsim.Alloc{
-				ID: a.ID, Base: a.Base, Size: a.Size, Kind: a.Kind, Label: a.Label,
-			}, a.Fn)
-		},
-		Free: func(id int) {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			p.table.MarkFreed(id)
-		},
-		Label: func(id int, label string) {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			if e := p.table.FindByID(id); e != nil {
-				e.Label = label
-			}
-		},
-		Transfer: func(tr wire.TransferInfo) {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			// Mirror trace.TraceTransfer: the bulk range records as a CPU
-			// write (host-to-device) or read (device-to-host), and the entry's
-			// explicit-transfer byte counters advance.
-			e := p.table.FindByID(tr.ID)
-			if e == nil {
-				p.tsink.AddUntracked(1)
-				return
-			}
-			var tracked bool
-			if tr.Dir == wire.HostToDevice {
-				tracked = p.table.Record(machine.CPU, e.Base+memsim.Addr(tr.Off), tr.N, memsim.Write)
-				e.TransferredIn += tr.N
-			} else {
-				tracked = p.table.Record(machine.CPU, e.Base+memsim.Addr(tr.Off), tr.N, memsim.Read)
-				e.TransferredOut += tr.N
-			}
-			if !tracked {
-				p.tsink.AddUntracked(1)
-			}
-		},
+// enqueue puts one item on the apply queue, counting the stall when the
+// queue is full. The blocking send is the backpressure edge: it stalls
+// only the calling decode goroutine (and through it, that one TCP
+// connection).
+func (p *Proc) enqueue(it *applyItem) {
+	if it.kind < itemSnapshot {
+		p.enq.Add(1)
+	}
+	select {
+	case p.queue <- it:
+	default:
+		p.stalls.Add(1)
+		p.queue <- it
 	}
 }
 
-// Report assembles the proc's current diag.Report (the same summaries,
-// findings, heat map, and pattern blocks `xplacer -json` would emit for
-// the equivalent in-process run; kernel attribution needs the client's
-// timeline and is not available remotely).
-func (p *Proc) Report() diag.Report {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// run is the apply worker: the single goroutine that mutates this
+// proc's analysis state, in queue order.
+func (p *Proc) run() {
+	defer close(p.exited)
+	for it := range p.queue {
+		p.apply(it)
+		if it.kind < itemSnapshot {
+			p.app.Add(1)
+		}
+		p.g.recycle(it)
+	}
+}
+
+// apply dispatches one dequeued item. Sink order per batch matches an
+// in-process engine: table first (it owns the cursor), then heat map,
+// then patterns.
+func (p *Proc) apply(it *applyItem) {
+	switch it.kind {
+	case wire.FrameBatch:
+		p.batches.Add(1)
+		p.records.Add(int64(len(it.batch)))
+		p.g.batchesTotal.Add(1)
+		p.g.recordsTotal.Add(int64(len(it.batch)))
+		p.tsink.Apply(it.batch, &p.cur)
+		p.hm.Apply(it.batch, nil)
+		p.ps.Apply(it.batch, nil)
+		p.g.batches.Put(it.batch)
+		it.batch = nil
+	case wire.FrameSpan:
+		p.now = it.at
+		p.ps.BeginSpan(it.name)
+		p.spans = append(p.spans, spanEvent{Name: it.name, At: it.at})
+	case wire.FrameClock:
+		p.now = it.at
+	case wire.FrameAlloc:
+		a := it.alloc
+		if a.Size < 0 || a.Size > maxAllocBytes {
+			return
+		}
+		// Mirror trace.TraceAlloc's table insert. Overlaps (a client bug,
+		// or replayed address reuse) are skipped rather than fatal: the
+		// aggregator must survive any one client misbehaving.
+		_, _ = p.table.Insert(&memsim.Alloc{
+			ID: a.ID, Base: a.Base, Size: a.Size, Kind: a.Kind, Label: a.Label,
+		}, a.Fn)
+	case wire.FrameFree:
+		p.table.MarkFreed(it.id)
+	case wire.FrameLabel:
+		if e := p.table.FindByID(it.id); e != nil {
+			e.Label = it.name
+		}
+	case wire.FrameTransfer:
+		tr := it.tr
+		// Mirror trace.TraceTransfer: the bulk range records as a CPU
+		// write (host-to-device) or read (device-to-host), and the entry's
+		// explicit-transfer byte counters advance.
+		e := p.table.FindByID(tr.ID)
+		if e == nil {
+			p.tsink.AddUntracked(1)
+			return
+		}
+		var tracked bool
+		if tr.Dir == wire.HostToDevice {
+			tracked = p.table.Record(machine.CPU, e.Base+memsim.Addr(tr.Off), tr.N, memsim.Write)
+			e.TransferredIn += tr.N
+		} else {
+			tracked = p.table.Record(machine.CPU, e.Base+memsim.Addr(tr.Off), tr.N, memsim.Read)
+			e.TransferredOut += tr.N
+		}
+		if !tracked {
+			p.tsink.AddUntracked(1)
+		}
+	case itemSnapshot:
+		s := p.publish()
+		if it.snap != nil {
+			it.snap <- s // buffered: never blocks the worker
+		}
+	case itemSync:
+		if it.done != nil {
+			close(it.done)
+		}
+	}
+}
+
+// publish builds and publishes a fresh snapshot. Worker context only.
+func (p *Proc) publish() *Snapshot {
+	s := &Snapshot{
+		Report: p.buildReport(),
+		Spans:  append([]spanEvent(nil), p.spans...),
+		Now:    p.now,
+		seq:    p.app.Load(),
+		at:     time.Now(),
+	}
+	p.pub.Store(s)
+	p.g.snapshotBuilds.Add(1)
+	return s
+}
+
+// buildReport assembles the proc's current diag.Report (the same
+// summaries, findings, heat map, and pattern blocks `xplacer -json`
+// would emit for the equivalent in-process run; kernel attribution needs
+// the client's timeline and is not available remotely). Worker context
+// only — or after Close, when the worker has exited.
+func (p *Proc) buildReport() diag.Report {
 	r := diag.Report{Title: p.Key()}
 	entries := p.table.Entries()
 	for _, e := range entries {
@@ -197,40 +353,129 @@ func (p *Proc) Report() diag.Report {
 	return r
 }
 
-// Stats returns the proc's ingest totals: applied batches and records,
-// streams that contributed, and the records the clients themselves
-// reported dropping before the wire.
-func (p *Proc) Stats() (batches, records, streams, clientDropped int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.batches, p.records, p.streams, p.clientDroppedRecords
+// fresh enqueues a snapshot request and waits for the worker to reach
+// it: the returned snapshot reflects every item enqueued before the
+// call. The wait is bounded by one queue drain plus one report build.
+func (p *Proc) fresh() *Snapshot {
+	if p.g.closed.Load() {
+		// The worker has exited (Close drained the queue); nothing else
+		// can be mutating, so building in the caller is race-free.
+		<-p.exited
+		return p.publish()
+	}
+	snapc := make(chan *Snapshot, 1)
+	it := p.g.item()
+	it.kind = itemSnapshot
+	it.snap = snapc
+	p.enqueue(it)
+	return <-snapc
 }
 
-// Spans returns a copy of the kernel-launch markers seen so far.
-func (p *Proc) Spans() []spanEvent {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return append([]spanEvent(nil), p.spans...)
+// Report returns an exact snapshot's report: it reflects every frame
+// enqueued before the call. Used by the offline `xplagg -snapshot` path,
+// tests, and goldens; the stall-free bounded-staleness path is
+// Published.
+func (p *Proc) Report() diag.Report {
+	return p.fresh().Report
+}
+
+// Published returns a snapshot at most maxAge stale: the published one
+// if it already reflects everything enqueued (exact) or was built within
+// maxAge; otherwise it requests a rebuild and waits (bounded by one
+// queue drain plus one report build). This is the HTTP surface's path —
+// apply workers are never blocked by readers, and build cost is paid at
+// most once per maxAge per proc under sustained polling.
+func (p *Proc) Published(maxAge time.Duration) *Snapshot {
+	if s := p.pub.Load(); s != nil {
+		if s.seq == p.enq.Load() {
+			p.g.snapshotHits.Add(1)
+			return s // exact: nothing state-changing since the build
+		}
+		if maxAge > 0 && time.Since(s.at) < maxAge {
+			p.g.snapshotHits.Add(1)
+			return s // stale, within the documented bound
+		}
+	}
+	return p.fresh()
+}
+
+// Stats returns the proc's ingest totals: applied batches and records,
+// streams that contributed, and the records the clients themselves
+// reported dropping before the wire. Counters advance at apply time, so
+// after a Report (which drains the queue) they are exact.
+func (p *Proc) Stats() (batches, records, streams, clientDropped int64) {
+	return p.batches.Load(), p.records.Load(), p.streams.Load(), p.clientDropped.Load()
+}
+
+// QueueStats returns the apply queue's current depth, its bound, and how
+// many enqueues stalled on a full queue.
+func (p *Proc) QueueStats() (depth, capacity int, stalls int64) {
+	return len(p.queue), cap(p.queue), p.stalls.Load()
 }
 
 // Aggregator is the multi-stream ingest hub.
 type Aggregator struct {
-	mu    sync.Mutex
-	procs map[string]*Proc
+	queueDepth int
+	maxStale   time.Duration
+
+	mu     sync.Mutex
+	procs  map[string]*Proc
+	closed atomic.Bool
+
+	// Pools: decoded batch slices shared with the wire decoder, and
+	// apply-queue items. Both are bounded channel freelists, so steady-
+	// state ingest allocates nothing and a GC cycle cannot regress that.
+	batches *wire.BatchPool
+	items   chan *applyItem
 
 	// Counters, exposed at /metrics.
-	streamsTotal  atomic.Int64
-	streamsActive atomic.Int64
-	batchesTotal  atomic.Int64
-	recordsTotal  atomic.Int64
-	bytesTotal    atomic.Int64
-	crcErrors     atomic.Int64
-	decodeErrors  atomic.Int64
+	streamsTotal   atomic.Int64
+	streamsActive  atomic.Int64
+	batchesTotal   atomic.Int64
+	recordsTotal   atomic.Int64
+	bytesTotal     atomic.Int64
+	crcErrors      atomic.Int64
+	decodeErrors   atomic.Int64
+	snapshotHits   atomic.Int64
+	snapshotBuilds atomic.Int64
 }
 
-// New returns an empty aggregator.
-func New() *Aggregator {
-	return &Aggregator{procs: map[string]*Proc{}}
+// New returns an empty aggregator with default tuning.
+func New(opts ...Option) *Aggregator {
+	g := &Aggregator{
+		procs:      map[string]*Proc{},
+		queueDepth: DefaultQueueDepth,
+		maxStale:   DefaultSnapshotMaxAge,
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	// The batch freelist must cover every queue's worth of in-flight
+	// batches for a few procs; beyond that Get falls back to allocating,
+	// which only dents the zero-alloc property, never correctness.
+	g.batches = wire.NewBatchPool(4 * g.queueDepth)
+	g.items = make(chan *applyItem, 4*g.queueDepth)
+	return g
+}
+
+// item takes a pooled applyItem (or allocates one when the freelist is
+// dry).
+func (g *Aggregator) item() *applyItem {
+	select {
+	case it := <-g.items:
+		return it
+	default:
+		return new(applyItem)
+	}
+}
+
+// recycle zeroes and returns an item to the freelist.
+func (g *Aggregator) recycle(it *applyItem) {
+	*it = applyItem{}
+	select {
+	case g.items <- it:
+	default:
+	}
 }
 
 // proc finds or creates the (tenant, process) state.
@@ -240,7 +485,7 @@ func (g *Aggregator) proc(h wire.Hello) *Proc {
 	key := h.Tenant + "/" + h.Process
 	p, ok := g.procs[key]
 	if !ok {
-		p = newProc(h)
+		p = newProc(g, h)
 		g.procs[key] = p
 	}
 	return p
@@ -265,6 +510,28 @@ func (g *Aggregator) Find(tenant, process string) *Proc {
 	return g.procs[tenant+"/"+process]
 }
 
+// Close stops every proc's apply worker after its queue drains. Call
+// only once no Ingest or snapshot call is in flight (the long-running
+// daemon never closes; tests and benchmarks do, so worker goroutines
+// cannot accumulate).
+func (g *Aggregator) Close() {
+	if g.closed.Swap(true) {
+		return
+	}
+	g.mu.Lock()
+	procs := make([]*Proc, 0, len(g.procs))
+	for _, p := range g.procs {
+		procs = append(procs, p)
+	}
+	g.mu.Unlock()
+	for _, p := range procs {
+		close(p.queue)
+	}
+	for _, p := range procs {
+		<-p.exited
+	}
+}
+
 // countingReader counts consumed bytes for the ingest totals.
 type countingReader struct {
 	r io.Reader
@@ -277,9 +544,70 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Ingest decodes one complete stream from r and applies it. It is the
-// shared ingest path: TCP connections and trace files go through the
-// same decoder. Safe for concurrent use — one call per stream.
+// brPool recycles the per-stream buffered readers.
+var brPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 1<<16) },
+}
+
+// streamHandler returns the frame callbacks for one stream of p: each
+// decoded frame is wrapped in a pooled item and enqueued; the apply
+// worker does the rest. Decoded batches arrive already owned (the
+// decoder took them from g.batches, see StreamHandler.Batches) and are
+// recycled by the worker after apply.
+func (g *Aggregator) streamHandler(p *Proc) wire.Handler {
+	return wire.Handler{
+		Batch: func(batch []shadow.Access) {
+			it := g.item()
+			it.kind = wire.FrameBatch
+			it.batch = batch
+			p.enqueue(it)
+		},
+		Span: func(name string, at machine.Duration) {
+			it := g.item()
+			it.kind = wire.FrameSpan
+			it.name, it.at = name, at
+			p.enqueue(it)
+		},
+		Clock: func(at machine.Duration) {
+			it := g.item()
+			it.kind = wire.FrameClock
+			it.at = at
+			p.enqueue(it)
+		},
+		Alloc: func(a wire.AllocInfo) {
+			it := g.item()
+			it.kind = wire.FrameAlloc
+			it.alloc = a
+			p.enqueue(it)
+		},
+		Free: func(id int) {
+			it := g.item()
+			it.kind = wire.FrameFree
+			it.id = id
+			p.enqueue(it)
+		},
+		Label: func(id int, label string) {
+			it := g.item()
+			it.kind = wire.FrameLabel
+			it.id, it.name = id, label
+			p.enqueue(it)
+		},
+		Transfer: func(tr wire.TransferInfo) {
+			it := g.item()
+			it.kind = wire.FrameTransfer
+			it.tr = tr
+			p.enqueue(it)
+		},
+	}
+}
+
+// Ingest decodes one complete stream from r and enqueues its frames for
+// the owning proc's apply worker. It is the shared ingest path: TCP
+// connections and trace files go through the same decoder. Safe for
+// concurrent use — one call per stream. When Ingest returns, the
+// stream's frames are ordered in the apply queue but not necessarily
+// applied yet; Proc.Report (and the exact branch of Published) barriers
+// on the queue.
 func (g *Aggregator) Ingest(r io.Reader) error {
 	g.streamsTotal.Add(1)
 	g.streamsActive.Add(1)
@@ -287,30 +615,20 @@ func (g *Aggregator) Ingest(r io.Reader) error {
 
 	cr := &countingReader{r: r}
 	defer func() { g.bytesTotal.Add(cr.n) }()
-	br := bufio.NewReaderSize(cr, 1<<16)
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(cr)
+	defer brPool.Put(br)
 
 	var p *Proc
 	err := wire.ReadStream(br, wire.StreamHandler{
+		Batches: g.batches,
 		Hello: func(h wire.Hello) (wire.Handler, error) {
 			p = g.proc(h)
-			p.mu.Lock()
-			p.streams++
-			p.mu.Unlock()
-			h2 := p.handler()
-			// Wrap the batch callback to feed the global counters without a
-			// second lock acquisition on the hot path.
-			inner := h2.Batch
-			h2.Batch = func(batch []shadow.Access) {
-				g.batchesTotal.Add(1)
-				g.recordsTotal.Add(int64(len(batch)))
-				inner(batch)
-			}
-			return h2, nil
+			p.streams.Add(1)
+			return g.streamHandler(p), nil
 		},
 		Bye: func(b wire.Bye) {
-			p.mu.Lock()
-			p.clientDroppedRecords += b.DroppedRecords
-			p.mu.Unlock()
+			p.clientDropped.Add(b.DroppedRecords)
 		},
 	})
 	if err != nil {
@@ -367,4 +685,10 @@ func (g *Aggregator) Serve(l net.Listener, report func(error)) error {
 func (g *Aggregator) Totals() (streams, active, batches, records, bytes, crcErrs, decodeErrs int64) {
 	return g.streamsTotal.Load(), g.streamsActive.Load(), g.batchesTotal.Load(),
 		g.recordsTotal.Load(), g.bytesTotal.Load(), g.crcErrors.Load(), g.decodeErrors.Load()
+}
+
+// SnapshotStats returns how many snapshot requests were served from the
+// published state versus rebuilt by an apply worker.
+func (g *Aggregator) SnapshotStats() (served, builds int64) {
+	return g.snapshotHits.Load(), g.snapshotBuilds.Load()
 }

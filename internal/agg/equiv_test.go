@@ -103,6 +103,7 @@ func streamedJSON(t *testing.T, name string, run func(*testing.T, *core.Session)
 	}
 
 	g := agg.New()
+	defer g.Close()
 	if err := g.Ingest(bytes.NewReader(captured.Bytes())); err != nil {
 		t.Fatal(err)
 	}
@@ -110,6 +111,9 @@ func streamedJSON(t *testing.T, name string, run func(*testing.T, *core.Session)
 	if p == nil {
 		t.Fatalf("aggregator has no proc default/%s", name)
 	}
+	// Report barriers on the apply queue, so the Stats that follow are
+	// exact for everything the stream enqueued.
+	rep := p.Report()
 	_, records, _, clientDropped := p.Stats()
 	_, sent := ss.Counts()
 	if records != sent {
@@ -118,8 +122,6 @@ func streamedJSON(t *testing.T, name string, run func(*testing.T, *core.Session)
 	if clientDropped != 0 {
 		t.Fatalf("bye reported %d dropped records on a block-policy stream", clientDropped)
 	}
-
-	rep := p.Report()
 	var buf bytes.Buffer
 	if err := rep.JSON(&buf); err != nil {
 		t.Fatal(err)
@@ -148,6 +150,7 @@ func TestAggregationEquivalence(t *testing.T) {
 // same instance.
 func TestTwoStreamsOneAggregator(t *testing.T) {
 	g := agg.New()
+	defer g.Close()
 	for _, app := range equivApps {
 		plat, _ := machine.ByName("Intel+Pascal")
 		s, err := core.NewSession(plat)

@@ -11,9 +11,15 @@ import (
 // Handler returns the aggregator's HTTP surface:
 //
 //	GET /tenants                              known (tenant, process) pairs + totals, JSON
-//	GET /snapshot?tenant=T&process=P          live diag.Report JSON (same schema as `xplacer -json`)
+//	GET /snapshot?tenant=T&process=P          diag.Report JSON (same schema as `xplacer -json`)
 //	GET /perfetto?tenant=T&process=P          kernel spans as Chrome trace JSON (Perfetto-loadable)
 //	GET /metrics                              Prometheus text format counters
+//
+// /snapshot and /perfetto serve the proc's published snapshot — at most
+// the aggregator's snapshot max-age stale, exact when ingest is idle —
+// so they never block apply workers. Add &fresh=1 to force an exact
+// snapshot (waits for the apply queue to drain past the request).
+// /tenants and /metrics read atomic counters only.
 func (g *Aggregator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/tenants", g.serveTenants)
@@ -36,14 +42,23 @@ func (g *Aggregator) lookup(w http.ResponseWriter, r *http.Request) *Proc {
 	return p
 }
 
+// snapshotFor applies the freshness policy: published within the
+// aggregator's max-age by default, exact under ?fresh=1.
+func (g *Aggregator) snapshotFor(p *Proc, r *http.Request) *Snapshot {
+	if r.URL.Query().Get("fresh") != "" {
+		return p.fresh()
+	}
+	return p.Published(g.maxStale)
+}
+
 func (g *Aggregator) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 	p := g.lookup(w, r)
 	if p == nil {
 		return
 	}
-	rep := p.Report()
+	s := g.snapshotFor(p, r)
 	w.Header().Set("Content-Type", "application/json")
-	if err := rep.JSON(w); err != nil {
+	if err := s.Report.JSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -56,6 +71,8 @@ type tenantEntry struct {
 	Streams       int64  `json:"streams"`
 	Batches       int64  `json:"batches"`
 	Records       int64  `json:"records"`
+	QueueDepth    int    `json:"queue_depth,omitempty"`
+	IngestStalls  int64  `json:"ingest_stalls,omitempty"`
 	ClientDropped int64  `json:"client_dropped_records,omitempty"`
 }
 
@@ -63,9 +80,11 @@ func (g *Aggregator) serveTenants(w http.ResponseWriter, _ *http.Request) {
 	out := []tenantEntry{}
 	for _, p := range g.Procs() {
 		batches, records, streams, dropped := p.Stats()
+		depth, _, stalls := p.QueueStats()
 		out = append(out, tenantEntry{
 			Tenant: p.Tenant, Process: p.Process, Platform: p.Platform,
-			Streams: streams, Batches: batches, Records: records, ClientDropped: dropped,
+			Streams: streams, Batches: batches, Records: records,
+			QueueDepth: depth, IngestStalls: stalls, ClientDropped: dropped,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -76,17 +95,15 @@ func (g *Aggregator) serveTenants(w http.ResponseWriter, _ *http.Request) {
 
 // servePerfetto renders the proc's kernel-launch spans as Chrome
 // trace-format complete events — each span runs to the next span's start
-// (the last to the current clock), mirroring how the client's kernels
+// (the last to the snapshot's clock), mirroring how the client's kernels
 // partitioned simulated time. Loadable in Perfetto / chrome://tracing.
 func (g *Aggregator) servePerfetto(w http.ResponseWriter, r *http.Request) {
 	p := g.lookup(w, r)
 	if p == nil {
 		return
 	}
-	spans := p.Spans()
-	p.mu.Lock()
-	end := p.now
-	p.mu.Unlock()
+	s := g.snapshotFor(p, r)
+	spans, end := s.Spans, s.Now
 
 	type traceEvent struct {
 		Name  string  `json:"name"`
@@ -100,17 +117,17 @@ func (g *Aggregator) servePerfetto(w http.ResponseWriter, r *http.Request) {
 		return float64(d) / float64(machine.Nanosecond) / 1e3
 	}
 	events := []traceEvent{}
-	for i, s := range spans {
+	for i, sp := range spans {
 		until := end
 		if i+1 < len(spans) {
 			until = spans[i+1].At
 		}
-		if until < s.At {
-			until = s.At
+		if until < sp.At {
+			until = sp.At
 		}
 		events = append(events, traceEvent{
-			Name: s.Name, Phase: "X",
-			TS: usOf(s.At), Dur: usOf(until - s.At),
+			Name: sp.Name, Phase: "X",
+			TS: usOf(sp.At), Dur: usOf(until - sp.At),
 			PID: p.Key(), TID: 0,
 		})
 	}
@@ -119,9 +136,12 @@ func (g *Aggregator) servePerfetto(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveMetrics writes Prometheus text-format counters: global ingest
-// totals plus per-proc applied records.
+// totals plus per-proc applied records, apply-queue depth, and ingest
+// stalls. Reads atomics only — never an apply-path structure — so it is
+// stall-free in both directions.
 func (g *Aggregator) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	streams, active, batches, records, bytes, crcErrs, decodeErrs := g.Totals()
+	served, builds := g.SnapshotStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "# HELP xplagg_streams_total Streams accepted since start.\n# TYPE xplagg_streams_total counter\nxplagg_streams_total %d\n", streams)
 	fmt.Fprintf(w, "# HELP xplagg_streams_active Streams being decoded now.\n# TYPE xplagg_streams_active gauge\nxplagg_streams_active %d\n", active)
@@ -130,11 +150,16 @@ func (g *Aggregator) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP xplagg_bytes_total Wire bytes consumed.\n# TYPE xplagg_bytes_total counter\nxplagg_bytes_total %d\n", bytes)
 	fmt.Fprintf(w, "# HELP xplagg_checksum_errors_total Segments failing CRC.\n# TYPE xplagg_checksum_errors_total counter\nxplagg_checksum_errors_total %d\n", crcErrs)
 	fmt.Fprintf(w, "# HELP xplagg_decode_errors_total Streams failing to decode.\n# TYPE xplagg_decode_errors_total counter\nxplagg_decode_errors_total %d\n", decodeErrs)
+	fmt.Fprintf(w, "# HELP xplagg_snapshots_served_total Snapshot requests served from the published state.\n# TYPE xplagg_snapshots_served_total counter\nxplagg_snapshots_served_total %d\n", served)
+	fmt.Fprintf(w, "# HELP xplagg_snapshot_builds_total Snapshot rebuilds performed by apply workers.\n# TYPE xplagg_snapshot_builds_total counter\nxplagg_snapshot_builds_total %d\n", builds)
 	fmt.Fprintf(w, "# HELP xplagg_proc_records_total Access records applied per process.\n# TYPE xplagg_proc_records_total counter\n")
 	for _, p := range g.Procs() {
 		pb, pr, _, dropped := p.Stats()
+		depth, capacity, stalls := p.QueueStats()
 		fmt.Fprintf(w, "xplagg_proc_records_total{tenant=%q,process=%q} %d\n", p.Tenant, p.Process, pr)
 		fmt.Fprintf(w, "xplagg_proc_batches_total{tenant=%q,process=%q} %d\n", p.Tenant, p.Process, pb)
+		fmt.Fprintf(w, "xplagg_proc_queue_depth{tenant=%q,process=%q,capacity=\"%d\"} %d\n", p.Tenant, p.Process, capacity, depth)
+		fmt.Fprintf(w, "xplagg_proc_ingest_stalls_total{tenant=%q,process=%q} %d\n", p.Tenant, p.Process, stalls)
 		if dropped > 0 {
 			fmt.Fprintf(w, "xplagg_proc_client_dropped_records{tenant=%q,process=%q} %d\n", p.Tenant, p.Process, dropped)
 		}

@@ -92,39 +92,61 @@ func RunCFD(s *core.Session, cfg CFDConfig) (CFDResult, error) {
 	cv := floatView{memsim.Int32s(coeffCuda)}
 	fv := floatView{memsim.Int32s(fluxCuda)}
 
+	words := int(vv.len())
 	for it := 0; it < cfg.Iterations; it++ {
 		it := it
-		// copy: old_variables = variables.
+		// copy: old_variables = variables. Two dense unit-stride ranges;
+		// pricing stays per-element through the untraced view.
 		ctx.LaunchSync(fmt.Sprintf("cfd_copy_%d", it), func(e *cuda.Exec) {
+			q := e.NoTrace()
+			e.TraceRange(memsim.Read, varsCuda, 0, words, 4, 4)
+			e.TraceRange(memsim.Write, oldCuda, 0, words, 4, 4)
 			for i := int64(0); i < vv.len(); i++ {
-				ov.store(e, i, vv.load(e, i))
+				ov.store(q, i, vv.load(q, i))
 			}
 		})
 		// compute_flux: antisymmetric exchange with each neighbor, so the
 		// total of each conserved variable is preserved exactly up to
-		// float rounding.
+		// float rounding. The zero fill is one dense range; each (cell,
+		// neighbor) pair contributes scalar neighbor/coefficient reads plus
+		// cfdVars-wide ranges on the state and flux triples, reads traced
+		// before the writes so every word keeps read-before-write order.
 		ctx.LaunchSync(fmt.Sprintf("cfd_compute_flux_%d", it), func(e *cuda.Exec) {
+			q := e.NoTrace()
+			e.TraceRange(memsim.Write, fluxCuda, 0, words, 4, 4)
 			for c := 0; c < cfg.Cells; c++ {
 				for v := 0; v < cfdVars; v++ {
-					fv.store(e, int64(c*cfdVars+v), 0)
+					fv.store(q, int64(c*cfdVars+v), 0)
 				}
 			}
 			for c := 0; c < cfg.Cells; c++ {
 				for k := 0; k < cfg.Neighbors; k++ {
-					nb := int(nv.Load(e, int64(c*cfg.Neighbors+k)))
-					w := cv.load(e, int64(c*cfg.Neighbors+k))
+					nb := int(nv.Load(q, int64(c*cfg.Neighbors+k)))
+					w := cv.load(q, int64(c*cfg.Neighbors+k))
+					e.TraceRange(memsim.Read, neighCuda, int64(c*cfg.Neighbors+k)*4, 1, 4, 4)
+					e.TraceRange(memsim.Read, coeffCuda, int64(c*cfg.Neighbors+k)*4, 1, 4, 4)
+					e.TraceRange(memsim.Read, oldCuda, int64(nb*cfdVars)*4, cfdVars, 4, 4)
+					e.TraceRange(memsim.Read, oldCuda, int64(c*cfdVars)*4, cfdVars, 4, 4)
+					e.TraceRange(memsim.Read, fluxCuda, int64(c*cfdVars)*4, cfdVars, 4, 4)
+					e.TraceRange(memsim.Write, fluxCuda, int64(c*cfdVars)*4, cfdVars, 4, 4)
+					e.TraceRange(memsim.Read, fluxCuda, int64(nb*cfdVars)*4, cfdVars, 4, 4)
+					e.TraceRange(memsim.Write, fluxCuda, int64(nb*cfdVars)*4, cfdVars, 4, 4)
 					for v := 0; v < cfdVars; v++ {
-						d := w * (ov.load(e, int64(nb*cfdVars+v)) - ov.load(e, int64(c*cfdVars+v)))
-						fv.store(e, int64(c*cfdVars+v), fv.load(e, int64(c*cfdVars+v))+d)
-						fv.store(e, int64(nb*cfdVars+v), fv.load(e, int64(nb*cfdVars+v))-d)
+						d := w * (ov.load(q, int64(nb*cfdVars+v)) - ov.load(q, int64(c*cfdVars+v)))
+						fv.store(q, int64(c*cfdVars+v), fv.load(q, int64(c*cfdVars+v))+d)
+						fv.store(q, int64(nb*cfdVars+v), fv.load(q, int64(nb*cfdVars+v))-d)
 					}
 				}
 			}
 		})
-		// time_step: variables = old + flux.
+		// time_step: variables = old + flux. Three dense ranges.
 		ctx.LaunchSync(fmt.Sprintf("cfd_time_step_%d", it), func(e *cuda.Exec) {
+			q := e.NoTrace()
+			e.TraceRange(memsim.Read, oldCuda, 0, words, 4, 4)
+			e.TraceRange(memsim.Read, fluxCuda, 0, words, 4, 4)
+			e.TraceRange(memsim.Write, varsCuda, 0, words, 4, 4)
 			for i := int64(0); i < vv.len(); i++ {
-				vv.store(e, i, ov.load(e, i)+fv.load(e, i))
+				vv.store(q, i, ov.load(q, i)+fv.load(q, i))
 			}
 		})
 	}

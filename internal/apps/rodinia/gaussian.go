@@ -114,21 +114,40 @@ func RunGaussian(s *core.Session, cfg GaussianConfig) (GaussianResult, error) {
 
 	for t := 0; t < n-1; t++ {
 		t := t
-		// Fan1: column of multipliers below the pivot.
+		rem := n - 1 - t // rows below the pivot
+		// Fan1: column of multipliers below the pivot. One scalar pivot
+		// read plus a strided column read-modify-write (the written column
+		// lands in m_cuda, so its Fan1 writes are the overwrite Table II
+		// keys on); pricing stays per-element through the untraced view.
 		ctx.LaunchSync(fmt.Sprintf("Fan1_%d", t), func(e *cuda.Exec) {
-			pivot := av.load(e, int64(t*n+t))
+			q := e.NoTrace()
+			e.TraceRange(memsim.Read, aCuda, int64(t*n+t)*4, 1, 4, 4)
+			e.TraceRange(memsim.Read, aCuda, int64((t+1)*n+t)*4, rem, int64(n)*4, 4)
+			e.TraceRange(memsim.Write, mCuda, int64((t+1)*n+t)*4, rem, int64(n)*4, 4)
+			pivot := av.load(q, int64(t*n+t))
 			for i := t + 1; i < n; i++ {
-				mv.store(e, int64(i*n+t), av.load(e, int64(i*n+t))/pivot)
+				mv.store(q, int64(i*n+t), av.load(q, int64(i*n+t))/pivot)
 			}
 		})
-		// Fan2: eliminate below the pivot row.
+		// Fan2: eliminate below the pivot row. Each row is a scalar
+		// multiplier read, the row/pivot-row read pair, the row's write,
+		// and the b vector's read-modify-write — reads traced before the
+		// writes so every word keeps read-before-write order.
 		ctx.LaunchSync(fmt.Sprintf("Fan2_%d", t), func(e *cuda.Exec) {
+			q := e.NoTrace()
 			for i := t + 1; i < n; i++ {
-				m := mv.load(e, int64(i*n+t))
+				e.TraceRange(memsim.Read, mCuda, int64(i*n+t)*4, 1, 4, 4)
+				e.TraceRange(memsim.Read, aCuda, int64(i*n+t)*4, n-t, 4, 4)
+				e.TraceRange(memsim.Read, aCuda, int64(t*n+t)*4, n-t, 4, 4)
+				e.TraceRange(memsim.Write, aCuda, int64(i*n+t)*4, n-t, 4, 4)
+				e.TraceRange(memsim.Read, bCuda, int64(i)*4, 1, 4, 4)
+				e.TraceRange(memsim.Read, bCuda, int64(t)*4, 1, 4, 4)
+				e.TraceRange(memsim.Write, bCuda, int64(i)*4, 1, 4, 4)
+				m := mv.load(q, int64(i*n+t))
 				for j := t; j < n; j++ {
-					av.store(e, int64(i*n+j), av.load(e, int64(i*n+j))-m*av.load(e, int64(t*n+j)))
+					av.store(q, int64(i*n+j), av.load(q, int64(i*n+j))-m*av.load(q, int64(t*n+j)))
 				}
-				bv.store(e, int64(i), bv.load(e, int64(i))-m*bv.load(e, int64(t)))
+				bv.store(q, int64(i), bv.load(q, int64(i))-m*bv.load(q, int64(t)))
 			}
 		})
 	}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"xplacer/internal/machine"
+	"xplacer/internal/memsim"
+	"xplacer/internal/shadow"
+	"xplacer/internal/wire"
+)
+
+// WireMixConfig parameterizes one synthetic wire-format stream whose
+// access structure follows a Spatter index family: the ingest-side
+// counterpart of the classifier's calibration corpus. The same families
+// that exercise the pattern classifier exercise the aggregator's two
+// apply paths — coalesced uniform sweeps become long run-length-encoded
+// records (the bulk shadow path), while random and gather-local walks
+// decay to scalar records (the per-word path) — so a mix of them is a
+// realistic fleet ingest load.
+type WireMixConfig struct {
+	Spatter SpatterConfig
+	// Tenant and Process identify the stream's hello.
+	Tenant, Process string
+	// ElemSize is the element width in bytes (default 8).
+	ElemSize int
+	// FrameRecords caps records per batch frame (default and maximum
+	// wire.MaxFrameRecords).
+	FrameRecords int
+	// MaxRun caps one run-length-encoded record's element count
+	// (default 512).
+	MaxRun int
+}
+
+// SpatterWireStream encodes a complete wire stream — header, hello, one
+// managed allocation covering the index space, batch frames, bye — for
+// the configured access mix, and returns it with the number of access
+// records it carries. Constant-stride index runs are coalesced into RLE
+// records exactly as the client-side range tracer would emit them;
+// irregular stretches stay scalar. Every fourth record is a write, the
+// rest reads, alternating CPU and GPU issuers so both shadow state
+// machines run.
+func SpatterWireStream(cfg WireMixConfig) (stream []byte, records int64) {
+	idx := SpatterIndices(cfg.Spatter)
+	if len(idx) == 0 {
+		return nil, 0
+	}
+	elem := int64(cfg.ElemSize)
+	if elem <= 0 {
+		elem = 8
+	}
+	frameRecords := cfg.FrameRecords
+	if frameRecords <= 0 || frameRecords > wire.MaxFrameRecords {
+		frameRecords = wire.MaxFrameRecords
+	}
+	maxRun := cfg.MaxRun
+	if maxRun <= 0 {
+		maxRun = 512
+	}
+
+	const base = memsim.Addr(0x100000)
+	buf := wire.AppendHeader(nil)
+	buf = wire.AppendSegment(buf, wire.SegHello, wire.AppendHello(nil, wire.Hello{
+		Tenant: cfg.Tenant, Process: cfg.Process, Platform: "Intel+Pascal",
+	}))
+	buf = wire.AppendSegment(buf, wire.SegFrames, wire.AppendAlloc(nil, wire.AllocInfo{
+		ID: 0, Base: base, Size: int64(cfg.Spatter.N) * elem, Kind: memsim.Managed,
+		Label: cfg.Spatter.Kind.String(), Fn: "cudaMallocManaged",
+	}))
+
+	batch := make([]shadow.Access, 0, frameRecords)
+	var batches int64
+	emit := func(a shadow.Access) {
+		if records%4 == 3 {
+			a.Kind = memsim.Write
+		} else {
+			a.Kind = memsim.Read
+		}
+		a.Dev = machine.Device(records % 2)
+		a.Size = int32(elem)
+		batch = append(batch, a)
+		records++
+		if len(batch) == frameRecords {
+			buf = wire.AppendSegment(buf, wire.SegFrames, wire.AppendBatch(nil, batch))
+			batch = batch[:0]
+			batches++
+		}
+	}
+
+	for k := 0; k < len(idx); {
+		// Longest constant-stride run from k, capped at maxRun. Ascending
+		// runs of at least 4 elements are worth a range record; shorter or
+		// descending ones go out as scalars (a 2-3 element "run" is what an
+		// irregular walk looks like locally, and the wire format carries
+		// only nonnegative strides — like the client-side range tracer,
+		// which coalesces forward sweeps).
+		run := 1
+		if k+1 < len(idx) {
+			d := idx[k+1] - idx[k]
+			for run < maxRun && k+run < len(idx) && idx[k+run]-idx[k+run-1] == d {
+				run++
+			}
+			if run >= 4 && d > 0 {
+				emit(shadow.Access{
+					Addr:   base + memsim.Addr(int64(idx[k])*elem),
+					Count:  int32(run),
+					Stride: int32(int64(d) * elem),
+				})
+				k += run
+				continue
+			}
+		}
+		emit(shadow.Access{Addr: base + memsim.Addr(int64(idx[k])*elem)})
+		k++
+	}
+	if len(batch) > 0 {
+		buf = wire.AppendSegment(buf, wire.SegFrames, wire.AppendBatch(nil, batch))
+		batches++
+	}
+	buf = wire.AppendSegment(buf, wire.SegBye, wire.AppendBye(nil, wire.Bye{
+		Batches: batches, Records: records,
+	}))
+	return buf, records
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"xplacer/internal/shadow"
+	"xplacer/internal/wire"
+)
+
+// TestSpatterWireStreamRoundTrip decodes each family's generated stream
+// and checks the wire accounting: the bye totals match the generator's
+// own, and the decoded records cover exactly the configured number of
+// element accesses (coalescing changes the framing, never the coverage).
+func TestSpatterWireStreamRoundTrip(t *testing.T) {
+	for _, kind := range []SpatterKind{SpatterUniform, SpatterStencil, SpatterGatherLocal, SpatterRandom} {
+		t.Run(kind.String(), func(t *testing.T) {
+			const count = 10000
+			stream, records := SpatterWireStream(WireMixConfig{
+				Spatter: SpatterConfig{Kind: kind, N: 4096, Count: count, Seed: 7},
+				Tenant:  "bench", Process: "mix-" + kind.String(),
+			})
+			if records <= 0 {
+				t.Fatal("generator produced no records")
+			}
+			var decoded, elems int64
+			var bye *wire.Bye
+			err := wire.ReadStream(bufio.NewReader(bytes.NewReader(stream)), wire.StreamHandler{
+				Hello: func(h wire.Hello) (wire.Handler, error) {
+					if h.Process != "mix-"+kind.String() {
+						t.Errorf("hello process %q", h.Process)
+					}
+					return wire.Handler{
+						Batch: func(batch []shadow.Access) {
+							decoded += int64(len(batch))
+							for i := range batch {
+								elems += batch[i].Elems()
+							}
+						},
+					}, nil
+				},
+				Bye: func(b wire.Bye) { bye = &b },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decoded != records {
+				t.Fatalf("decoded %d records, generator reported %d", decoded, records)
+			}
+			if elems != count {
+				t.Fatalf("decoded records cover %d element accesses, want %d", elems, count)
+			}
+			if bye == nil || bye.Records != records {
+				t.Fatalf("bye totals %+v, want %d records", bye, records)
+			}
+			// The uniform family must actually coalesce: far fewer records
+			// than elements, or the bulk path is not being exercised.
+			if kind == SpatterUniform && records > count/64 {
+				t.Fatalf("uniform mix barely coalesced: %d records for %d elements", records, count)
+			}
+		})
+	}
+}

@@ -204,6 +204,10 @@ func TestReportJSONGoldens(t *testing.T) {
 			"-size", "24", "-json", "-whatif"},
 		"report-nn": {"run", "./cmd/xplacer", "-app", "nn",
 			"-size", "256", "-json", "-whatif"},
+		"report-cfd": {"run", "./cmd/xplacer", "-app", "cfd",
+			"-size", "64", "-json", "-whatif"},
+		"report-gaussian": {"run", "./cmd/xplacer", "-app", "gaussian",
+			"-size", "24", "-json", "-whatif"},
 		// The -patterns runs pin the access-pattern classification block
 		// (schema v2): per-span stream classes and per-alloc digests.
 		"report-pathfinder-patterns": {"run", "./cmd/xplacer", "-app", "pathfinder",

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // ErrChecksum marks a segment whose payload failed CRC verification.
@@ -127,7 +128,17 @@ func decodeBye(payload []byte) (Bye, error) {
 type StreamHandler struct {
 	Hello func(h Hello) (Handler, error)
 	Bye   func(b Bye)
+	// Batches, when non-nil, puts the stream's frame decoder in
+	// pooled-batch mode (see FrameDecoder.SetBatchPool): Handler.Batch
+	// owns each decoded batch and the consumer recycles it after apply.
+	// Required for pipelined receivers that apply on another goroutine.
+	Batches *BatchPool
 }
+
+// payloadPool recycles segment scratch buffers across ReadStream calls,
+// so a long-running receiver ingesting many short streams does not
+// allocate a fresh segment buffer per connection.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // ReadStream decodes one complete stream from r: header, hello segment,
 // frame segments, optional bye. EOF at a segment boundary after the hello
@@ -139,12 +150,15 @@ func ReadStream(r Reader, h StreamHandler) error {
 	if err := ReadHeader(r); err != nil {
 		return err
 	}
+	scratch := payloadPool.Get().(*[]byte)
+	defer payloadPool.Put(scratch)
 	var (
-		payload  []byte
+		payload  = *scratch
 		fd       *FrameDecoder
 		seenBye  bool
 		seenHelo bool
 	)
+	defer func() { *scratch = payload[:0] }()
 	for {
 		tag, err := r.ReadByte()
 		if err == io.EOF {
@@ -196,6 +210,9 @@ func ReadStream(r Reader, h StreamHandler) error {
 				}
 			}
 			fd = NewFrameDecoder(nil, fh)
+			if h.Batches != nil {
+				fd.SetBatchPool(h.Batches)
+			}
 			seenHelo = true
 		case SegFrames:
 			if !seenHelo {
